@@ -1,0 +1,89 @@
+#ifndef MMDB_BENCH_FIGURE_UTIL_H_
+#define MMDB_BENCH_FIGURE_UTIL_H_
+
+// Shared helpers for the figure-regeneration benches: each bench prints the
+// paper's series twice — from the reconstructed analytic model at the
+// paper's full 256 Mword scale, and measured from the executable engine at
+// a scaled-down database (the shapes must agree; see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/workload.h"
+#include "env/env.h"
+#include "model/analytic_model.h"
+
+namespace mmdb {
+namespace bench {
+
+inline void PrintHeader(const char* figure, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s - %s\n", figure, what);
+  std::printf("================================================================\n");
+}
+
+inline void PrintParams(const SystemParams& p) {
+  std::printf("params: %s\n", p.ToString().c_str());
+}
+
+// Engine-scale defaults for measured series: 1 Mword database (128
+// segments of 8192 words, as in the paper's geometry, just fewer of them).
+inline EngineOptions MeasuredOptions(Algorithm a, CheckpointMode mode,
+                                     bool stable_tail) {
+  EngineOptions opt;
+  opt.params.db.db_words = 1ull << 20;  // 128 segments of 8192 words
+  opt.algorithm = a;
+  opt.checkpoint_mode = mode;
+  opt.stable_log_tail = stable_tail;
+  return opt;
+}
+
+struct MeasuredPoint {
+  WorkloadResult workload;
+  RecoveryStats recovery;
+};
+
+// Runs `seconds` of the paper's workload against a fresh engine, then
+// crashes and recovers to measure recovery time.
+inline StatusOr<MeasuredPoint> MeasureEngine(const EngineOptions& options,
+                                             double seconds,
+                                             uint64_t seed = 42) {
+  std::unique_ptr<Env> env = NewMemEnv();
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                        Engine::Open(options, env.get()));
+  WorkloadOptions wopt;
+  wopt.duration = seconds;
+  wopt.seed = seed;
+  WorkloadDriver driver(engine.get(), wopt);
+  MeasuredPoint point;
+  MMDB_ASSIGN_OR_RETURN(point.workload, driver.Run());
+  MMDB_RETURN_IF_ERROR(engine->Crash());
+  MMDB_ASSIGN_OR_RETURN(point.recovery, engine->Recover());
+  return point;
+}
+
+inline ModelOutputs Evaluate(const ModelInputs& in) {
+  AnalyticModel model(in);
+  auto out = model.Evaluate();
+  if (!out.ok()) {
+    std::fprintf(stderr, "model error: %s\n",
+                 out.status().ToString().c_str());
+    return ModelOutputs{};
+  }
+  return *out;
+}
+
+inline const std::vector<Algorithm>& MainAlgorithms() {
+  static const std::vector<Algorithm> kAlgorithms = {
+      Algorithm::kFuzzyCopy, Algorithm::kTwoColorFlush,
+      Algorithm::kTwoColorCopy, Algorithm::kCouFlush, Algorithm::kCouCopy};
+  return kAlgorithms;
+}
+
+}  // namespace bench
+}  // namespace mmdb
+
+#endif  // MMDB_BENCH_FIGURE_UTIL_H_

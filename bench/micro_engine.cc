@@ -1,0 +1,191 @@
+// Microbenchmarks (google-benchmark, real wall-clock time) for the hot
+// paths of the engine: transaction commit, log append/encode, CRC, segment
+// staging, checkpoint sweeps, and recovery replay. These measure the
+// implementation itself, complementing the figure benches which measure
+// the modeled (virtual-time) behaviour.
+
+#include <memory>
+#include <string>
+
+#include "benchmark/benchmark.h"
+#include "core/engine.h"
+#include "core/workload.h"
+#include "env/env.h"
+#include "util/crc32c.h"
+#include "util/random.h"
+#include "wal/log_manager.h"
+#include "wal/log_record.h"
+
+namespace mmdb {
+namespace {
+
+EngineOptions BenchOptions(Algorithm a = Algorithm::kFuzzyCopy) {
+  EngineOptions opt;
+  opt.params.db.db_words = 1ull << 20;  // 128 segments of 8192 words
+  opt.algorithm = a;
+  return opt;
+}
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(128)->Arg(4096)->Arg(32768);
+
+void BM_LogRecordEncode(benchmark::State& state) {
+  LogRecord record = LogRecord::Update(12345, 67890, std::string(128, 'q'));
+  record.lsn = 1u << 20;
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    EncodeLogFrame(record, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LogRecordEncode);
+
+void BM_LogRecordDecode(benchmark::State& state) {
+  LogRecord record = LogRecord::Update(12345, 67890, std::string(128, 'q'));
+  record.lsn = 1u << 20;
+  std::string payload;
+  record.EncodeTo(&payload);
+  LogRecord out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LogRecord::DecodeFrom(payload, &out));
+  }
+}
+BENCHMARK(BM_LogRecordDecode);
+
+void BM_MakeRecordImage(benchmark::State& state) {
+  uint64_t marker = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeRecordImage(128, 42, marker++));
+  }
+}
+BENCHMARK(BM_MakeRecordImage);
+
+void BM_TxnCommit(benchmark::State& state) {
+  auto env = NewMemEnv();
+  auto engine = Engine::Open(BenchOptions(), env.get());
+  if (!engine.ok()) {
+    state.SkipWithError(engine.status().ToString().c_str());
+    return;
+  }
+  Engine& e = **engine;
+  Random rng(1);
+  const uint32_t k = static_cast<uint32_t>(state.range(0));
+  std::string image = MakeRecordImage(e.db().record_bytes(), 0, 0);
+  for (auto _ : state) {
+    Transaction* t = e.Begin();
+    for (uint32_t i = 0; i < k; ++i) {
+      RecordId r = rng.Uniform(e.db().num_records());
+      (void)e.Write(t, r, image);
+    }
+    benchmark::DoNotOptimize(e.Commit(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TxnCommit)->Arg(1)->Arg(5)->Arg(20);
+
+void BM_CheckpointFull(benchmark::State& state) {
+  auto env = NewMemEnv();
+  EngineOptions opt = BenchOptions();
+  opt.checkpoint_mode = CheckpointMode::kFull;
+  auto engine = Engine::Open(opt, env.get());
+  if (!engine.ok()) {
+    state.SkipWithError(engine.status().ToString().c_str());
+    return;
+  }
+  Engine& e = **engine;
+  for (auto _ : state) {
+    if (!e.RunCheckpointToCompletion().ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(e.db().size_bytes()));
+}
+BENCHMARK(BM_CheckpointFull)->Unit(benchmark::kMillisecond);
+
+void BM_CheckpointAlgorithms(benchmark::State& state) {
+  const Algorithm algorithms[] = {
+      Algorithm::kFuzzyCopy, Algorithm::kTwoColorFlush,
+      Algorithm::kTwoColorCopy, Algorithm::kCouFlush, Algorithm::kCouCopy};
+  Algorithm a = algorithms[state.range(0)];
+  state.SetLabel(std::string(AlgorithmName(a)));
+  auto env = NewMemEnv();
+  EngineOptions opt = BenchOptions(a);
+  opt.checkpoint_mode = CheckpointMode::kFull;
+  auto engine = Engine::Open(opt, env.get());
+  if (!engine.ok()) {
+    state.SkipWithError(engine.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    if (!(*engine)->RunCheckpointToCompletion().ok()) {
+      state.SkipWithError("checkpoint failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_CheckpointAlgorithms)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RecoveryReplay(benchmark::State& state) {
+  // Build a crashed engine state once per iteration batch is too slow;
+  // instead rebuild per iteration on a small database.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto env = NewMemEnv();
+    EngineOptions opt = BenchOptions();
+    opt.params.db.db_words = 64 * 1024;
+    opt.params.db.segment_words = 1024;
+    auto engine = Engine::Open(opt, env.get());
+    if (!engine.ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    Engine& e = **engine;
+    (void)e.RunCheckpointToCompletion();
+    WorkloadOptions wopt;
+    wopt.duration = 0.2;
+    wopt.run_checkpoints = false;
+    WorkloadDriver driver(&e, wopt);
+    (void)driver.Run();
+    e.FlushLog();
+    (void)e.AdvanceTime(1.0);
+    (void)e.Crash();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(e.Recover());
+  }
+}
+BENCHMARK(BM_RecoveryReplay)->Unit(benchmark::kMillisecond);
+
+void BM_WorkloadSecond(benchmark::State& state) {
+  // Real seconds to simulate one virtual second of the paper's workload.
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto env = NewMemEnv();
+    auto engine = Engine::Open(BenchOptions(), env.get());
+    if (!engine.ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    WorkloadOptions wopt;
+    wopt.duration = 1.0;
+    WorkloadDriver driver(engine->get(), wopt);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(driver.Run());
+  }
+}
+BENCHMARK(BM_WorkloadSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mmdb
+
+BENCHMARK_MAIN();

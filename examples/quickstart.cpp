@@ -1,0 +1,100 @@
+// Quickstart: open a memory-resident database, commit transactions, take a
+// checkpoint, crash the machine, and recover.
+//
+//   build/examples/quickstart
+//
+// Demonstrates the whole public API surface in ~100 lines: EngineOptions,
+// transactions (Begin/Write/Commit and the one-shot Apply), explicit
+// checkpointing, durability timing on the virtual clock, and crash
+// recovery from the ping-pong backup plus the REDO log.
+
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "core/workload.h"
+#include "env/env.h"
+
+using namespace mmdb;  // Example code; library code never does this.
+
+int main() {
+  // 4 MiB database: 128 segments of 8192 words, 32-word (128-byte)
+  // records — the paper's geometry at 1/256 scale. COUCOPY produces
+  // transaction-consistent backups without ever aborting anybody.
+  EngineOptions options;
+  options.params.db.db_words = 1 << 20;
+  options.algorithm = Algorithm::kCouCopy;
+  options.checkpoint_mode = CheckpointMode::kPartial;
+
+  std::unique_ptr<Env> env = NewMemEnv();  // or Env::Posix() for real files
+  auto engine_or = Engine::Open(options, env.get());
+  if (!engine_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 engine_or.status().ToString().c_str());
+    return 1;
+  }
+  Engine& db = **engine_or;
+  const size_t record_bytes = db.db().record_bytes();
+
+  // --- a hand-rolled transaction ----------------------------------------
+  Transaction* txn = db.Begin();
+  std::string alice(record_bytes, '\0');
+  alice.replace(0, 5, "alice");
+  if (!db.Write(txn, /*record=*/1, alice).ok()) return 1;
+  auto lsn = db.Commit(txn);
+  std::printf("committed txn at lsn %llu (in memory)\n",
+              static_cast<unsigned long long>(*lsn));
+
+  // Commits become durable when the group-commit flush lands on the
+  // (simulated) log disks; a crash right now would lose the update.
+  std::printf("durable lsn before flush lands: %llu\n",
+              static_cast<unsigned long long>(db.DurableLsn()));
+  db.FlushLog();
+  (void)db.AdvanceTime(0.1);  // let the I/O complete on the virtual clock
+  std::printf("durable lsn after flush landed: %llu\n",
+              static_cast<unsigned long long>(db.DurableLsn()));
+
+  // --- a batch of one-shot transactions ----------------------------------
+  for (RecordId r = 100; r < 160; ++r) {
+    std::string image = MakeRecordImage(record_bytes, r, /*marker=*/7);
+    if (!db.Apply({{r, image}}).ok()) return 1;
+  }
+
+  // --- checkpoint ---------------------------------------------------------
+  if (!db.RunCheckpointToCompletion().ok()) return 1;
+  const CheckpointStats& stats = db.checkpointer().last_stats();
+  std::printf("checkpoint %llu: %llu segments flushed in %.3f virtual s\n",
+              static_cast<unsigned long long>(stats.id),
+              static_cast<unsigned long long>(stats.segments_flushed),
+              stats.duration());
+
+  // --- more work after the checkpoint, then a crash -----------------------
+  std::string post(record_bytes, '\0');
+  post.replace(0, 4, "post");
+  (void)db.Apply({{2, post}});
+  db.FlushLog();
+  (void)db.AdvanceTime(0.1);
+
+  std::printf("simulating power failure...\n");
+  if (!db.Crash().ok()) return 1;
+  auto recovery = db.Recover();
+  if (!recovery.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n",
+                 recovery.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "recovered from checkpoint %llu: %.3f virtual s "
+      "(backup %.3f + log %.3f), %llu updates replayed\n",
+      static_cast<unsigned long long>(recovery->checkpoint_id),
+      recovery->total_seconds, recovery->backup_read_seconds,
+      recovery->log_read_seconds,
+      static_cast<unsigned long long>(recovery->updates_applied));
+
+  // Both the checkpointed and the post-checkpoint (log-replayed) data are
+  // back.
+  bool ok = db.ReadRecordRaw(1).substr(0, 5) == "alice" &&
+            db.ReadRecordRaw(2).substr(0, 4) == "post";
+  std::printf("data intact after recovery: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,167 @@
+// Telecom billing: a skewed, high-rate workload — the application class
+// that motivated memory-resident databases (the paper cites IMS/Fastpath).
+//
+//   build/examples/telecom_billing
+//
+// Call-accounting transactions debit subscriber balances and append usage
+// counters at 1000 TPS of virtual time, with 10% of subscribers receiving
+// 90% of the traffic (hot segments stress the checkpointer's write-ahead
+// gates and the COU old-copy machinery far more than a uniform load).
+// The example runs the same load under three checkpointing algorithms and
+// reports the paper's metrics plus client-visible latency, then verifies
+// durability with a crash/recovery pass.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "core/engine.h"
+#include "env/env.h"
+#include "util/coding.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+using namespace mmdb;
+
+namespace {
+
+struct Subscriber {
+  int64_t balance_millicents;
+  uint64_t calls;
+  uint64_t seconds;
+};
+
+std::string Encode(size_t record_bytes, const Subscriber& s) {
+  std::string image;
+  PutFixed64(&image, static_cast<uint64_t>(s.balance_millicents));
+  PutFixed64(&image, s.calls);
+  PutFixed64(&image, s.seconds);
+  image.resize(record_bytes, '\0');
+  return image;
+}
+
+Subscriber Decode(std::string_view image) {
+  Subscriber s;
+  s.balance_millicents = static_cast<int64_t>(DecodeFixed64(image.data()));
+  s.calls = DecodeFixed64(image.data() + 8);
+  s.seconds = DecodeFixed64(image.data() + 16);
+  return s;
+}
+
+void RunCarrier(Algorithm algorithm) {
+  EngineOptions options;
+  options.params.db.db_words = 1 << 20;  // 32768 subscribers
+  options.algorithm = algorithm;
+  options.stable_log_tail = algorithm == Algorithm::kFastFuzzy;
+  std::unique_ptr<Env> env = NewMemEnv();
+  auto engine = Engine::Open(options, env.get());
+  Engine& db = **engine;
+  const size_t record_bytes = db.db().record_bytes();
+  const uint64_t subscribers = db.db().num_records();
+  const uint64_t hot = subscribers / 10;
+
+  Random rng(7);
+  const double duration = 2.0;
+  const double rate = 1000.0;
+  double next_call = 0.0;
+  Histogram latency_us;
+  uint64_t calls = 0, rejected = 0, retries = 0;
+  int64_t revenue = 0;
+
+  double sync0 = db.meter().SynchronousOverhead();
+  double async0 = db.meter().AsynchronousOverhead();
+
+  while (next_call < duration) {
+    if (db.now() < next_call) (void)db.AdvanceTime(next_call - db.now());
+    if (!db.CheckpointInProgress() &&
+        db.scheduler().NextBeginTime() <= db.now()) {
+      (void)db.StartCheckpoint();
+    }
+    // 90% of calls hit the hot 10% of subscribers.
+    RecordId who = rng.Bernoulli(0.9) ? rng.Uniform(hot)
+                                      : hot + rng.Uniform(subscribers - hot);
+    int64_t cost = 50 + static_cast<int64_t>(rng.Uniform(2000));
+    uint64_t secs = 10 + rng.Uniform(590);
+    double arrival = next_call;
+    next_call += rng.Exponential(1.0 / rate);
+
+    bool done = false;
+    for (int attempt = 0; attempt < 5000 && !done; ++attempt) {
+      Transaction* t = db.Begin();
+      std::string image;
+      Status st = db.Read(t, who, &image);
+      if (st.ok()) {
+        Subscriber s = Decode(image);
+        if (s.balance_millicents - cost < -100000) {
+          db.Abort(t);
+          ++rejected;
+          done = true;
+          break;
+        }
+        s.balance_millicents -= cost;
+        s.calls += 1;
+        s.seconds += secs;
+        st = db.Write(t, who, Encode(record_bytes, s));
+      }
+      if (st.ok()) {
+        (void)db.Commit(t);
+        latency_us.Add((db.now() - arrival) * 1e6);
+        revenue += cost;
+        ++calls;
+        done = true;
+      } else {
+        db.Abort(t, AbortReason::kColorViolation);
+        ++retries;
+        (void)db.AdvanceTime(0.002);
+      }
+    }
+  }
+
+  double sync = db.meter().SynchronousOverhead() - sync0;
+  double async = db.meter().AsynchronousOverhead() - async0;
+
+  // Durability check: crash, recover, make sure billed usage survived
+  // (everything durably committed; the group flush cadence bounds loss).
+  db.FlushLog();
+  (void)db.AdvanceTime(0.5);
+  uint64_t billed_before = 0;
+  for (RecordId r = 0; r < subscribers; ++r) {
+    billed_before += Decode(db.ReadRecordRaw(r)).calls;
+  }
+  (void)db.Crash();
+  auto recovery = db.Recover();
+  uint64_t billed_after = 0;
+  for (RecordId r = 0; r < subscribers; ++r) {
+    billed_after += Decode(db.ReadRecordRaw(r)).calls;
+  }
+
+  std::printf(
+      "%-10s calls=%-6" PRIu64 " rejected=%-4" PRIu64 " retries=%-5" PRIu64
+      " overhead/txn=%7.1f (sync %6.1f async %6.1f) "
+      "p50=%6.0fus p99=%8.0fus recovery=%.3fs billed %" PRIu64 "/%" PRIu64
+      "\n",
+      std::string(AlgorithmName(algorithm)).c_str(), calls, rejected,
+      retries, calls ? (sync + async) / calls : 0.0,
+      calls ? sync / calls : 0.0, calls ? async / calls : 0.0,
+      latency_us.Percentile(50), latency_us.Percentile(99),
+      recovery.ok() ? recovery->total_seconds : -1.0, billed_after,
+      billed_before);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "telecom billing, 32768 subscribers, 1000 calls/s (90%% of traffic on "
+      "10%% of subscribers), 2.0 virtual seconds per algorithm\n\n");
+  for (Algorithm a :
+       {Algorithm::kCouCopy, Algorithm::kFuzzyCopy,
+        Algorithm::kTwoColorCopy, Algorithm::kFastFuzzy}) {
+    RunCarrier(a);
+  }
+  std::printf(
+      "\nNote the latency tails: two-color restarts defer conflicting calls "
+      "past the sweep; COU never aborts but stalls arrivals at each "
+      "checkpoint's quiesce point.\n");
+  return 0;
+}

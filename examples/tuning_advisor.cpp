@@ -1,0 +1,129 @@
+// Tuning advisor: choose a checkpoint interval from a recovery-time budget.
+//
+//   build/examples/tuning_advisor [recovery_budget_seconds]
+//
+// The paper's central operational insight (Figure 4b) is that the
+// checkpoint duration is a knob: stretch it and per-transaction overhead
+// falls while recovery time grows. This example turns the reconstructed
+// analytic model into a small capacity-planning tool — given the paper's
+// full 1 GB configuration and a recovery-time objective, it sweeps the
+// feasible durations for every algorithm, prints the trade-off curve, and
+// recommends the cheapest configuration meeting the objective.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "model/analytic_model.h"
+
+using namespace mmdb;
+
+namespace {
+
+struct Option {
+  Algorithm algorithm;
+  ModelOutputs outputs;
+};
+
+void PrintCurve(Algorithm a, double budget) {
+  ModelInputs in;
+  in.params = SystemParams::PaperDefaults();
+  in.algorithm = a;
+  in.mode = CheckpointMode::kPartial;
+  AnalyticModel base(in);
+  double d_min = base.Evaluate()->min_interval;
+  std::printf("\n%s (min duration %.1fs)\n",
+              std::string(AlgorithmName(a)).c_str(), d_min);
+  std::printf("  %10s %12s %14s %8s\n", "duration_s", "recovery_s",
+              "overhead/txn", "fits?");
+  for (double m : {1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0}) {
+    in.checkpoint_interval = m * d_min;
+    AnalyticModel model(in);
+    ModelOutputs out = *model.Evaluate();
+    std::printf("  %10.1f %12.1f %14.1f %8s\n", out.interval,
+                out.recovery_seconds, out.overhead_per_txn,
+                out.recovery_seconds <= budget ? "yes" : "no");
+  }
+}
+
+// Largest interval (cheapest overhead) whose recovery time fits `budget`,
+// found by bisection on the monotone recovery-time curve.
+bool BestWithinBudget(Algorithm a, double budget, Option* best) {
+  ModelInputs in;
+  in.params = SystemParams::PaperDefaults();
+  in.algorithm = a;
+  in.mode = CheckpointMode::kPartial;
+  AnalyticModel base(in);
+  double lo = base.Evaluate()->min_interval;
+  if (base.Evaluate()->recovery_seconds > budget) return false;  // infeasible
+  double hi = lo;
+  while (true) {
+    in.checkpoint_interval = hi * 2;
+    AnalyticModel model(in);
+    if (model.Evaluate()->recovery_seconds > budget || hi > 1e6) break;
+    hi *= 2;
+  }
+  for (int i = 0; i < 60; ++i) {
+    double mid = 0.5 * (lo + hi);
+    in.checkpoint_interval = mid;
+    AnalyticModel model(in);
+    if (model.Evaluate()->recovery_seconds <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  in.checkpoint_interval = lo;
+  AnalyticModel model(in);
+  best->algorithm = a;
+  best->outputs = *model.Evaluate();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double budget = argc > 1 ? std::atof(argv[1]) : 300.0;
+  std::printf(
+      "configuration: the paper's 1 GB database, 20 backup disks, 1000 TPS\n"
+      "objective: recover from a system failure within %.0f seconds\n",
+      budget);
+
+  const Algorithm algorithms[] = {
+      Algorithm::kFuzzyCopy, Algorithm::kCouCopy, Algorithm::kCouFlush,
+      Algorithm::kTwoColorCopy, Algorithm::kTwoColorFlush};
+  for (Algorithm a : algorithms) PrintCurve(a, budget);
+
+  std::printf("\n--- recommendation ---\n");
+  bool any = false;
+  Option best{};
+  for (Algorithm a : algorithms) {
+    Option option;
+    if (!BestWithinBudget(a, budget, &option)) continue;
+    if (!any ||
+        option.outputs.overhead_per_txn < best.outputs.overhead_per_txn) {
+      best = option;
+      any = true;
+    }
+  }
+  if (!any) {
+    std::printf(
+        "no configuration meets the objective: even back-to-back "
+        "checkpoints recover too slowly — add backup disks (bandwidth "
+        "shortens both the reload and the feasible duration).\n");
+    return 1;
+  }
+  std::printf(
+      "%s with a %.0f s checkpoint duration: %.1f instructions/transaction "
+      "of checkpoint overhead, %.1f s expected recovery "
+      "(%.1f s reload + %.1f s log).\n",
+      std::string(AlgorithmName(best.algorithm)).c_str(),
+      best.outputs.interval, best.outputs.overhead_per_txn,
+      best.outputs.recovery_seconds, best.outputs.recovery_backup_seconds,
+      best.outputs.recovery_log_seconds);
+  std::printf(
+      "(COU produces transaction-consistent backups at fuzzy-like cost — "
+      "the paper's Section 5 conclusion.)\n");
+  return 0;
+}

@@ -1,0 +1,280 @@
+#include "checkpoint/checkpointer.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "checkpoint/cou.h"
+#include "checkpoint/fuzzy.h"
+#include "checkpoint/two_color.h"
+#include "util/string_util.h"
+
+namespace mmdb {
+
+std::string_view AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kFuzzyCopy:
+      return "FUZZYCOPY";
+    case Algorithm::kFastFuzzy:
+      return "FASTFUZZY";
+    case Algorithm::kTwoColorFlush:
+      return "2CFLUSH";
+    case Algorithm::kTwoColorCopy:
+      return "2CCOPY";
+    case Algorithm::kCouFlush:
+      return "COUFLUSH";
+    case Algorithm::kCouCopy:
+      return "COUCOPY";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<Algorithm> AlgorithmFromName(std::string_view name) {
+  for (Algorithm a :
+       {Algorithm::kFuzzyCopy, Algorithm::kFastFuzzy,
+        Algorithm::kTwoColorFlush, Algorithm::kTwoColorCopy,
+        Algorithm::kCouFlush, Algorithm::kCouCopy}) {
+    if (AlgorithmName(a) == name) return a;
+  }
+  return InvalidArgumentError(
+      StringPrintf("unknown algorithm '%.*s'",
+                   static_cast<int>(name.size()), name.data()));
+}
+
+bool SupportsLogicalLogging(Algorithm a) {
+  return a == Algorithm::kCouFlush || a == Algorithm::kCouCopy;
+}
+
+StatusOr<std::unique_ptr<Checkpointer>> Checkpointer::Create(
+    Algorithm algorithm, const Context& ctx, CheckpointMode mode) {
+  if (ctx.db == nullptr || ctx.segments == nullptr || ctx.buffers == nullptr ||
+      ctx.log == nullptr || ctx.backup == nullptr || ctx.txns == nullptr ||
+      ctx.timestamps == nullptr || ctx.meter == nullptr) {
+    return InvalidArgumentError("checkpointer context has null subsystems");
+  }
+  switch (algorithm) {
+    case Algorithm::kFuzzyCopy:
+      return {std::unique_ptr<Checkpointer>(
+          new FuzzyCopyCheckpointer(ctx, mode))};
+    case Algorithm::kFastFuzzy:
+      if (!ctx.log->stable_log_tail()) {
+        return FailedPreconditionError(
+            "FASTFUZZY requires a stable log tail; without one, flushing "
+            "segments in place violates the write-ahead protocol");
+      }
+      return {std::unique_ptr<Checkpointer>(
+          new FastFuzzyCheckpointer(ctx, mode))};
+    case Algorithm::kTwoColorFlush:
+      return {std::unique_ptr<Checkpointer>(
+          new TwoColorCheckpointer(ctx, mode, /*copy_before_flush=*/false))};
+    case Algorithm::kTwoColorCopy:
+      return {std::unique_ptr<Checkpointer>(
+          new TwoColorCheckpointer(ctx, mode, /*copy_before_flush=*/true))};
+    case Algorithm::kCouFlush:
+      return {std::unique_ptr<Checkpointer>(
+          new CouCheckpointer(ctx, mode, /*copy_before_flush=*/false))};
+    case Algorithm::kCouCopy:
+      return {std::unique_ptr<Checkpointer>(
+          new CouCheckpointer(ctx, mode, /*copy_before_flush=*/true))};
+  }
+  return InvalidArgumentError("unknown algorithm");
+}
+
+Checkpointer::Checkpointer(const Context& ctx, CheckpointMode mode)
+    : ctx_(ctx), mode_(mode) {}
+
+Status Checkpointer::Begin(CheckpointId id, double now) {
+  if (InProgress()) {
+    return FailedPreconditionError("a checkpoint is already in progress");
+  }
+  id_ = id;
+  stats_ = CheckpointStats{};
+  stats_.id = id;
+  stats_.begin_time = now;
+  cur_seg_ = 0;
+  next_due_ = now;
+  last_write_done_ = now;
+  locked_until_.clear();
+
+  // Let the algorithm quiesce / assign tau(CH) before the marker is cut.
+  MMDB_RETURN_IF_ERROR(OnBegin(now));
+
+  begin_marker_offset_ = ctx_.log->NextOffset();
+  LogRecord marker = LogRecord::BeginCheckpoint(
+      id_, tau_ch_, ctx_.txns->ActiveTxnList());
+  begin_marker_lsn_ = ctx_.log->Append(&marker);
+
+  // The marker (and everything before it) must be durable before the first
+  // segment image can land in the backup; gating the whole sweep on the
+  // flush keeps every algorithm safe and matches Figure 3.3's "log
+  // begin-checkpoint record and flush log tail".
+  sweep_start_ = ctx_.log->Flush(now);
+  if (QuiescesTransactions()) {
+    stats_.quiesce_seconds = sweep_start_ - now;
+  }
+  state_ = State::kSweeping;
+  return Status::OK();
+}
+
+bool Checkpointer::NeedsFlush(SegmentId s) {
+  if (mode_ == CheckpointMode::kPartial) {
+    ctx_.meter->Charge(CpuCategory::kCkptScan,
+                       static_cast<double>(ctx_.params.costs.dirty_check));
+    if (!ctx_.segments->dirty(s, copy())) return false;
+  }
+  return true;
+}
+
+StatusOr<double> Checkpointer::SubmitWrite(SegmentId s, std::string_view data,
+                                           double now, double earliest,
+                                           bool lock_through_io) {
+  double issue = std::max(now, earliest);
+  ctx_.meter->Charge(CpuCategory::kCkptIo,
+                     static_cast<double>(ctx_.params.costs.io));
+  MMDB_ASSIGN_OR_RETURN(double done,
+                        ctx_.backup->WriteSegment(copy(), s, data, issue));
+  last_write_done_ = std::max(last_write_done_, done);
+  ctx_.segments->ClearDirty(s, copy());
+  ++stats_.segments_flushed;
+  if (lock_through_io) {
+    locked_until_[s] = done;
+    ctx_.segments->set_ckpt_locked(s, true);
+  }
+  return done;
+}
+
+double Checkpointer::WhenLogDurable(Lsn lsn, double now) {
+  double t = ctx_.log->WhenDurable(lsn, now);
+  if (t == kNever) {
+    // The record is still in the volatile tail: wait for the next group
+    // flush. Modeled by flushing now — equivalent timing to the engine's
+    // group commit running immediately.
+    ctx_.log->Flush(now);
+    t = ctx_.log->WhenDurable(lsn, now);
+  }
+  return t;
+}
+
+void Checkpointer::ChargeCkptLocks(int ops) {
+  ctx_.meter->Charge(CpuCategory::kCkptLock,
+                     static_cast<double>(ctx_.params.costs.lock) * ops);
+}
+
+StatusOr<double> Checkpointer::Step(double now) {
+  switch (state_) {
+    case State::kIdle:
+      return kNever;
+
+    case State::kSweeping: {
+      if (now < sweep_start_) return sweep_start_;
+      // The sweep is paced by the backup devices: callers may poll Step
+      // early (every engine event does), but no work is due yet.
+      if (now < next_due_) return next_due_;
+      // Release checkpoint locks whose I/O has completed.
+      for (auto it = locked_until_.begin(); it != locked_until_.end();) {
+        if (it->second <= now) {
+          ctx_.segments->set_ckpt_locked(it->first, false);
+          it = locked_until_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      const uint64_t n = ctx_.segments->num_segments();
+      while (cur_seg_ < n) {
+        SegmentId s = cur_seg_;
+        if (!NeedsFlush(s)) {
+          OnSkipSegment(s);
+          ++stats_.segments_skipped;
+          ++cur_seg_;
+          continue;
+        }
+        MMDB_RETURN_IF_ERROR(ProcessSegment(s, now));
+        ++cur_seg_;
+        // One write issued; come back when a device can take the next one.
+        next_due_ = std::max(now, ctx_.backup->disks()->NextAvailable(now));
+        return next_due_;
+      }
+      state_ = State::kDraining;
+      return std::max(now, last_write_done_);
+    }
+
+    case State::kDraining: {
+      if (now < last_write_done_) return last_write_done_;
+      for (auto& [seg, until] : locked_until_) {
+        ctx_.segments->set_ckpt_locked(seg, false);
+      }
+      locked_until_.clear();
+      LogRecord end = LogRecord::EndCheckpoint(id_);
+      ctx_.log->Append(&end);
+      end_marker_durable_ = ctx_.log->Flush(now);
+      state_ = State::kFinalizing;
+      return end_marker_durable_;
+    }
+
+    case State::kFinalizing: {
+      if (now < end_marker_durable_) return end_marker_durable_;
+      MMDB_RETURN_IF_ERROR(OnComplete(now));
+      CheckpointMeta meta;
+      meta.checkpoint_id = id_;
+      meta.copy = copy();
+      meta.log_offset = begin_marker_offset_;
+      meta.begin_lsn = begin_marker_lsn_;
+      meta.tau = tau_ch_;
+      MMDB_RETURN_IF_ERROR(ctx_.backup->CommitCheckpoint(meta));
+      stats_.end_time = now;
+      last_stats_ = stats_;
+      history_.push_back(stats_);
+      state_ = State::kIdle;
+      return kNever;
+    }
+  }
+  return InternalError("unreachable checkpoint state");
+}
+
+StatusOr<double> Checkpointer::RunToCompletion(CheckpointId id, double now) {
+  MMDB_RETURN_IF_ERROR(Begin(id, now));
+  double t = now;
+  while (InProgress()) {
+    MMDB_ASSIGN_OR_RETURN(double next, Step(t));
+    if (next == kNever) break;
+    t = std::max(t, next);
+  }
+  return t;
+}
+
+Status Checkpointer::OnBegin(double) { return Status::OK(); }
+Status Checkpointer::OnComplete(double) { return Status::OK(); }
+
+void Checkpointer::Reset() {
+  for (auto& [seg, until] : locked_until_) {
+    ctx_.segments->set_ckpt_locked(seg, false);
+  }
+  locked_until_.clear();
+  state_ = State::kIdle;
+}
+
+double Checkpointer::EarliestExecutionTime(
+    const std::vector<SegmentId>& segments, double now) const {
+  double t = now;
+  if (InProgress() && QuiescesTransactions() && now < sweep_start_) {
+    // COU admission barrier: new transactions wait until the checkpoint's
+    // begin protocol (quiesce + marker flush) completes.
+    t = std::max(t, sweep_start_);
+  }
+  for (SegmentId s : segments) {
+    auto it = locked_until_.find(s);
+    if (it != locked_until_.end()) t = std::max(t, it->second);
+  }
+  return t;
+}
+
+bool Checkpointer::AdmitAccess(const std::vector<SegmentId>&, double) {
+  return true;
+}
+
+void Checkpointer::BeforeSegmentUpdate(SegmentId, Timestamp, double) {}
+
+bool Checkpointer::NeedsLsnMaintenance() const {
+  return !ctx_.log->stable_log_tail();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,216 @@
+#ifndef MMDB_CHECKPOINT_CHECKPOINTER_H_
+#define MMDB_CHECKPOINT_CHECKPOINTER_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "backup/backup_store.h"
+#include "sim/cost_model.h"
+#include "sim/cpu_meter.h"
+#include "sim/disk_model.h"
+#include "storage/buffer_pool.h"
+#include "storage/database.h"
+#include "storage/segment_table.h"
+#include "txn/checkpoint_hooks.h"
+#include "txn/timestamps.h"
+#include "txn/txn_manager.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/types.h"
+#include "wal/log_manager.h"
+
+namespace mmdb {
+
+// The six checkpointing algorithms of the paper (Section 3).
+enum class Algorithm : uint8_t {
+  kFuzzyCopy,      // FUZZYCOPY: buffer, then flush once the log catches up
+  kFastFuzzy,      // FASTFUZZY: direct flush; requires a stable log tail
+  kTwoColorFlush,  // 2CFLUSH: Pu's paint bits, lock held through the I/O
+  kTwoColorCopy,   // 2CCOPY: paint bits, lock held only for the copy
+  kCouFlush,       // COUFLUSH: copy-on-update snapshot, flush under lock
+  kCouCopy,        // COUCOPY: copy-on-update snapshot, copy then flush
+};
+
+std::string_view AlgorithmName(Algorithm a);
+StatusOr<Algorithm> AlgorithmFromName(std::string_view name);
+
+// True for the algorithms whose backup is an exact snapshot of the
+// database at the begin-checkpoint marker — the property that makes
+// non-idempotent (logical/delta) REDO records safe to replay from that
+// marker. Holds for the copy-on-update pair only: fuzzy backups are not
+// consistent at all, and a two-color backup is consistent at the color
+// boundary rather than at any log position.
+bool SupportsLogicalLogging(Algorithm a);
+
+// Full checkpoints write every segment; partial checkpoints test dirty bits
+// and write only segments updated since this ping-pong copy was last
+// written (Section 3).
+enum class CheckpointMode : uint8_t { kFull, kPartial };
+
+// Outcome of one checkpoint, for the metrics layer and the figure benches.
+struct CheckpointStats {
+  CheckpointId id = 0;
+  double begin_time = 0.0;
+  double end_time = 0.0;       // when the checkpoint became recoverable
+  uint64_t segments_flushed = 0;
+  uint64_t segments_skipped = 0;  // clean segments under partial mode
+  uint64_t checkpointer_copies = 0;  // *COPY staging copies
+  uint64_t cou_copies = 0;           // transaction-side old-image copies
+  double quiesce_seconds = 0.0;      // COU admission stall window
+  double duration() const { return end_time - begin_time; }
+};
+
+// Base of all checkpointers: owns the common sweep state machine, the
+// write-ahead (LSN) gating, the ping-pong bookkeeping, and the
+// begin/end-marker protocol; subclasses decide what to do with each
+// segment. Also implements CheckpointHooks so TxnManager coordinates with
+// whichever algorithm is active.
+//
+// Driving model: Begin(id, now) starts a checkpoint; Step(now) performs all
+// work due at `now` and returns the next time the checkpointer needs
+// service (+infinity once idle). The caller — engine simulator or the
+// interactive facade — owns the clock.
+class Checkpointer : public CheckpointHooks {
+ public:
+  // Shared subsystem handles. All pointers must outlive the checkpointer.
+  struct Context {
+    Database* db = nullptr;
+    SegmentTable* segments = nullptr;
+    BufferPool* buffers = nullptr;
+    LogManager* log = nullptr;
+    BackupStore* backup = nullptr;
+    TxnManager* txns = nullptr;
+    TimestampOracle* timestamps = nullptr;
+    CpuMeter* meter = nullptr;
+    SystemParams params;
+  };
+
+  // Builds the requested algorithm. Fails (FAILED_PRECONDITION) for
+  // kFastFuzzy without a stable log tail, which would violate the
+  // write-ahead protocol (Section 3.1).
+  static StatusOr<std::unique_ptr<Checkpointer>> Create(
+      Algorithm algorithm, const Context& ctx, CheckpointMode mode);
+
+  ~Checkpointer() override = default;
+
+  virtual Algorithm algorithm() const = 0;
+  std::string_view name() const { return AlgorithmName(algorithm()); }
+  CheckpointMode mode() const { return mode_; }
+
+  // Starts checkpoint `id` (writes ping-pong copy id%2): logs the begin
+  // marker (with the active-transaction list), flushes the log tail, and
+  // arms the sweep. FAILED_PRECONDITION if one is already in progress.
+  Status Begin(CheckpointId id, double now);
+
+  // Performs work due at `now`. Returns the next service time, or
+  // +infinity when idle. Monotonically nondecreasing `now` across calls.
+  StatusOr<double> Step(double now);
+
+  // Runs Begin-to-completion, advancing an internal notion of time from
+  // `now`; returns the completion time. Convenience for the facade, tests
+  // and recovery-free workloads (no transactions interleave).
+  StatusOr<double> RunToCompletion(CheckpointId id, double now);
+
+  bool InProgress() const { return state_ != State::kIdle; }
+  CheckpointId current_id() const { return id_; }
+  // Next segment the sweep will visit (== num_segments once the sweep is
+  // done); exposed for monitoring and tests.
+  SegmentId SweepPosition() const { return cur_seg_; }
+
+  const CheckpointStats& last_stats() const { return last_stats_; }
+  const std::vector<CheckpointStats>& history() const { return history_; }
+
+  // Abandons any in-progress checkpoint and volatile state (crash path).
+  virtual void Reset();
+
+  // --- CheckpointHooks (defaults; subclasses refine) ---------------------
+  double EarliestExecutionTime(const std::vector<SegmentId>& segments,
+                               double now) const override;
+  bool AdmitAccess(const std::vector<SegmentId>& segments,
+                   double now) override;
+  void BeforeSegmentUpdate(SegmentId s, Timestamp txn_ts,
+                           double now) override;
+  bool NeedsLsnMaintenance() const override;
+  bool NeedsTimestampMaintenance() const override { return false; }
+
+ protected:
+  enum class State : uint8_t {
+    kIdle,
+    kSweeping,    // processing segments in order
+    kDraining,    // sweep done; waiting for outstanding segment writes
+    kFinalizing,  // end marker logged; waiting for it to become durable
+  };
+
+  Checkpointer(const Context& ctx, CheckpointMode mode);
+
+  // Subclass policy: handle segment `s` at time `now` (issue its write,
+  // stage a copy, or skip). Dirty-bit skipping is handled by the base.
+  virtual Status ProcessSegment(SegmentId s, double now) = 0;
+
+  // Subclass notifications.
+  virtual Status OnBegin(double now);
+  virtual Status OnComplete(double now);
+
+  // Called for segments the partial-mode dirty test skips (the two-color
+  // algorithms still paint them black).
+  virtual void OnSkipSegment(SegmentId s) { (void)s; }
+
+  // Whether Begin stalls new transactions until the sweep starts — the COU
+  // quiesce of Section 3.2.2.
+  virtual bool QuiescesTransactions() const { return false; }
+
+  // True if `s` must be written in this checkpoint (mode/dirty test). The
+  // base charges the dirty-bit scan cost.
+  bool NeedsFlush(SegmentId s);
+
+  // Issues the backup write of `data` for segment `s`, no earlier than
+  // `earliest` (write-ahead gate). Returns the completion time. Charges
+  // C_io. If `lock_through_io`, the segment stays checkpoint-locked until
+  // the returned time.
+  StatusOr<double> SubmitWrite(SegmentId s, std::string_view data,
+                               double now, double earliest,
+                               bool lock_through_io);
+
+  // Time at which the log is durable through `lsn`, flushing the tail if
+  // the record is still buffered (models waiting for the next group
+  // flush).
+  double WhenLogDurable(Lsn lsn, double now);
+
+  // Charges c * C_lock to the checkpointer lock category.
+  void ChargeCkptLocks(int ops);
+
+  uint32_t copy() const { return BackupStore::CopyFor(id_); }
+
+  Context ctx_;
+  CheckpointMode mode_;
+
+  State state_ = State::kIdle;
+  CheckpointId id_ = 0;
+  Lsn begin_marker_lsn_ = kInvalidLsn;
+  uint64_t begin_marker_offset_ = 0;
+  Timestamp tau_ch_ = 0;       // tau(CH), COU algorithms
+  double sweep_start_ = 0.0;   // no segment write may be issued before this
+  double next_due_ = 0.0;      // sweep pacing: Step is a no-op before this
+  SegmentId cur_seg_ = 0;      // next segment the sweep will visit
+  double last_write_done_ = 0.0;
+  double end_marker_durable_ = 0.0;
+
+  // Segments the checkpointer holds locked through an in-flight disk I/O,
+  // mapped to the lock release (I/O completion) time.
+  std::unordered_map<SegmentId, double> locked_until_;
+
+  CheckpointStats stats_;       // in-progress
+  CheckpointStats last_stats_;  // most recently completed
+  std::vector<CheckpointStats> history_;
+
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CHECKPOINT_CHECKPOINTER_H_

@@ -1,0 +1,76 @@
+#ifndef MMDB_CHECKPOINT_COU_H_
+#define MMDB_CHECKPOINT_COU_H_
+
+#include "checkpoint/checkpointer.h"
+
+namespace mmdb {
+
+// The copy-on-update algorithms of Section 3.2.2 (after DeWitt et al.,
+// strengthened to transaction consistency by quiescing). A checkpoint
+// begins by quiescing transaction processing, logging the begin marker,
+// flushing the log tail, and taking a timestamp tau(CH); the
+// transaction-consistent state at that instant is the snapshot the
+// checkpointer writes out. Transactions that later update a segment the
+// sweep has not reached yet (and whose content still predates the
+// checkpoint, tau(S) <= tau(CH)) first preserve the old image in a buffer
+// (Figure 3.2) — that synchronous copy is COU's price; in exchange, once
+// started, a COU checkpoint never aborts anybody.
+//
+// Variants, applying to segments that were NOT updated since the
+// checkpoint began (updated ones always flush their preserved old copy):
+//   COUFLUSH (copy_before_flush=false): flush the segment from database
+//     memory, holding its lock through the disk I/O.
+//   COUCOPY (copy_before_flush=true): lock, stage into a buffer, unlock,
+//     flush the buffer.
+//
+// No LSN maintenance is needed: every update in the snapshot happened
+// before the checkpoint began, so its log records were made durable by the
+// begin-marker flush (the paper's observation at the end of Section 3.2.2).
+//
+// Ping-pong note: Figure 3.3 uses "tau(S) > tau(OLDCH)" as its dirty test;
+// with two alternating backup copies that window is too narrow (the copy
+// being written was last updated two checkpoints ago), so partial mode uses
+// the engine's per-copy dirty bits instead. The tau comparisons still
+// decide snapshot preservation exactly as in the paper.
+class CouCheckpointer : public Checkpointer {
+ public:
+  CouCheckpointer(const Context& ctx, CheckpointMode mode,
+                  bool copy_before_flush)
+      : Checkpointer(ctx, mode), copy_before_flush_(copy_before_flush) {}
+
+  Algorithm algorithm() const override {
+    return copy_before_flush_ ? Algorithm::kCouCopy : Algorithm::kCouFlush;
+  }
+
+  // Figure 3.2: preserve the pre-update image of a not-yet-dumped,
+  // pre-checkpoint segment before a transaction overwrites it.
+  void BeforeSegmentUpdate(SegmentId s, Timestamp txn_ts,
+                           double now) override;
+
+  // The snapshot needs no log coupling, so transactions maintain
+  // timestamps instead of LSNs.
+  bool NeedsLsnMaintenance() const override { return false; }
+  bool NeedsTimestampMaintenance() const override { return true; }
+
+  void Reset() override;
+
+  // tau(CH) of the in-progress (or last) checkpoint; for tests.
+  Timestamp tau_ch() const { return tau_ch_; }
+
+ protected:
+  Status OnBegin(double now) override;
+  Status ProcessSegment(SegmentId s, double now) override;
+  Status OnComplete(double now) override;
+  bool QuiescesTransactions() const override { return true; }
+
+ private:
+  // Drops every remaining old-copy buffer and pointer.
+  void ReleaseOldCopies();
+
+  bool copy_before_flush_;
+  Timestamp tau_prev_ = 0;  // tau(OLDCH): timestamp of the last checkpoint
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CHECKPOINT_COU_H_

@@ -1,0 +1,37 @@
+#include "checkpoint/fuzzy.h"
+
+#include <algorithm>
+
+namespace mmdb {
+
+Status FuzzyCopyCheckpointer::ProcessSegment(SegmentId s, double now) {
+  // Check the segment's LSN to learn when its image may be flushed.
+  ctx_.meter->Charge(CpuCategory::kCkptLsn,
+                     static_cast<double>(ctx_.params.costs.lsn));
+  // Copy into an I/O buffer: allocate + move S_seg words + free. The copy
+  // is captured now; the disk write may start later without seeing
+  // subsequent updates (that is the point of the buffer).
+  ctx_.meter->Charge(CpuCategory::kCkptCopy,
+                     2.0 * static_cast<double>(ctx_.params.costs.alloc) +
+                         ctx_.params.costs.move_per_word *
+                             ctx_.params.db.segment_words);
+  ++stats_.checkpointer_copies;
+
+  Lsn required = std::max(ctx_.segments->update_lsn(s), begin_marker_lsn_);
+  double earliest = std::max(sweep_start_, WhenLogDurable(required, now));
+  return SubmitWrite(s, ctx_.db->ReadSegment(s), now, earliest,
+                     /*lock_through_io=*/false)
+      .status();
+}
+
+Status FastFuzzyCheckpointer::ProcessSegment(SegmentId s, double now) {
+  // Direct flush out of database memory: only the I/O initiation costs
+  // anything. (SubmitWrite captures the image at issue time; a real DMA
+  // could additionally tear across an in-flight update, which REDO replay
+  // repairs — the stable tail guarantees the log covers everything.)
+  return SubmitWrite(s, ctx_.db->ReadSegment(s), now, sweep_start_,
+                     /*lock_through_io=*/false)
+      .status();
+}
+
+}  // namespace mmdb

@@ -1,0 +1,47 @@
+#ifndef MMDB_CHECKPOINT_FUZZY_H_
+#define MMDB_CHECKPOINT_FUZZY_H_
+
+#include "checkpoint/checkpointer.h"
+
+namespace mmdb {
+
+// FUZZYCOPY (Section 3.1): no synchronization with transactions at all. The
+// checkpointer copies each (dirty) segment into a main-memory I/O buffer and
+// flushes the buffered image once the log is durable through the segment's
+// last installing commit — the LSN test that keeps the write-ahead protocol
+// intact without stable RAM. The resulting backup is fuzzy: it need not
+// reflect any single consistent instant, and recovery repairs it by REDO
+// replay from the begin-checkpoint marker.
+class FuzzyCopyCheckpointer : public Checkpointer {
+ public:
+  FuzzyCopyCheckpointer(const Context& ctx, CheckpointMode mode)
+      : Checkpointer(ctx, mode) {}
+
+  Algorithm algorithm() const override { return Algorithm::kFuzzyCopy; }
+
+ protected:
+  Status ProcessSegment(SegmentId s, double now) override;
+};
+
+// FASTFUZZY (Section 4): the straightforward fuzzy checkpoint — flush
+// segments in place with no buffer copy and no LSN bookkeeping. Legal only
+// when the log tail lives in stable RAM (every appended record is durable
+// immediately), otherwise a flushed image could reach the backup before the
+// log records covering it. Checkpointer::Create enforces that requirement.
+class FastFuzzyCheckpointer : public Checkpointer {
+ public:
+  FastFuzzyCheckpointer(const Context& ctx, CheckpointMode mode)
+      : Checkpointer(ctx, mode) {}
+
+  Algorithm algorithm() const override { return Algorithm::kFastFuzzy; }
+
+  // With a stable tail there is nothing to maintain.
+  bool NeedsLsnMaintenance() const override { return false; }
+
+ protected:
+  Status ProcessSegment(SegmentId s, double now) override;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CHECKPOINT_FUZZY_H_

@@ -1,0 +1,63 @@
+#ifndef MMDB_CHECKPOINT_SCHEDULER_H_
+#define MMDB_CHECKPOINT_SCHEDULER_H_
+
+#include <algorithm>
+
+#include "util/types.h"
+
+namespace mmdb {
+
+// Decides when successive checkpoints begin. The checkpoint duration — the
+// time from one begin to the next (Section 4) — is the paper's main tuning
+// knob: it can be as short as the backup bandwidth allows ("as fast as
+// possible", target_interval = 0) or stretched by inserting a delay, which
+// trades recovery time for processor overhead (Figure 4b).
+class CheckpointScheduler {
+ public:
+  // `target_interval` is the desired begin-to-begin spacing in seconds;
+  // 0 means back-to-back checkpoints.
+  explicit CheckpointScheduler(double target_interval)
+      : target_interval_(target_interval) {}
+
+  double target_interval() const { return target_interval_; }
+  void set_target_interval(double interval) { target_interval_ = interval; }
+
+  // Identifier the next checkpoint should use (starts at 1; the ping-pong
+  // copy is id % 2).
+  CheckpointId NextId() const { return completed_ + 1; }
+
+  // Earliest time the next checkpoint may begin, given that the previous
+  // one began at `last_begin` and completed at `last_end` (the actual
+  // interval can never undercut the completion).
+  double NextBeginTime() const {
+    if (completed_ == 0) return 0.0;
+    return std::max(last_end_, last_begin_ + target_interval_);
+  }
+
+  void OnBegin(double t) { last_begin_ = t; }
+  void OnComplete(double t) {
+    last_end_ = t;
+    ++completed_;
+  }
+
+  // Resumes numbering after a restart: `completed` is the id of the last
+  // checkpoint known complete (from the recovered metadata), so the next
+  // checkpoint continues the ping-pong alternation.
+  void Restore(uint64_t completed, double now) {
+    completed_ = completed;
+    last_begin_ = now;
+    last_end_ = now;
+  }
+
+  uint64_t completed() const { return completed_; }
+
+ private:
+  double target_interval_;
+  double last_begin_ = 0.0;
+  double last_end_ = 0.0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CHECKPOINT_SCHEDULER_H_

@@ -1,0 +1,320 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace mmdb {
+namespace {
+constexpr double kNoEvent = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Engine::Engine(const EngineOptions& options, Env* env)
+    : options_(options),
+      env_(env),
+      backup_disks_(options.params.disk),
+      scheduler_(options.checkpoint_interval) {}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Open(const EngineOptions& options,
+                                               Env* env) {
+  if (env == nullptr) return InvalidArgumentError("env must not be null");
+  MMDB_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<Engine> engine(new Engine(options, env));
+  MMDB_RETURN_IF_ERROR(engine->Init(/*fresh=*/true));
+  return engine;
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::OpenExisting(
+    const EngineOptions& options, Env* env) {
+  if (env == nullptr) return InvalidArgumentError("env must not be null");
+  MMDB_RETURN_IF_ERROR(options.Validate());
+  if (!env->FileExists(options.dir + "/wal.log")) {
+    return NotFoundError("no engine state in '" + options.dir +
+                         "'; use Engine::Open to create one");
+  }
+  std::unique_ptr<Engine> engine(new Engine(options, env));
+  MMDB_RETURN_IF_ERROR(engine->Init(/*fresh=*/false));
+  // Restart is recovery: rebuild the primary copy from the backup and log
+  // exactly as after a power failure, then resume numbering.
+  engine->crashed_ = true;
+  MMDB_ASSIGN_OR_RETURN(RecoveryStats stats, engine->Recover());
+  engine->scheduler_.Restore(stats.checkpoint_id, engine->clock_.now());
+  return engine;
+}
+
+Status Engine::Init(bool fresh) {
+  const SystemParams& p = options_.params;
+  MMDB_RETURN_IF_ERROR(env_->CreateDirIfMissing(options_.dir));
+
+  db_ = std::make_unique<Database>(p.db);
+  segments_ = std::make_unique<SegmentTable>(p.db.num_segments());
+  buffers_ = std::make_unique<BufferPool>(p.db.segment_bytes(),
+                                          options_.max_snapshot_buffers);
+  log_ = std::make_unique<LogManager>(env_, LogPath(), p, &meter_,
+                                      options_.stable_log_tail,
+                                      options_.log_flush_interval);
+  if (fresh) {
+    MMDB_RETURN_IF_ERROR(log_->Open());
+  }  // else: Recover() reads the existing file, then reopens it.
+  backup_ = std::make_unique<BackupStore>(env_, options_.dir, p,
+                                          &backup_disks_);
+  MMDB_RETURN_IF_ERROR(backup_->Open());
+  txns_ = std::make_unique<TxnManager>(db_.get(), segments_.get(), log_.get(),
+                                       &timestamps_, &meter_, p);
+
+  Checkpointer::Context ctx;
+  ctx.db = db_.get();
+  ctx.segments = segments_.get();
+  ctx.buffers = buffers_.get();
+  ctx.log = log_.get();
+  ctx.backup = backup_.get();
+  ctx.txns = txns_.get();
+  ctx.timestamps = &timestamps_;
+  ctx.meter = &meter_;
+  ctx.params = p;
+  MMDB_ASSIGN_OR_RETURN(
+      checkpointer_,
+      Checkpointer::Create(options_.algorithm, ctx, options_.checkpoint_mode));
+  txns_->set_hooks(checkpointer_.get());
+  return Status::OK();
+}
+
+Transaction* Engine::Begin() {
+  assert(!crashed_);
+  return txns_->Begin(clock_.now());
+}
+
+Status Engine::WaitForAdmission(const std::vector<SegmentId>& segs) {
+  // Blocked on a checkpoint-held lock or the COU quiesce barrier: wait,
+  // servicing checkpoint events so the blocker actually clears. Loops in
+  // case servicing those events takes further locks on our segments.
+  while (true) {
+    double t = checkpointer_->EarliestExecutionTime(segs, clock_.now());
+    if (t <= clock_.now()) return Status::OK();
+    MMDB_RETURN_IF_ERROR(AdvanceTime(t - clock_.now()));
+  }
+}
+
+Status Engine::Read(Transaction* txn, RecordId record, std::string* out) {
+  if (crashed_) return FailedPreconditionError("engine has crashed");
+  MMDB_RETURN_IF_ERROR(WaitForAdmission({db_->SegmentOf(record)}));
+  return txns_->Read(txn, record, out, clock_.now());
+}
+
+Status Engine::Write(Transaction* txn, RecordId record,
+                     std::string_view image) {
+  if (crashed_) return FailedPreconditionError("engine has crashed");
+  MMDB_RETURN_IF_ERROR(WaitForAdmission({db_->SegmentOf(record)}));
+  return txns_->Write(txn, record, image, clock_.now());
+}
+
+Status Engine::WriteDelta(Transaction* txn, RecordId record,
+                          uint32_t field_offset, int64_t delta) {
+  if (crashed_) return FailedPreconditionError("engine has crashed");
+  if (!SupportsLogicalLogging(options_.algorithm) &&
+      !options_.unsafe_allow_logical_logging) {
+    return FailedPreconditionError(
+        "logical (delta) operations require a copy-on-update checkpointing "
+        "algorithm: replaying non-idempotent REDO against a fuzzy or "
+        "boundary-consistent backup corrupts data");
+  }
+  MMDB_RETURN_IF_ERROR(WaitForAdmission({db_->SegmentOf(record)}));
+  return txns_->WriteDelta(txn, record, field_offset, delta, clock_.now());
+}
+
+StatusOr<Lsn> Engine::ApplyDelta(RecordId record, uint32_t field_offset,
+                                 int64_t delta, int max_attempts) {
+  Random backoff(apply_seed_++);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Transaction* txn = Begin();
+    txn->attempt = attempt + 1;
+    Status st = WriteDelta(txn, record, field_offset, delta);
+    if (st.ok()) return Commit(txn);
+    txns_->Abort(txn,
+                 st.IsAborted() ? AbortReason::kColorViolation
+                                : AbortReason::kUser,
+                 clock_.now());
+    if (!st.IsAborted()) return st;
+    last = st;
+    MMDB_RETURN_IF_ERROR(AdvanceTime(
+        backoff.Exponential(2.0 * options_.params.txn.instructions /
+                            (options_.params.cpu_mips * 1e6))));
+  }
+  return last;
+}
+
+StatusOr<Lsn> Engine::Commit(Transaction* txn) {
+  if (crashed_) return FailedPreconditionError("engine has crashed");
+  // Installing updates touches the written segments; respect checkpoint
+  // locks covering them.
+  std::vector<SegmentId> segs;
+  for (const auto& [record, image] : txn->pending) {
+    segs.push_back(db_->SegmentOf(record));
+  }
+  for (const auto& [key, delta] : txn->pending_deltas) {
+    segs.push_back(db_->SegmentOf(key.first));
+  }
+  MMDB_RETURN_IF_ERROR(WaitForAdmission(segs));
+  StatusOr<Lsn> lsn = txns_->Commit(txn, clock_.now());
+  if (lsn.ok()) MaybeGroupFlush();
+  return lsn;
+}
+
+void Engine::Abort(Transaction* txn) {
+  txns_->Abort(txn, AbortReason::kUser, clock_.now());
+}
+
+void Engine::Abort(Transaction* txn, AbortReason reason) {
+  txns_->Abort(txn, reason, clock_.now());
+}
+
+StatusOr<Lsn> Engine::Apply(
+    const std::vector<std::pair<RecordId, std::string>>& updates,
+    int max_attempts) {
+  Random backoff(apply_seed_++);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Transaction* txn = Begin();
+    txn->attempt = attempt + 1;
+    Status st = Status::OK();
+    for (const auto& [record, image] : updates) {
+      st = Write(txn, record, image);
+      if (!st.ok()) break;
+    }
+    if (st.ok()) return Commit(txn);
+    txns_->Abort(txn,
+                 st.IsAborted() ? AbortReason::kColorViolation
+                                : AbortReason::kUser,
+                 clock_.now());
+    if (!st.IsAborted()) return st;  // only two-color conflicts retry
+    last = st;
+    // Small jittered backoff lets the sweep move past the conflict zone.
+    MMDB_RETURN_IF_ERROR(
+        AdvanceTime(backoff.Exponential(2.0 * options_.params.txn.instructions /
+                                        (options_.params.cpu_mips * 1e6))));
+  }
+  return last;
+}
+
+Status Engine::StartCheckpoint() {
+  if (crashed_) return FailedPreconditionError("engine has crashed");
+  if (checkpointer_->InProgress()) {
+    return FailedPreconditionError("checkpoint already in progress");
+  }
+  const bool is_cou = options_.algorithm == Algorithm::kCouFlush ||
+                      options_.algorithm == Algorithm::kCouCopy;
+  if (is_cou && txns_->num_active() > 0) {
+    return FailedPreconditionError(
+        "COU checkpoints quiesce transaction processing; commit or abort "
+        "open transactions first");
+  }
+  CheckpointId id = scheduler_.NextId();
+  MMDB_RETURN_IF_ERROR(checkpointer_->Begin(id, clock_.now()));
+  scheduler_.OnBegin(clock_.now());
+  return Status::OK();
+}
+
+Status Engine::StepCheckpoint() {
+  if (!checkpointer_->InProgress()) return Status::OK();
+  MMDB_ASSIGN_OR_RETURN(double next, checkpointer_->Step(clock_.now()));
+  if (!checkpointer_->InProgress()) {
+    scheduler_.OnComplete(clock_.now());
+    return MaybeTruncateLog();
+  }
+  if (next > clock_.now()) clock_.AdvanceTo(next);
+  return Status::OK();
+}
+
+Status Engine::RunCheckpointToCompletion() {
+  if (!checkpointer_->InProgress()) {
+    MMDB_RETURN_IF_ERROR(StartCheckpoint());
+  }
+  while (checkpointer_->InProgress()) {
+    MMDB_RETURN_IF_ERROR(StepCheckpoint());
+  }
+  return Status::OK();
+}
+
+Status Engine::AdvanceTime(double seconds) {
+  if (seconds < 0) return InvalidArgumentError("cannot move time backwards");
+  double target = clock_.now() + seconds;
+  // Service checkpoint events and group flushes due before `target`.
+  while (true) {
+    double next_flush = log_->TailBytes() > 0
+                            ? clock_.now() + options_.log_flush_interval
+                            : kNoEvent;
+    double next_ckpt = kNoEvent;
+    if (checkpointer_->InProgress()) {
+      MMDB_ASSIGN_OR_RETURN(next_ckpt, checkpointer_->Step(clock_.now()));
+      if (!checkpointer_->InProgress()) {
+        scheduler_.OnComplete(clock_.now());
+        MMDB_RETURN_IF_ERROR(MaybeTruncateLog());
+        continue;  // state changed at the current instant; re-evaluate
+      }
+      if (next_ckpt <= clock_.now()) continue;  // more work due now
+    }
+    double next_event = std::min(next_flush, next_ckpt);
+    if (next_event > target) break;
+    clock_.AdvanceTo(next_event);
+    if (next_event == next_flush) log_->Flush(clock_.now());
+  }
+  clock_.AdvanceTo(target);
+  return Status::OK();
+}
+
+Status Engine::MaybeTruncateLog() {
+  if (!options_.truncate_log_at_checkpoint) return Status::OK();
+  StatusOr<CheckpointMeta> meta = backup_->ReadMeta();
+  if (!meta.ok()) {
+    return meta.status().IsNotFound() ? Status::OK() : meta.status();
+  }
+  // Everything before the newest complete checkpoint's begin marker is
+  // unreachable by recovery (which replays forward from that marker).
+  return log_->TruncateBefore(meta->log_offset).status();
+}
+
+void Engine::MaybeGroupFlush() {
+  if (log_->TailBytes() >= options_.log_group_bytes) {
+    log_->Flush(clock_.now());
+  }
+}
+
+Status Engine::Crash() {
+  if (crashed_) return FailedPreconditionError("already crashed");
+  MMDB_RETURN_IF_ERROR(log_->Crash(clock_.now()));
+  MMDB_RETURN_IF_ERROR(backup_->Crash(clock_.now()));
+  txns_->Reset();
+  checkpointer_->Reset();
+  buffers_->Clear();
+  backup_disks_.Reset();
+  crashed_ = true;
+  return Status::OK();
+}
+
+StatusOr<RecoveryStats> Engine::Recover() {
+  if (!crashed_) {
+    return FailedPreconditionError("Recover() is only valid after Crash()");
+  }
+  RecoveryManager rm(env_, options_.params, &meter_);
+  MMDB_ASSIGN_OR_RETURN(
+      RecoveryResult result,
+      rm.Recover(backup_.get(), LogPath(), db_.get(), segments_.get(),
+                 clock_.now()));
+  MMDB_RETURN_IF_ERROR(
+      log_->OpenExisting(result.log_valid_bytes, result.last_lsn + 1));
+  clock_.AdvanceBy(result.stats.total_seconds);
+  crashed_ = false;
+  // Resume checkpoint numbering from what was actually restored. Without
+  // this, a checkpoint completed in the log but not yet in the metadata
+  // would get its id REUSED by the next sweep — and a later backward scan
+  // could pair the old incarnation's end marker with the new (possibly
+  // torn) incarnation's backup copy.
+  scheduler_.Restore(result.stats.checkpoint_id, clock_.now());
+  return result.stats;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,197 @@
+#ifndef MMDB_CORE_ENGINE_H_
+#define MMDB_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "backup/backup_store.h"
+#include "checkpoint/checkpointer.h"
+#include "checkpoint/scheduler.h"
+#include "core/options.h"
+#include "env/env.h"
+#include "recovery/recovery_manager.h"
+#include "sim/cpu_meter.h"
+#include "sim/disk_model.h"
+#include "sim/virtual_clock.h"
+#include "storage/buffer_pool.h"
+#include "storage/database.h"
+#include "storage/segment_table.h"
+#include "txn/txn_manager.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "wal/log_manager.h"
+
+namespace mmdb {
+
+// The memory-resident database engine: ties together the primary database,
+// transaction manager, REDO log, ping-pong backup store, the selected
+// checkpointing algorithm, and crash recovery.
+//
+// Time. The engine runs on a deterministic virtual clock. Client calls are
+// instantaneous except where the checkpointing algorithm forces a wait (a
+// segment the checkpointer holds locked through a disk I/O, or the COU
+// quiesce barrier), in which case the clock advances to the release point.
+// Log flushes and backup writes are asynchronous: they are issued
+// immediately but become durable at their modeled completion times, so a
+// Crash() right after Commit() loses the transaction exactly as a real
+// power failure would. Use AdvanceTime to let in-flight I/O land.
+//
+// Typical use:
+//   auto engine = Engine::Open(options, env).value();
+//   Transaction* t = engine->Begin();
+//   engine->Write(t, record, image);
+//   engine->Commit(t);                       // ABORTED => retry (two-color)
+//   engine->RunCheckpointToCompletion();
+//   engine->Crash();                         // simulate power loss
+//   engine->Recover();                       // rebuild from backup + log
+//
+// Thread-compatibility: single-threaded by design (cooperative scheduling
+// is what makes every experiment reproducible); not thread-safe.
+class Engine {
+ public:
+  // Creates a fresh engine (empty database, empty log, preallocated backup
+  // copies) inside `env`. `env` must outlive the engine.
+  static StatusOr<std::unique_ptr<Engine>> Open(const EngineOptions& options,
+                                                Env* env);
+
+  // Cold restart: reopens the backup copies and log left behind by an
+  // earlier engine in `options.dir` (whether it shut down cleanly or not),
+  // runs system-failure recovery to rebuild the primary copy, and resumes
+  // — LSNs and checkpoint numbering (ping-pong alternation) continue where
+  // they left off. The stored geometry must match `options.params`.
+  // NOT_FOUND if the directory holds no engine state.
+  static StatusOr<std::unique_ptr<Engine>> OpenExisting(
+      const EngineOptions& options, Env* env);
+
+  ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- transactions ------------------------------------------------------
+  Transaction* Begin();
+  Status Read(Transaction* txn, RecordId record, std::string* out);
+  Status Write(Transaction* txn, RecordId record, std::string_view image);
+  // ABORTED is impossible here (two-color violations surface on the
+  // Read/Write that crosses the boundary); returns the commit LSN.
+  StatusOr<Lsn> Commit(Transaction* txn);
+  void Abort(Transaction* txn);
+  // Abort with explicit accounting: kColorViolation marks the attempt's
+  // work as checkpoint-induced rerun overhead (the workload driver's retry
+  // path); plain Abort uses kUser.
+  void Abort(Transaction* txn, AbortReason reason);
+
+  // Buffers a logical operation: add `delta` to the little-endian 8-byte
+  // field at `field_offset` within `record`, logged as a compact kDelta
+  // record (a fraction of an after-image). FAILED_PRECONDITION unless the
+  // engine runs a copy-on-update algorithm: logical REDO is not
+  // idempotent, so the backup must be an exact snapshot at the replay
+  // start point (see SupportsLogicalLogging).
+  Status WriteDelta(Transaction* txn, RecordId record, uint32_t field_offset,
+                    int64_t delta);
+
+  // One-shot delta transaction with the same retry behaviour as Apply.
+  StatusOr<Lsn> ApplyDelta(RecordId record, uint32_t field_offset,
+                           int64_t delta, int max_attempts = 100);
+
+  // One-shot read-modify-write transaction over `updates`, retrying
+  // two-color aborts (with a small virtual-time backoff) up to
+  // `max_attempts` times. Returns the commit LSN.
+  StatusOr<Lsn> Apply(
+      const std::vector<std::pair<RecordId, std::string>>& updates,
+      int max_attempts = 100);
+
+  // Non-transactional point read of the current primary copy.
+  std::string_view ReadRecordRaw(RecordId record) const {
+    return db_->ReadRecord(record);
+  }
+
+  // --- checkpointing -----------------------------------------------------
+  // Starts the next checkpoint. FAILED_PRECONDITION if one is running, or
+  // if a COU algorithm would have to quiesce around open client
+  // transactions (commit or abort them first).
+  Status StartCheckpoint();
+  bool CheckpointInProgress() const { return checkpointer_->InProgress(); }
+  // Advances the in-progress checkpoint by one event, moving the clock to
+  // that event's time. No-op when idle.
+  Status StepCheckpoint();
+  // Starts (if idle) and drives the checkpoint to completion.
+  Status RunCheckpointToCompletion();
+
+  // --- time & durability -------------------------------------------------
+  double now() const { return clock_.now(); }
+  // Moves the clock forward, flushing the log on the group-commit cadence
+  // and servicing due checkpoint events along the way.
+  Status AdvanceTime(double seconds);
+  // Forces a log flush now (durable at the modeled completion time).
+  void FlushLog() { log_->Flush(clock_.now()); }
+  // Highest LSN guaranteed durable at the current time.
+  Lsn DurableLsn() const { return log_->DurableLsn(clock_.now()); }
+
+  // --- failure & recovery --------------------------------------------------
+  // Simulates a system failure at the current time: volatile memory (the
+  // primary database, log tail, transaction and checkpoint state) is lost;
+  // in-flight backup writes tear. Only Recover() (or destruction) is legal
+  // afterwards.
+  Status Crash();
+  // Rebuilds the primary database from the backup and log; advances the
+  // clock by the modeled recovery time.
+  StatusOr<RecoveryStats> Recover();
+  bool crashed() const { return crashed_; }
+
+  // --- introspection -------------------------------------------------------
+  const EngineOptions& options() const { return options_; }
+  const SystemParams& params() const { return options_.params; }
+  const CpuMeter& meter() const { return meter_; }
+  const TxnManager& txns() const { return *txns_; }
+  const Checkpointer& checkpointer() const { return *checkpointer_; }
+  const CheckpointScheduler& scheduler() const { return scheduler_; }
+  CheckpointScheduler& scheduler() { return scheduler_; }
+  const Database& db() const { return *db_; }
+  const BufferPool& buffers() const { return *buffers_; }
+  LogManager* log() { return log_.get(); }
+  BackupStore* backup() { return backup_.get(); }
+  Env* env() { return env_; }
+
+  // Paths within the Env.
+  std::string LogPath() const { return options_.dir + "/wal.log"; }
+
+ private:
+  Engine(const EngineOptions& options, Env* env);
+  // Builds the subsystems; `fresh` truncates/creates the log file, while a
+  // restart leaves it for recovery to read first.
+  Status Init(bool fresh);
+  // Drops no-longer-replayable log prefix after a checkpoint completes.
+  Status MaybeTruncateLog();
+
+  // Waits (advances the clock) until a transaction may touch `segments`.
+  Status WaitForAdmission(const std::vector<SegmentId>& segments);
+  // Flushes the log if the tail exceeds the group-commit threshold.
+  void MaybeGroupFlush();
+
+  EngineOptions options_;
+  Env* env_;
+
+  VirtualClock clock_;
+  CpuMeter meter_;
+  DiskArrayModel backup_disks_;
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SegmentTable> segments_;
+  std::unique_ptr<BufferPool> buffers_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<BackupStore> backup_;
+  std::unique_ptr<TxnManager> txns_;
+  TimestampOracle timestamps_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+  CheckpointScheduler scheduler_;
+
+  uint64_t apply_seed_ = 0x6d6d6462;  // backoff jitter for Apply retries
+  bool crashed_ = false;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_ENGINE_H_

@@ -1,0 +1,78 @@
+#ifndef MMDB_CORE_OPTIONS_H_
+#define MMDB_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "checkpoint/checkpointer.h"
+#include "sim/cost_model.h"
+#include "util/status.h"
+
+namespace mmdb {
+
+// Configuration for Engine::Open. Defaults give a 1 Mword (4 MiB, 128
+// segment) database with the paper's cost/disk/transaction parameters and
+// partial FUZZYCOPY checkpointing.
+struct EngineOptions {
+  // Hardware, database and workload parameters (Tables 2a-2d).
+  SystemParams params = SystemParams::TestDefaults();
+
+  // Which checkpointing algorithm maintains the backup database.
+  Algorithm algorithm = Algorithm::kFuzzyCopy;
+
+  // Full or partial (dirty-bit) checkpoints.
+  CheckpointMode checkpoint_mode = CheckpointMode::kPartial;
+
+  // Target begin-to-begin checkpoint spacing in seconds; 0 runs
+  // checkpoints back to back (the paper's minimum-duration setting).
+  double checkpoint_interval = 0.0;
+
+  // Model stable RAM holding the log tail (Section 4): appended log
+  // records are durable immediately and survive crashes. Required for
+  // Algorithm::kFastFuzzy.
+  bool stable_log_tail = false;
+
+  // Group-commit policy: the engine flushes the log tail whenever it
+  // exceeds this many bytes, and the workload driver additionally flushes
+  // on this time cadence.
+  uint64_t log_group_bytes = 16 * 1024;
+  double log_flush_interval = 0.05;
+
+  // Cap on segment-sized snapshot buffers (COU old copies and staging
+  // copies); 0 = unbounded. See BufferPool.
+  uint32_t max_snapshot_buffers = 0;
+
+  // Permit Engine::WriteDelta / ApplyDelta under checkpointing algorithms
+  // whose backups make logical REDO unsafe (fuzzy and two-color). Exists
+  // for experiments that demonstrate the resulting corruption; never
+  // enable it in real use.
+  bool unsafe_allow_logical_logging = false;
+
+  // Reclaim log space each time a checkpoint completes: frames before the
+  // new checkpoint's begin marker can never be replayed again and are
+  // dropped (the log file keeps a logical base offset, so previously
+  // published offsets stay valid). Off by default so diagnostic scans of
+  // the full history keep working.
+  bool truncate_log_at_checkpoint = false;
+
+  // Directory (within the Env) holding the backup copies, checkpoint
+  // metadata and log.
+  std::string dir = "mmdb_data";
+
+  Status Validate() const {
+    MMDB_RETURN_IF_ERROR(params.Validate());
+    if (checkpoint_interval < 0) {
+      return InvalidArgumentError("checkpoint_interval must be >= 0");
+    }
+    if (algorithm == Algorithm::kFastFuzzy && !stable_log_tail) {
+      return FailedPreconditionError(
+          "FASTFUZZY requires stable_log_tail=true");
+    }
+    if (dir.empty()) return InvalidArgumentError("dir must be non-empty");
+    return Status::OK();
+  }
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_OPTIONS_H_

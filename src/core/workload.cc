@@ -1,0 +1,215 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/coding.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace mmdb {
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::string MakeRecordImage(size_t record_bytes, RecordId record,
+                            uint64_t marker) {
+  std::string image;
+  image.reserve(record_bytes);
+  PutFixed64(&image, record);
+  PutFixed64(&image, marker);
+  Random fill(record * 0x9e3779b97f4a7c15ull ^ marker);
+  while (image.size() + 8 <= record_bytes) {
+    PutFixed64(&image, fill.Next());
+  }
+  while (image.size() < record_bytes) image.push_back('\0');
+  image.resize(record_bytes);
+  return image;
+}
+
+std::string WorkloadResult::ToString() const {
+  return StringPrintf(
+      "committed=%llu attempts=%llu restarts=%llu ckpts=%llu | "
+      "overhead/txn=%.1f (sync=%.1f async=%.1f) instr | "
+      "ckpt dur=%.3fs interval=%.3fs flushed/ckpt=%.1f cou/ckpt=%.1f | "
+      "latency p50=%.2gms p99=%.2gms",
+      static_cast<unsigned long long>(committed),
+      static_cast<unsigned long long>(attempts),
+      static_cast<unsigned long long>(color_restarts),
+      static_cast<unsigned long long>(checkpoints_completed),
+      overhead_per_txn, sync_per_txn, async_per_txn,
+      avg_checkpoint_duration, avg_checkpoint_interval,
+      segments_flushed_per_ckpt, cou_copies_per_ckpt,
+      latency.Percentile(50) / 1e3, latency.Percentile(99) / 1e3);
+}
+
+WorkloadDriver::WorkloadDriver(Engine* engine, const WorkloadOptions& options)
+    : engine_(engine), options_(options) {}
+
+StatusOr<WorkloadResult> WorkloadDriver::Run() {
+  const SystemParams& p = engine_->params();
+  Random rng(options_.seed);
+  WorkloadResult result;
+
+  const double start = engine_->now();
+  const double end = start + options_.duration;
+
+  // Pending transaction executions (arrivals and retries), earliest first.
+  struct Pending {
+    double time;
+    double first_arrival;  // original arrival, for latency accounting
+    int attempt;
+    // Checkpoint the last attempt conflicted with; the retry is deferred
+    // until that checkpoint completes (retrying against the same color
+    // boundary would likely conflict again - the single-restart policy
+    // assumed by the analytic model).
+    CheckpointId conflict_ckpt = 0;
+  };
+  auto later = [](const Pending& a, const Pending& b) {
+    return a.time > b.time;
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(later)> queue(
+      later);
+
+  double next_arrival = start + rng.Exponential(1.0 / p.txn.arrival_rate);
+
+  const double sync0 = engine_->meter().SynchronousOverhead();
+  const double async0 = engine_->meter().AsynchronousOverhead();
+  const uint64_t ckpts0 = engine_->scheduler().completed();
+  const size_t hist0 = engine_->checkpointer().history().size();
+
+  uint64_t marker = 1;
+  std::vector<RecordId> records(p.txn.updates_per_txn);
+
+  while (true) {
+    // Next event: an arrival, a queued retry, or a checkpoint begin.
+    double ckpt_begin = kNever;
+    if (options_.run_checkpoints && !engine_->CheckpointInProgress()) {
+      ckpt_begin = std::max(engine_->now(),
+                            engine_->scheduler().NextBeginTime());
+    }
+    double txn_time = queue.empty() ? next_arrival
+                                    : std::min(next_arrival, queue.top().time);
+    double event = std::min(txn_time, ckpt_begin);
+    if (event >= end) break;
+
+    // Let the engine service log flushes / checkpoint I/O up to the event.
+    if (event > engine_->now()) {
+      MMDB_RETURN_IF_ERROR(engine_->AdvanceTime(event - engine_->now()));
+    }
+
+    if (ckpt_begin <= txn_time) {
+      MMDB_RETURN_IF_ERROR(engine_->StartCheckpoint());
+      continue;
+    }
+
+    Pending pending;
+    if (!queue.empty() && queue.top().time <= next_arrival) {
+      pending = queue.top();
+      queue.pop();
+      if (pending.conflict_ckpt != 0 && engine_->CheckpointInProgress() &&
+          engine_->checkpointer().current_id() == pending.conflict_ckpt) {
+        // Still the same sweep: defer further without executing.
+        pending.time =
+            engine_->now() + rng.Exponential(options_.retry_backoff_mean);
+        queue.push(pending);
+        continue;
+      }
+    } else {
+      pending = Pending{next_arrival, next_arrival, 1, 0};
+      next_arrival += rng.Exponential(1.0 / p.txn.arrival_rate);
+    }
+
+    // Draw the access set (fresh on every attempt: a rerun is a
+    // statistically identical transaction, as in the analytic model).
+    for (uint32_t i = 0; i < p.txn.updates_per_txn; ++i) {
+      for (;;) {
+        RecordId r = rng.Uniform(p.db.num_records());
+        if (std::find(records.begin(), records.begin() + i, r) ==
+            records.begin() + i) {
+          records[i] = r;
+          break;
+        }
+      }
+    }
+
+    ++result.attempts;
+    Transaction* txn = engine_->Begin();
+    txn->attempt = pending.attempt;
+    Status st = Status::OK();
+    std::string value;
+    for (uint32_t i = 0; i < p.txn.updates_per_txn && st.ok(); ++i) {
+      st = engine_->Read(txn, records[i], &value);
+      if (!st.ok()) break;
+      st = engine_->Write(txn, records[i],
+                          MakeRecordImage(p.db.record_bytes(), records[i],
+                                          marker));
+    }
+    if (st.ok()) {
+      StatusOr<Lsn> lsn = engine_->Commit(txn);
+      if (!lsn.ok()) return lsn.status();
+      for (uint32_t i = 0; i < p.txn.updates_per_txn; ++i) {
+        history_[records[i]].push_back(CommitRecord{
+            *lsn, MakeRecordImage(p.db.record_bytes(), records[i], marker)});
+      }
+      ++marker;
+      ++result.committed;
+      result.latency.Add((engine_->now() - pending.first_arrival) * 1e6);
+    } else if (st.IsAborted()) {
+      engine_->Abort(txn, AbortReason::kColorViolation);
+      ++result.color_restarts;
+      CheckpointId blocker = engine_->CheckpointInProgress()
+                                 ? engine_->checkpointer().current_id()
+                                 : 0;
+      queue.push(Pending{
+          engine_->now() + rng.Exponential(options_.retry_backoff_mean),
+          pending.first_arrival, pending.attempt + 1, blocker});
+    } else {
+      engine_->Abort(txn);
+      return st;
+    }
+  }
+  if (end > engine_->now()) {
+    MMDB_RETURN_IF_ERROR(engine_->AdvanceTime(end - engine_->now()));
+  }
+
+  result.measured_seconds = engine_->now() - start;
+  result.sync_overhead_instr =
+      engine_->meter().SynchronousOverhead() - sync0;
+  result.async_overhead_instr =
+      engine_->meter().AsynchronousOverhead() - async0;
+  if (result.committed > 0) {
+    result.sync_per_txn =
+        result.sync_overhead_instr / static_cast<double>(result.committed);
+    result.async_per_txn =
+        result.async_overhead_instr / static_cast<double>(result.committed);
+    result.overhead_per_txn = result.sync_per_txn + result.async_per_txn;
+  }
+  result.checkpoints_completed = engine_->scheduler().completed() - ckpts0;
+
+  const auto& history = engine_->checkpointer().history();
+  double dur = 0.0, flushed = 0.0, cou = 0.0, quiesce = 0.0;
+  for (size_t i = hist0; i < history.size(); ++i) {
+    dur += history[i].duration();
+    flushed += static_cast<double>(history[i].segments_flushed);
+    cou += static_cast<double>(history[i].cou_copies);
+    quiesce += history[i].quiesce_seconds;
+  }
+  size_t n = history.size() - hist0;
+  if (n > 0) {
+    result.avg_checkpoint_duration = dur / static_cast<double>(n);
+    result.segments_flushed_per_ckpt = flushed / static_cast<double>(n);
+    result.cou_copies_per_ckpt = cou / static_cast<double>(n);
+    if (n > 1) {
+      result.avg_checkpoint_interval =
+          (history.back().begin_time - history[hist0].begin_time) /
+          static_cast<double>(n - 1);
+    }
+  }
+  result.quiesce_seconds_total = quiesce;
+  return result;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,94 @@
+#ifndef MMDB_CORE_WORKLOAD_H_
+#define MMDB_CORE_WORKLOAD_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/histogram.h"
+#include "util/statusor.h"
+#include "util/types.h"
+
+namespace mmdb {
+
+// Drives the paper's transaction load (Section 2.5) against an Engine:
+// Poisson arrivals at params.txn.arrival_rate, each transaction updating
+// params.txn.updates_per_txn distinct uniformly-chosen records
+// (read-modify-write), with checkpoint-induced aborts retried after a short
+// backoff with a freshly drawn record set (a statistically identical
+// rerun, matching the analytic model's assumption).
+struct WorkloadOptions {
+  double duration = 5.0;  // virtual seconds to run
+  uint64_t seed = 42;
+  // Begin checkpoints per the engine's scheduler (back-to-back or on the
+  // configured interval). If false the workload runs checkpoint-free.
+  bool run_checkpoints = true;
+  // Mean of the exponential retry backoff for two-color restarts.
+  double retry_backoff_mean = 0.002;
+};
+
+// Measured outcomes, including the paper's headline metric: checkpoint-
+// related processor overhead per committed transaction, split into its
+// synchronous (transaction-side) and asynchronous (checkpointer-side)
+// components (Section 4).
+struct WorkloadResult {
+  uint64_t committed = 0;
+  uint64_t attempts = 0;
+  uint64_t color_restarts = 0;
+  uint64_t checkpoints_completed = 0;
+  double measured_seconds = 0.0;
+
+  double sync_overhead_instr = 0.0;
+  double async_overhead_instr = 0.0;
+  double sync_per_txn = 0.0;
+  double async_per_txn = 0.0;
+  double overhead_per_txn = 0.0;  // sync + async, instructions/transaction
+
+  double avg_checkpoint_duration = 0.0;  // begin-to-recoverable, seconds
+  double avg_checkpoint_interval = 0.0;  // begin-to-begin, seconds
+  double segments_flushed_per_ckpt = 0.0;
+  double cou_copies_per_ckpt = 0.0;
+  double quiesce_seconds_total = 0.0;
+
+  Histogram latency;  // arrival-to-commit, microseconds
+
+  std::string ToString() const;
+};
+
+// Deterministic record payload: embeds (record, marker) in the first 16
+// bytes followed by a pseudo-random fill, so tests can verify both identity
+// and content integrity after recovery.
+std::string MakeRecordImage(size_t record_bytes, RecordId record,
+                            uint64_t marker);
+
+class WorkloadDriver {
+ public:
+  WorkloadDriver(Engine* engine, const WorkloadOptions& options);
+
+  // Runs the workload for options.duration virtual seconds. May be called
+  // once per driver.
+  StatusOr<WorkloadResult> Run();
+
+  // Full committed history per record (commit-LSN order) — the oracle for
+  // crash-recovery verification: the recovered value of a record must be
+  // its last image with commit LSN <= the durable LSN at crash time.
+  struct CommitRecord {
+    Lsn lsn;
+    std::string image;
+  };
+  const std::unordered_map<RecordId, std::vector<CommitRecord>>& history()
+      const {
+    return history_;
+  }
+
+ private:
+  Engine* engine_;
+  WorkloadOptions options_;
+  std::unordered_map<RecordId, std::vector<CommitRecord>> history_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_WORKLOAD_H_

@@ -1,0 +1,21 @@
+#include "env/env.h"
+
+namespace mmdb {
+
+Status Env::WriteStringToFile(const std::string& path, std::string_view data,
+                              bool sync) {
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        NewWritableFile(path));
+  MMDB_RETURN_IF_ERROR(file->Append(data));
+  if (sync) MMDB_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                        NewRandomAccessFile(path));
+  MMDB_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  return file->Read(0, size, out);
+}
+
+}  // namespace mmdb

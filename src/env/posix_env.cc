@@ -1,0 +1,266 @@
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "env/env.h"
+#include "util/string_util.h"
+
+namespace mmdb {
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return IoError(context + ": " + std::strerror(err));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(path_, errno);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    size_ += data.size();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return PosixError(path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return PosixError(path_, errno);
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(path_, errno);
+      }
+      if (r == 0) break;  // EOF: short read is fine.
+      got += static_cast<size_t>(r);
+    }
+    out->resize(got);
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return PosixError(path_, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixRandomWriteFile : public RandomWriteFile {
+ public:
+  PosixRandomWriteFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixRandomWriteFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status WriteAt(uint64_t offset, std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    uint64_t pos = offset;
+    while (left > 0) {
+      ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(pos));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(path_, errno);
+      }
+      p += n;
+      pos += static_cast<uint64_t>(n);
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::pread(fd_, out->data() + got, n - got,
+                          static_cast<off_t>(offset + got));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(path_, errno);
+      }
+      if (r == 0) break;
+      got += static_cast<size_t>(r);
+    }
+    out->resize(got);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return PosixError(path_, errno);
+    if (static_cast<uint64_t>(st.st_size) >= size) return Status::OK();
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return PosixError(path_, errno);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fdatasync(fd_) != 0) return PosixError(path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0 && ::close(fd_) != 0) {
+      fd_ = -1;
+      return PosixError(path_, errno);
+    }
+    fd_ = -1;
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) return PosixError(path, errno);
+    return {std::make_unique<PosixWritableFile>(path, fd, 0)};
+  }
+
+  StatusOr<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_CREAT | O_APPEND | O_WRONLY, 0644);
+    if (fd < 0) return PosixError(path, errno);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      int err = errno;
+      ::close(fd);
+      return PosixError(path, err);
+    }
+    return {std::make_unique<PosixWritableFile>(
+        path, fd, static_cast<uint64_t>(st.st_size))};
+  }
+
+  StatusOr<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return PosixError(path, errno);
+    return {std::make_unique<PosixRandomAccessFile>(path, fd)};
+  }
+
+  StatusOr<std::unique_ptr<RandomWriteFile>> NewRandomWriteFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd < 0) return PosixError(path, errno);
+    return {std::make_unique<PosixRandomWriteFile>(path, fd)};
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) return PosixError(path, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return PosixError(path, errno);
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError(from, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError(path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status ListDir(const std::string& path,
+                 std::vector<std::string>* children) override {
+    children->clear();
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return PosixError(path, errno);
+    struct dirent* entry;
+    while ((entry = ::readdir(dir)) != nullptr) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") children->push_back(std::move(name));
+    }
+    ::closedir(dir);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();  // Never deleted; trivially "leaked".
+  return env;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,106 @@
+#ifndef MMDB_MODEL_ANALYTIC_MODEL_H_
+#define MMDB_MODEL_ANALYTIC_MODEL_H_
+
+#include <string>
+
+#include "checkpoint/checkpointer.h"
+#include "sim/cost_model.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace mmdb {
+
+// Inputs to the analytic performance model of Section 4 (reconstructed; the
+// original derivations lived in the [Sale87a] technical report). See
+// DESIGN.md section 4 for the full derivation and EXPERIMENTS.md for the
+// validation against the executable engine.
+struct ModelInputs {
+  SystemParams params;
+  Algorithm algorithm = Algorithm::kFuzzyCopy;
+  CheckpointMode mode = CheckpointMode::kPartial;
+  // Desired checkpoint duration (begin-to-begin), seconds; values below
+  // the feasible minimum are raised to it. 0 = as fast as possible.
+  double checkpoint_interval = 0.0;
+  // Stable RAM holds the log tail: LSN maintenance costs vanish
+  // (Figure 4e). Required for FASTFUZZY.
+  bool stable_log_tail = false;
+
+  // Logical (delta) logging instead of after-images: shrinks the log by an
+  // order of magnitude and with it the recovery-time log-read term — the
+  // [Sale87a] interaction the paper alludes to ("more expensive
+  // checkpointing algorithms may prove beneficial because they can be used
+  // in conjunction with less costly logging"). Only valid for the COU
+  // algorithms (see SupportsLogicalLogging).
+  bool logical_logging = false;
+};
+
+// Model outputs. The two headline metrics are overhead_per_txn
+// (instructions of checkpoint-related work per transaction, synchronous +
+// amortized asynchronous — Figures 4a and 4c-4e) and recovery_seconds
+// (expected time to rebuild the primary database after a failure —
+// Figures 4a-4b).
+struct ModelOutputs {
+  // Checkpoint geometry.
+  double min_interval = 0.0;      // smallest feasible D, seconds
+  double interval = 0.0;          // D actually used
+  double active_seconds = 0.0;    // T_active: time the sweep spends writing
+  double active_fraction = 0.0;   // f = T_active / D
+  double dirty_fraction = 0.0;    // P(segment dirty w.r.t. the copy written)
+  double segments_flushed = 0.0;  // N_f per checkpoint
+  double txns_per_interval = 0.0;
+
+  // Two-color behaviour.
+  double conflict_probability = 0.0;  // per fresh attempt, averaged
+  double expected_reruns = 0.0;       // extra attempts per transaction
+
+  // COU behaviour.
+  double cou_copies = 0.0;  // transaction-side old-image copies/checkpoint
+
+  // Costs (instructions per committed transaction).
+  double sync_per_txn = 0.0;
+  double async_per_txn = 0.0;
+  double overhead_per_txn = 0.0;
+
+  // Recovery time decomposition (seconds).
+  double recovery_backup_seconds = 0.0;
+  double recovery_log_seconds = 0.0;
+  double recovery_seconds = 0.0;
+
+  // Log volume.
+  double log_words_per_txn = 0.0;
+  double log_words_replayed = 0.0;  // expected at recovery
+
+  std::string ToString() const;
+};
+
+// Closed-form evaluation; runs in microseconds, so benches can sweep
+// parameters densely at the paper's full 256 Mword scale.
+class AnalyticModel {
+ public:
+  explicit AnalyticModel(const ModelInputs& inputs) : inputs_(inputs) {}
+
+  StatusOr<ModelOutputs> Evaluate() const;
+
+  // E_z[v(z)/(1-v(z))] for k uniform records, where v(z)=1-z^k-(1-z)^k is
+  // the probability a fresh transaction spans the color boundary at black
+  // fraction z: the expected number of reruns per transaction arriving
+  // during an active two-color sweep (retries redraw their record set).
+  static double ExpectedRerunsPerActiveArrival(uint32_t k);
+
+  // Mean conflict probability E_z[v(z)] = 1 - 2/(k+1).
+  static double MeanConflictProbability(uint32_t k);
+
+  // Encoded log words per transaction for the given parameters (exact
+  // record-format sizes: k update frames + one commit frame).
+  static double LogWordsPerTxn(const SystemParams& params);
+
+  // Same, with kDelta records instead of after-images (logical logging).
+  static double LogWordsPerTxnLogical(const SystemParams& params);
+
+ private:
+  ModelInputs inputs_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_MODEL_ANALYTIC_MODEL_H_

@@ -1,0 +1,56 @@
+#include "sim/cost_model.h"
+
+#include "util/string_util.h"
+
+namespace mmdb {
+
+Status SystemParams::Validate() const {
+  if (db.record_words == 0 || db.segment_words == 0 || db.db_words == 0) {
+    return InvalidArgumentError("database sizes must be positive");
+  }
+  if (db.segment_words % db.record_words != 0) {
+    return InvalidArgumentError(
+        "segment size must be a multiple of the record size");
+  }
+  if (db.db_words % db.segment_words != 0) {
+    return InvalidArgumentError(
+        "database size must be a multiple of the segment size");
+  }
+  if (disk.num_disks <= 0) {
+    return InvalidArgumentError("need at least one backup disk");
+  }
+  if (disk.seek_seconds < 0 || disk.transfer_seconds_per_word < 0) {
+    return InvalidArgumentError("disk timing parameters must be non-negative");
+  }
+  if (txn.arrival_rate <= 0) {
+    return InvalidArgumentError("transaction arrival rate must be positive");
+  }
+  if (txn.updates_per_txn == 0) {
+    return InvalidArgumentError("transactions must update at least one record");
+  }
+  if (txn.updates_per_txn > db.num_records()) {
+    return InvalidArgumentError(
+        "transactions update more distinct records than the database holds");
+  }
+  if (cpu_mips <= 0) {
+    return InvalidArgumentError("cpu_mips must be positive");
+  }
+  return Status::OK();
+}
+
+std::string SystemParams::ToString() const {
+  return StringPrintf(
+      "SystemParams{db=%lluw seg=%uw rec=%uw | C_lock=%llu C_alloc=%llu "
+      "C_io=%llu C_lsn=%llu | T_seek=%.3fs T_trans=%.1fus/w disks=%d | "
+      "lambda=%.0f N_ru=%u C_trans=%llu | %.0f MIPS}",
+      static_cast<unsigned long long>(db.db_words), db.segment_words,
+      db.record_words, static_cast<unsigned long long>(costs.lock),
+      static_cast<unsigned long long>(costs.alloc),
+      static_cast<unsigned long long>(costs.io),
+      static_cast<unsigned long long>(costs.lsn), disk.seek_seconds,
+      disk.transfer_seconds_per_word * 1e6, disk.num_disks, txn.arrival_rate,
+      txn.updates_per_txn, static_cast<unsigned long long>(txn.instructions),
+      cpu_mips);
+}
+
+}  // namespace mmdb

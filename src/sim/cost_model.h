@@ -1,0 +1,137 @@
+#ifndef MMDB_SIM_COST_MODEL_H_
+#define MMDB_SIM_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mmdb {
+
+// Bytes per machine word. The paper's storage parameters are expressed in
+// words and assume "four bytes per word" (Section 2.3).
+inline constexpr uint32_t kWordBytes = 4;
+
+// Table 2a - Basic Operation Costs (instructions).
+struct OperationCosts {
+  // Cost of each lock or unlock operation (C_lock).
+  uint64_t lock = 20;
+  // Cost of dynamically (de)allocating a block of memory (C_alloc).
+  uint64_t alloc = 100;
+  // Processor cost of initiating a disk I/O (C_io); DMA makes it
+  // independent of the transfer size.
+  uint64_t io = 1000;
+  // Cost of checking or maintaining a log sequence number (C_lsn).
+  uint64_t lsn = 20;
+  // Data movement: instructions per word moved within primary memory.
+  double move_per_word = 1.0;
+  // Cost of testing one segment's dirty bit during a partial-checkpoint
+  // sweep (not in Table 2a; the paper notes the scan as an overhead of
+  // partial checkpoints, we charge one instruction per segment).
+  uint64_t dirty_check = 1;
+};
+
+// Table 2b - Disk Model Parameters. A disk transfers d words in
+// seek_seconds + transfer_seconds_per_word * d; bandwidth scales linearly
+// with the number of disks.
+struct DiskParams {
+  double seek_seconds = 0.03;               // T_seek
+  double transfer_seconds_per_word = 3e-6;  // T_trans
+  int num_disks = 20;                       // N_bdisks
+  // Devices dedicated to the log. The paper notes the backup disks are
+  // "used to hold the secondary database copy (and also for logging)" but
+  // counts only backup flushes against N_bdisks when sizing checkpoints;
+  // we give the log its own small array with the same timing parameters.
+  int num_log_disks = 2;
+
+  // Disk parameters for the log array.
+  DiskParams LogArray() const {
+    DiskParams p = *this;
+    p.num_disks = num_log_disks;
+    return p;
+  }
+
+  // Seconds for one device to transfer `words` in a single request.
+  double IoSeconds(uint64_t words) const {
+    return seek_seconds + transfer_seconds_per_word * static_cast<double>(words);
+  }
+  // Seconds for the array to move `n_ios` requests of `words` each,
+  // pipelined across all disks (the paper's inverse-proportionality
+  // assumption).
+  double ArraySeconds(uint64_t n_ios, uint64_t words) const {
+    return static_cast<double>(n_ios) * IoSeconds(words) /
+           static_cast<double>(num_disks);
+  }
+};
+
+// Table 2c - Database Model Parameters (in words).
+struct DatabaseParams {
+  uint64_t db_words = 256ull << 20;  // S_db: 256 Mwords (1 GB)
+  uint32_t record_words = 32;        // S_rec
+  uint32_t segment_words = 8192;     // S_seg (multiple of S_rec)
+
+  uint64_t num_segments() const { return db_words / segment_words; }
+  uint64_t num_records() const { return db_words / record_words; }
+  uint32_t records_per_segment() const { return segment_words / record_words; }
+  uint64_t record_bytes() const { return uint64_t{record_words} * kWordBytes; }
+  uint64_t segment_bytes() const {
+    return uint64_t{segment_words} * kWordBytes;
+  }
+};
+
+// Table 2d - Transaction Model Parameters.
+struct TransactionParams {
+  double arrival_rate = 1000.0;   // lambda, transactions/second
+  uint32_t updates_per_txn = 5;   // N_ru, distinct records updated
+  uint64_t instructions = 25000;  // C_trans, cost excluding recovery overhead
+};
+
+// Aggregate system parameterization shared by the analytic model and the
+// executable engine.
+struct SystemParams {
+  OperationCosts costs;
+  DiskParams disk;
+  DatabaseParams db;
+  TransactionParams txn;
+
+  // Processor speed used to convert instructions to (virtual) seconds.
+  // The paper reports overhead in instructions/transaction and never
+  // needs this directly; the engine needs it to interleave CPU work with
+  // disk activity on the virtual timeline.
+  double cpu_mips = 50.0;
+
+  double InstructionsToSeconds(double instructions) const {
+    return instructions / (cpu_mips * 1e6);
+  }
+
+  // Per-segment update rate r = lambda * N_ru * S_seg / S_db (uniform
+  // record-update probability, Section 2.5): the rate at which updates
+  // land in one particular segment.
+  double SegmentUpdateRate() const {
+    return txn.arrival_rate * txn.updates_per_txn *
+           static_cast<double>(db.segment_words) /
+           static_cast<double>(db.db_words);
+  }
+
+  // Validates internal consistency (segment size a multiple of record
+  // size, database a multiple of segment size, positive rates, ...).
+  Status Validate() const;
+
+  // Paper defaults at full 256 Mword scale.
+  static SystemParams PaperDefaults() { return SystemParams{}; }
+
+  // Scaled-down defaults suitable for unit tests and executable benches:
+  // 1 Mword database (128 segments), all cost/disk/txn parameters as in
+  // the paper.
+  static SystemParams TestDefaults() {
+    SystemParams p;
+    p.db.db_words = 1ull << 20;
+    return p;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SIM_COST_MODEL_H_

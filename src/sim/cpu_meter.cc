@@ -1,0 +1,71 @@
+#include "sim/cpu_meter.h"
+
+#include "util/string_util.h"
+
+namespace mmdb {
+
+std::string_view CpuCategoryName(CpuCategory c) {
+  switch (c) {
+    case CpuCategory::kTxnLogic:
+      return "txn_logic";
+    case CpuCategory::kTxnRerun:
+      return "txn_rerun";
+    case CpuCategory::kSyncLock:
+      return "sync_lock";
+    case CpuCategory::kSyncLsn:
+      return "sync_lsn";
+    case CpuCategory::kSyncCopy:
+      return "sync_copy";
+    case CpuCategory::kSyncQuiesce:
+      return "sync_quiesce";
+    case CpuCategory::kCkptLock:
+      return "ckpt_lock";
+    case CpuCategory::kCkptLsn:
+      return "ckpt_lsn";
+    case CpuCategory::kCkptCopy:
+      return "ckpt_copy";
+    case CpuCategory::kCkptIo:
+      return "ckpt_io";
+    case CpuCategory::kCkptScan:
+      return "ckpt_scan";
+    case CpuCategory::kLogging:
+      return "logging";
+    case CpuCategory::kRecovery:
+      return "recovery";
+    case CpuCategory::kNumCategories:
+      break;
+  }
+  return "unknown";
+}
+
+double CpuMeter::Total() const {
+  double total = 0.0;
+  for (double c : counts_) total += c;
+  return total;
+}
+
+double CpuMeter::SynchronousOverhead() const {
+  return Count(CpuCategory::kTxnRerun) + Count(CpuCategory::kSyncLock) +
+         Count(CpuCategory::kSyncLsn) + Count(CpuCategory::kSyncCopy) +
+         Count(CpuCategory::kSyncQuiesce);
+}
+
+double CpuMeter::AsynchronousOverhead() const {
+  return Count(CpuCategory::kCkptLock) + Count(CpuCategory::kCkptLsn) +
+         Count(CpuCategory::kCkptCopy) + Count(CpuCategory::kCkptIo) +
+         Count(CpuCategory::kCkptScan);
+}
+
+std::string CpuMeter::ToString() const {
+  std::string out;
+  for (int i = 0; i < static_cast<int>(CpuCategory::kNumCategories); ++i) {
+    if (counts_[i] == 0.0) continue;
+    out += StringPrintf("%-13s %.0f\n",
+                        std::string(CpuCategoryName(static_cast<CpuCategory>(i)))
+                            .c_str(),
+                        counts_[i]);
+  }
+  return out;
+}
+
+}  // namespace mmdb

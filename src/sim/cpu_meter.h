@@ -1,0 +1,72 @@
+#ifndef MMDB_SIM_CPU_METER_H_
+#define MMDB_SIM_CPU_METER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mmdb {
+
+// Where processor instructions were spent. Categories mirror the paper's
+// accounting: synchronous overhead is work done on behalf of a particular
+// transaction, asynchronous overhead is checkpointer work, and base work
+// (transaction logic, logging data movement) is excluded from the reported
+// checkpoint overhead exactly as in Section 4.
+enum class CpuCategory : int {
+  kTxnLogic = 0,      // C_trans per (re)execution attempt - base work
+  kTxnRerun,          // C_trans re-spent for checkpoint-induced restarts
+  kSyncLock,          // transaction-side locking for checkpoint coordination
+  kSyncLsn,           // transaction-side LSN maintenance / color checks
+  kSyncCopy,          // transaction-side COU segment copies (incl. alloc)
+  kSyncQuiesce,       // work wasted while quiescing for a COU checkpoint
+  kCkptLock,          // checkpointer lock/unlock
+  kCkptLsn,           // checkpointer LSN checks
+  kCkptCopy,          // checkpointer segment copies (incl. alloc)
+  kCkptIo,            // checkpointer I/O initiations
+  kCkptScan,          // dirty-bit scan for partial checkpoints
+  kLogging,           // log data movement + log I/O initiation - base work
+  kRecovery,          // REDO replay at restart
+  kNumCategories,
+};
+
+std::string_view CpuCategoryName(CpuCategory c);
+
+// Accumulates instruction counts by category. One meter per engine; the
+// metrics layer snapshots it at checkpoint boundaries to compute
+// per-transaction overhead.
+class CpuMeter {
+ public:
+  CpuMeter() { Reset(); }
+
+  void Charge(CpuCategory category, double instructions) {
+    counts_[static_cast<int>(category)] += instructions;
+  }
+
+  double Count(CpuCategory category) const {
+    return counts_[static_cast<int>(category)];
+  }
+
+  // Total instructions across every category.
+  double Total() const;
+
+  // Synchronous checkpoint-related overhead: work charged to transactions
+  // because of the checkpointing algorithm (locks, LSNs, COU copies,
+  // quiesce stalls, reruns).
+  double SynchronousOverhead() const;
+
+  // Asynchronous overhead: work done by the checkpointer itself.
+  double AsynchronousOverhead() const;
+
+  void Reset() { counts_.fill(0.0); }
+
+  // Per-category breakdown, one line per nonzero category.
+  std::string ToString() const;
+
+ private:
+  std::array<double, static_cast<int>(CpuCategory::kNumCategories)> counts_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SIM_CPU_METER_H_

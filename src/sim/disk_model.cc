@@ -1,0 +1,42 @@
+#include "sim/disk_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mmdb {
+
+DiskArrayModel::DiskArrayModel(const DiskParams& params)
+    : params_(params), free_at_(params.num_disks, 0.0) {
+  assert(params.num_disks > 0);
+}
+
+double DiskArrayModel::Submit(double now, uint64_t words) {
+  auto it = std::min_element(free_at_.begin(), free_at_.end());
+  double start = std::max(now, *it);
+  double done = start + params_.IoSeconds(words);
+  busy_seconds_ += done - start;
+  ++requests_;
+  *it = done;
+  return done;
+}
+
+double DiskArrayModel::NextAvailable(double now) const {
+  double earliest = *std::min_element(free_at_.begin(), free_at_.end());
+  return std::max(now, earliest);
+}
+
+double DiskArrayModel::AllIdleTime() const {
+  return *std::max_element(free_at_.begin(), free_at_.end());
+}
+
+bool DiskArrayModel::IdleAt(double now) const {
+  return AllIdleTime() <= now;
+}
+
+void DiskArrayModel::Reset() {
+  std::fill(free_at_.begin(), free_at_.end(), 0.0);
+  busy_seconds_ = 0.0;
+  requests_ = 0;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,55 @@
+#ifndef MMDB_SIM_DISK_MODEL_H_
+#define MMDB_SIM_DISK_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.h"
+
+namespace mmdb {
+
+// Service-time model of an array of `num_disks` independent devices, each
+// transferring d words in T_seek + T_trans * d seconds (Table 2b). Requests
+// are assigned to the earliest-available device; per the paper we ignore bus
+// contention, so aggregate bandwidth scales linearly with the disk count.
+//
+// The model answers "when would this I/O complete?" on the virtual
+// timeline; the actual bytes move through Env separately.
+class DiskArrayModel {
+ public:
+  explicit DiskArrayModel(const DiskParams& params);
+
+  // Schedules one request of `words` at time `now`; returns its completion
+  // time. The chosen device is busy until then.
+  double Submit(double now, uint64_t words);
+
+  // Earliest time at which some device can begin a new request at or after
+  // `now` (i.e., when the next Submit would start service).
+  double NextAvailable(double now) const;
+
+  // Completion time of the latest-finishing request ever submitted.
+  double AllIdleTime() const;
+
+  // True if every device is idle at time `now`.
+  bool IdleAt(double now) const;
+
+  // Total busy seconds accumulated across all devices.
+  double BusySeconds() const { return busy_seconds_; }
+  uint64_t RequestCount() const { return requests_; }
+
+  // Drops all in-flight state (used when simulating a crash: pending backup
+  // writes are simply abandoned).
+  void Reset();
+
+  const DiskParams& params() const { return params_; }
+
+ private:
+  DiskParams params_;
+  std::vector<double> free_at_;  // per-device next-free time
+  double busy_seconds_ = 0.0;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SIM_DISK_MODEL_H_

@@ -1,0 +1,37 @@
+#ifndef MMDB_SIM_VIRTUAL_CLOCK_H_
+#define MMDB_SIM_VIRTUAL_CLOCK_H_
+
+#include <cassert>
+
+namespace mmdb {
+
+// Simulated time in seconds. All engine activity is ordered on this
+// timeline; nothing in the library reads wall-clock time, which keeps every
+// run deterministic.
+class VirtualClock {
+ public:
+  VirtualClock() : now_(0.0) {}
+
+  double now() const { return now_; }
+
+  // Moves time forward. `t` must not be in the past (events are processed
+  // in nondecreasing time order).
+  void AdvanceTo(double t) {
+    assert(t >= now_);
+    now_ = t;
+  }
+
+  void AdvanceBy(double dt) {
+    assert(dt >= 0.0);
+    now_ += dt;
+  }
+
+  void Reset() { now_ = 0.0; }
+
+ private:
+  double now_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SIM_VIRTUAL_CLOCK_H_

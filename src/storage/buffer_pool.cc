@@ -1,0 +1,59 @@
+#include "storage/buffer_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mmdb {
+
+BufferPool::BufferPool(size_t buffer_bytes, uint32_t max_buffers)
+    : buffer_bytes_(buffer_bytes), max_buffers_(max_buffers) {}
+
+StatusOr<uint32_t> BufferPool::Allocate() {
+  if (max_buffers_ != 0 && allocated_ >= max_buffers_) {
+    return ResourceExhaustedError("buffer pool at capacity");
+  }
+  uint32_t handle;
+  if (!free_list_.empty()) {
+    handle = free_list_.back();
+    free_list_.pop_back();
+    in_use_[handle] = true;
+  } else {
+    handle = static_cast<uint32_t>(buffers_.size());
+    buffers_.emplace_back(buffer_bytes_, '\0');
+    in_use_.push_back(true);
+  }
+  ++allocated_;
+  high_water_ = std::max(high_water_, allocated_);
+  return handle;
+}
+
+void BufferPool::Free(uint32_t handle) {
+  assert(handle < buffers_.size());
+  assert(in_use_[handle]);
+  in_use_[handle] = false;
+  free_list_.push_back(handle);
+  assert(allocated_ > 0);
+  --allocated_;
+}
+
+std::string_view BufferPool::Read(uint32_t handle) const {
+  assert(handle < buffers_.size());
+  assert(in_use_[handle]);
+  return buffers_[handle];
+}
+
+void BufferPool::Write(uint32_t handle, std::string_view data) {
+  assert(handle < buffers_.size());
+  assert(in_use_[handle]);
+  assert(data.size() == buffer_bytes_);
+  buffers_[handle].assign(data.data(), data.size());
+}
+
+void BufferPool::Clear() {
+  buffers_.clear();
+  free_list_.clear();
+  in_use_.clear();
+  allocated_ = 0;
+}
+
+}  // namespace mmdb

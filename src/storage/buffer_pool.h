@@ -1,0 +1,62 @@
+#ifndef MMDB_STORAGE_BUFFER_POOL_H_
+#define MMDB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace mmdb {
+
+// Pool of segment-sized main-memory buffers. The COU algorithms use it to
+// hold old segment copies while a checkpoint runs, and the *COPY algorithms
+// use it to stage a segment image between the memory copy and the disk
+// flush. Freed buffers are recycled so steady-state allocation is cheap —
+// but each logical (de)allocation still costs C_alloc in the model, charged
+// by the caller.
+//
+// Capacity is expressed in buffers; 0 means unbounded. The paper notes the
+// COU snapshot "could grow to be as large as the database itself" — a bound
+// lets experiments study that footprint.
+class BufferPool {
+ public:
+  // Handle values are dense indices; the special value kInvalid is never
+  // returned by Allocate.
+  static constexpr uint32_t kInvalid = UINT32_MAX;
+
+  BufferPool(size_t buffer_bytes, uint32_t max_buffers);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  size_t buffer_bytes() const { return buffer_bytes_; }
+
+  // Acquires a buffer; fails with RESOURCE_EXHAUSTED at capacity.
+  StatusOr<uint32_t> Allocate();
+  void Free(uint32_t handle);
+
+  std::string_view Read(uint32_t handle) const;
+  void Write(uint32_t handle, std::string_view data);
+
+  uint32_t allocated() const { return allocated_; }
+  uint32_t high_water_mark() const { return high_water_; }
+
+  // Frees everything (crash or end-of-checkpoint cleanup in tests).
+  void Clear();
+
+ private:
+  size_t buffer_bytes_;
+  uint32_t max_buffers_;  // 0 = unbounded
+  std::vector<std::string> buffers_;
+  std::vector<uint32_t> free_list_;
+  std::vector<bool> in_use_;
+  uint32_t allocated_ = 0;
+  uint32_t high_water_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_BUFFER_POOL_H_

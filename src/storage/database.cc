@@ -1,0 +1,48 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/crc32c.h"
+
+namespace mmdb {
+
+Database::Database(const DatabaseParams& params)
+    : params_(params),
+      record_bytes_(params.record_bytes()),
+      segment_bytes_(params.segment_bytes()),
+      bytes_(params.db_words * kWordBytes, '\0') {}
+
+std::string_view Database::ReadRecord(RecordId record) const {
+  assert(record < num_records());
+  return std::string_view(bytes_.data() + record * record_bytes_,
+                          record_bytes_);
+}
+
+void Database::WriteRecord(RecordId record, std::string_view data) {
+  assert(record < num_records());
+  assert(data.size() == record_bytes_);
+  std::copy(data.begin(), data.end(),
+            bytes_.begin() + record * record_bytes_);
+}
+
+std::string_view Database::ReadSegment(SegmentId segment) const {
+  assert(segment < num_segments());
+  return std::string_view(bytes_.data() + segment * segment_bytes_,
+                          segment_bytes_);
+}
+
+void Database::WriteSegment(SegmentId segment, std::string_view data) {
+  assert(segment < num_segments());
+  assert(data.size() == segment_bytes_);
+  std::copy(data.begin(), data.end(),
+            bytes_.begin() + segment * segment_bytes_);
+}
+
+void Database::Clear() { std::fill(bytes_.begin(), bytes_.end(), '\0'); }
+
+uint32_t Database::Checksum() const {
+  return crc32c::Value(bytes_.data(), bytes_.size());
+}
+
+}  // namespace mmdb

@@ -1,0 +1,28 @@
+#include "storage/segment_table.h"
+
+namespace mmdb {
+
+SegmentTable::SegmentTable(uint64_t num_segments)
+    : entries_(num_segments) {}
+
+uint64_t SegmentTable::CountDirty(uint32_t copy) const {
+  uint64_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.dirty[copy & 1]) ++n;
+  }
+  return n;
+}
+
+void SegmentTable::MarkAllDirty() {
+  for (Entry& e : entries_) {
+    e.dirty[0] = true;
+    e.dirty[1] = true;
+  }
+}
+
+void SegmentTable::Reset() {
+  for (Entry& e : entries_) e = Entry{};
+  black_value_ = true;
+}
+
+}  // namespace mmdb

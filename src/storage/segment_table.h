@@ -1,0 +1,124 @@
+#ifndef MMDB_STORAGE_SEGMENT_TABLE_H_
+#define MMDB_STORAGE_SEGMENT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace mmdb {
+
+// Paint colors for the two-color (Pu) checkpoint algorithms. White segments
+// have not yet been included in the current checkpoint; the checkpointer
+// paints them black as it processes them. Between checkpoints the colors are
+// reinterpreted (the checkpointer flips which bit value means "white")
+// instead of rewriting every segment's bit.
+enum class PaintColor : uint8_t { kWhite = 0, kBlack = 1 };
+
+// Per-segment control state consulted by transactions and the checkpointer:
+//   dirty bit      - set on update, cleared when the segment reaches backup
+//                    (drives partial checkpoints);
+//   paint bit      - two-color algorithms;
+//   update_lsn     - LSN of the latest update applied to the segment (WAL
+//                    test for the *FLUSH/*COPY algorithms);
+//   timestamp      - tau(S), timestamp of the latest updating transaction
+//                    (copy-on-update algorithms);
+//   old_copy       - handle of the COU snapshot copy, if one exists;
+//   ckpt_lock      - whether the checkpointer currently holds this segment
+//                    (2CFLUSH/COUFLUSH hold through the disk I/O).
+//
+// This is deliberately a passive data holder (plus bulk operations); the
+// policy using the fields lives in txn/ and checkpoint/.
+class SegmentTable {
+ public:
+  // Handle of a buffered old segment copy; kNoCopy when absent.
+  static constexpr uint32_t kNoCopy = UINT32_MAX;
+
+  explicit SegmentTable(uint64_t num_segments);
+
+  uint64_t num_segments() const { return entries_.size(); }
+
+  // --- dirty bits -------------------------------------------------------
+  // One dirty bit per ping-pong backup copy: an update dirties the segment
+  // with respect to *both* copies; a checkpoint writing copy c clears only
+  // bit c. This is what keeps each copy complete under partial
+  // checkpointing even though successive checkpoints alternate copies.
+  bool dirty(SegmentId s, uint32_t copy) const {
+    return entries_[s].dirty[copy & 1];
+  }
+  // Dirty with respect to either copy.
+  bool dirty_any(SegmentId s) const {
+    return entries_[s].dirty[0] || entries_[s].dirty[1];
+  }
+  void MarkDirty(SegmentId s) {
+    entries_[s].dirty[0] = true;
+    entries_[s].dirty[1] = true;
+  }
+  // Re-dirties one copy only. Used by the COU checkpointer after flushing
+  // a preserved OLD image: the update that forced the preservation is not
+  // in what just reached the backup, so this copy still owes a flush.
+  void MarkDirtyCopy(SegmentId s, uint32_t copy) {
+    entries_[s].dirty[copy & 1] = true;
+  }
+  void ClearDirty(SegmentId s, uint32_t copy) {
+    entries_[s].dirty[copy & 1] = false;
+  }
+  uint64_t CountDirty(uint32_t copy) const;
+  void MarkAllDirty();
+
+  // --- paint bits (two-color) -------------------------------------------
+  PaintColor color(SegmentId s) const {
+    return (entries_[s].paint == black_value_) ? PaintColor::kBlack
+                                               : PaintColor::kWhite;
+  }
+  void Paint(SegmentId s, PaintColor c) {
+    entries_[s].paint = (c == PaintColor::kBlack) ? black_value_
+                                                  : !black_value_;
+  }
+  // Makes every segment white in O(1) by flipping the meaning of the bit.
+  // Requires that every segment is currently black (checkpoint finished).
+  void FlipColors() { black_value_ = !black_value_; }
+
+  // --- WAL coupling ------------------------------------------------------
+  Lsn update_lsn(SegmentId s) const { return entries_[s].update_lsn; }
+  void set_update_lsn(SegmentId s, Lsn lsn) { entries_[s].update_lsn = lsn; }
+
+  // --- COU timestamps & old copies ---------------------------------------
+  Timestamp timestamp(SegmentId s) const { return entries_[s].timestamp; }
+  void set_timestamp(SegmentId s, Timestamp t) { entries_[s].timestamp = t; }
+
+  bool has_old_copy(SegmentId s) const {
+    return entries_[s].old_copy != kNoCopy;
+  }
+  uint32_t old_copy(SegmentId s) const { return entries_[s].old_copy; }
+  void set_old_copy(SegmentId s, uint32_t handle) {
+    entries_[s].old_copy = handle;
+  }
+  void clear_old_copy(SegmentId s) { entries_[s].old_copy = kNoCopy; }
+
+  // --- checkpointer lock shadow ------------------------------------------
+  bool ckpt_locked(SegmentId s) const { return entries_[s].ckpt_locked; }
+  void set_ckpt_locked(SegmentId s, bool locked) {
+    entries_[s].ckpt_locked = locked;
+  }
+
+  // Crash/restart: forgets all volatile control state.
+  void Reset();
+
+ private:
+  struct Entry {
+    bool dirty[2] = {false, false};
+    bool paint = false;
+    bool ckpt_locked = false;
+    Lsn update_lsn = kInvalidLsn;
+    Timestamp timestamp = 0;
+    uint32_t old_copy = kNoCopy;
+  };
+
+  std::vector<Entry> entries_;
+  bool black_value_ = true;  // which bit value currently means "black"
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_SEGMENT_TABLE_H_

@@ -1,0 +1,188 @@
+#include "tools/inspect.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/string_util.h"
+#include "wal/log_reader.h"
+
+namespace mmdb {
+
+std::string LogSummary::ToString() const {
+  std::string out = StringPrintf(
+      "log: base=%llu valid_bytes=%llu%s\n"
+      "records: %llu total | %llu updates, %llu commits, %llu aborts, "
+      "%llu begin-ckpt, %llu end-ckpt | %llu distinct txns\n",
+      static_cast<unsigned long long>(base_offset),
+      static_cast<unsigned long long>(valid_bytes),
+      torn_tail ? " (torn tail)" : "",
+      static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(updates),
+      static_cast<unsigned long long>(commits),
+      static_cast<unsigned long long>(aborts),
+      static_cast<unsigned long long>(begin_markers),
+      static_cast<unsigned long long>(end_markers),
+      static_cast<unsigned long long>(distinct_txns));
+  for (const CheckpointSpan& c : checkpoints) {
+    out += StringPrintf("checkpoint %llu: begin@%llu %s\n",
+                        static_cast<unsigned long long>(c.id),
+                        static_cast<unsigned long long>(c.begin_offset),
+                        c.complete ? "complete" : "IN PROGRESS at crash");
+  }
+  return out;
+}
+
+StatusOr<LogSummary> SummarizeLog(Env* env, const std::string& log_path) {
+  MMDB_ASSIGN_OR_RETURN(LogReader reader, LogReader::Open(env, log_path));
+  LogSummary summary;
+  summary.base_offset = reader.base_offset();
+  summary.valid_bytes = reader.valid_bytes();
+  summary.torn_tail = reader.truncated_tail();
+
+  std::unordered_set<TxnId> txns;
+  MMDB_RETURN_IF_ERROR(reader.ScanForward(
+      reader.base_offset(), [&](const LogRecord& r, uint64_t offset) {
+        ++summary.records;
+        switch (r.type) {
+          case LogRecordType::kUpdate:
+          case LogRecordType::kDelta:
+            ++summary.updates;
+            txns.insert(r.txn_id);
+            break;
+          case LogRecordType::kCommit:
+            ++summary.commits;
+            txns.insert(r.txn_id);
+            break;
+          case LogRecordType::kAbort:
+            ++summary.aborts;
+            txns.insert(r.txn_id);
+            break;
+          case LogRecordType::kBeginCheckpoint:
+            ++summary.begin_markers;
+            summary.checkpoints.push_back(
+                LogSummary::CheckpointSpan{r.checkpoint_id, offset, false});
+            break;
+          case LogRecordType::kEndCheckpoint:
+            ++summary.end_markers;
+            for (auto& span : summary.checkpoints) {
+              if (span.id == r.checkpoint_id) span.complete = true;
+            }
+            break;
+        }
+        return true;
+      }));
+  summary.distinct_txns = txns.size();
+  return summary;
+}
+
+StatusOr<uint64_t> DumpLog(Env* env, const std::string& log_path,
+                           uint64_t from_offset, std::FILE* out) {
+  MMDB_ASSIGN_OR_RETURN(LogReader reader, LogReader::Open(env, log_path));
+  uint64_t start = std::max(from_offset, reader.base_offset());
+  uint64_t printed = 0;
+  MMDB_RETURN_IF_ERROR(reader.ScanForward(
+      start, [&](const LogRecord& r, uint64_t offset) {
+        std::fprintf(out, "%10llu  %s\n",
+                     static_cast<unsigned long long>(offset),
+                     r.DebugString().c_str());
+        ++printed;
+        return true;
+      }));
+  if (reader.truncated_tail()) {
+    std::fprintf(out, "%10llu  <torn tail>\n",
+                 static_cast<unsigned long long>(reader.valid_bytes()));
+  }
+  return printed;
+}
+
+std::string BackupSummary::ToString() const {
+  std::string out = StringPrintf(
+      "geometry: %llu words, %u-word segments, %u-word records "
+      "(%llu segments)\n",
+      static_cast<unsigned long long>(geometry.db_words),
+      geometry.segment_words, geometry.record_words,
+      static_cast<unsigned long long>(geometry.num_segments()));
+  if (has_meta) {
+    out += StringPrintf(
+        "last complete checkpoint: id=%llu copy=%u begin-marker@%llu "
+        "(lsn %llu)\n",
+        static_cast<unsigned long long>(meta.checkpoint_id), meta.copy,
+        static_cast<unsigned long long>(meta.log_offset),
+        static_cast<unsigned long long>(meta.begin_lsn));
+  } else {
+    out += "no completed checkpoint recorded\n";
+  }
+  for (uint32_t c = 0; c < 2; ++c) {
+    if (!copies[c].present) {
+      out += StringPrintf("copy %u: missing\n", c);
+      continue;
+    }
+    out += StringPrintf("copy %u: %llu segments ok, %llu corrupt", c,
+                        static_cast<unsigned long long>(
+                            copies[c].valid_segments),
+                        static_cast<unsigned long long>(
+                            copies[c].corrupt_segments));
+    if (!copies[c].corrupt_examples.empty()) {
+      out += " (e.g.";
+      for (SegmentId s : copies[c].corrupt_examples) {
+        out += StringPrintf(" %llu", static_cast<unsigned long long>(s));
+      }
+      out += ")";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+StatusOr<BackupSummary> InspectBackup(Env* env, const std::string& dir) {
+  BackupSummary summary;
+  const std::string copy0 = dir + "/backup_0.db";
+  if (!env->FileExists(copy0)) {
+    return NotFoundError("no backup copies under '" + dir + "'");
+  }
+  MMDB_ASSIGN_OR_RETURN(summary.geometry,
+                        BackupStore::ReadGeometry(env, copy0));
+
+  // Metadata (optional: absent before the first checkpoint completes).
+  const std::string meta_path = dir + "/CHECKPOINT";
+  if (env->FileExists(meta_path)) {
+    std::string contents;
+    MMDB_RETURN_IF_ERROR(env->ReadFileToString(meta_path, &contents));
+    MMDB_RETURN_IF_ERROR(CheckpointMeta::DecodeFrom(contents, &summary.meta));
+    summary.has_meta = true;
+  }
+
+  for (uint32_t c = 0; c < 2; ++c) {
+    const std::string path = dir + "/backup_" + std::to_string(c) + ".db";
+    if (!env->FileExists(path)) continue;
+    summary.copies[c].present = true;
+    MMDB_ASSIGN_OR_RETURN(std::unique_ptr<RandomAccessFile> file,
+                          env->NewRandomAccessFile(path));
+    std::string image, crc_bytes;
+    for (SegmentId s = 0; s < summary.geometry.num_segments(); ++s) {
+      MMDB_RETURN_IF_ERROR(
+          file->Read(BackupStore::SlotOffsetFor(summary.geometry, s),
+                     summary.geometry.segment_bytes(), &image));
+      MMDB_RETURN_IF_ERROR(
+          file->Read(BackupStore::CrcOffsetFor(summary.geometry, s), 4,
+                     &crc_bytes));
+      bool ok = image.size() == summary.geometry.segment_bytes() &&
+                crc_bytes.size() == 4 &&
+                crc32c::Unmask(DecodeFixed32(crc_bytes.data())) ==
+                    crc32c::Value(image);
+      if (ok) {
+        ++summary.copies[c].valid_segments;
+      } else {
+        ++summary.copies[c].corrupt_segments;
+        if (summary.copies[c].corrupt_examples.size() < 5) {
+          summary.copies[c].corrupt_examples.push_back(s);
+        }
+      }
+    }
+  }
+  return summary;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,71 @@
+#ifndef MMDB_TXN_CHECKPOINT_HOOKS_H_
+#define MMDB_TXN_CHECKPOINT_HOOKS_H_
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace mmdb {
+
+// The coupling points between transaction processing and an in-progress
+// checkpoint. Each checkpoint algorithm implements these; TxnManager calls
+// them without knowing which algorithm is active, which keeps txn/ free of
+// a dependency on checkpoint/.
+//
+// All hooks take the current virtual time so implementations can reason
+// about in-flight disk operations.
+class CheckpointHooks {
+ public:
+  virtual ~CheckpointHooks() = default;
+
+  // Earliest virtual time >= now at which a transaction touching
+  // `segments` may execute: respects segments the checkpointer holds
+  // locked through a disk I/O (2CFLUSH / COUFLUSH) and the COU quiesce
+  // barrier at checkpoint start. Used by the simulation driver; the
+  // interactive facade treats a future time as "spin the checkpointer
+  // until then".
+  virtual double EarliestExecutionTime(const std::vector<SegmentId>& segments,
+                                       double now) const = 0;
+
+  // Two-color admission test (Pu's constraint): false means the access set
+  // spans both white and black data and the transaction must abort and
+  // restart. Non-two-color algorithms always return true.
+  virtual bool AdmitAccess(const std::vector<SegmentId>& segments,
+                           double now) = 0;
+
+  // Called immediately before a committing transaction with timestamp
+  // `txn_ts` overwrites segment `s`: the COU algorithms preserve the
+  // pre-update image here (Figure 3.2). Charges the copy-on-update work to
+  // the synchronous overhead categories.
+  virtual void BeforeSegmentUpdate(SegmentId s, Timestamp txn_ts,
+                                   double now) = 0;
+
+  // Whether transactions must maintain log sequence numbers on update
+  // (costs C_lsn per updated record): true for the LSN-based algorithms
+  // (FUZZYCOPY and the two-color pair without a stable log tail).
+  virtual bool NeedsLsnMaintenance() const = 0;
+
+  // Whether transactions must maintain segment timestamps tau(S) on update
+  // (the COU algorithms; costs C_lsn per updated record in our model).
+  virtual bool NeedsTimestampMaintenance() const = 0;
+};
+
+// Hooks for an engine with checkpointing disabled: no waits, no aborts, no
+// extra bookkeeping.
+class NullCheckpointHooks : public CheckpointHooks {
+ public:
+  double EarliestExecutionTime(const std::vector<SegmentId>&,
+                               double now) const override {
+    return now;
+  }
+  bool AdmitAccess(const std::vector<SegmentId>&, double) override {
+    return true;
+  }
+  void BeforeSegmentUpdate(SegmentId, Timestamp, double) override {}
+  bool NeedsLsnMaintenance() const override { return false; }
+  bool NeedsTimestampMaintenance() const override { return false; }
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_CHECKPOINT_HOOKS_H_

@@ -1,0 +1,74 @@
+#include "util/coding.h"
+
+namespace mmdb {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  unsigned char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  unsigned char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(value);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+bool GetVarint32(std::string_view* input, uint32_t* value) {
+  uint64_t v;
+  if (!GetVarint64(input, &v)) return false;
+  if (v > UINT32_MAX) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetVarint64(std::string_view* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(input->front());
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value) {
+  uint64_t len;
+  if (!GetVarint64(input, &len)) return false;
+  if (input->size() < len) return false;
+  *value = input->substr(0, len);
+  input->remove_prefix(len);
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace mmdb

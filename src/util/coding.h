@@ -1,0 +1,82 @@
+#ifndef MMDB_UTIL_CODING_H_
+#define MMDB_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace mmdb {
+
+// Little-endian fixed-width and LEB128 varint encodings used by the log and
+// backup formats. All Get* functions advance `*input` past the decoded bytes
+// and return false (leaving outputs unspecified) on underflow or malformed
+// input.
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  dst->append(buf, 8);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);  // Host is little-endian on all supported targets.
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, 4);
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, 8);
+}
+
+inline bool GetFixed32(std::string_view* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  *value = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(std::string_view* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  *value = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+// LEB128 varints; at most 10 bytes for 64-bit values.
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+bool GetVarint32(std::string_view* input, uint32_t* value);
+bool GetVarint64(std::string_view* input, uint64_t* value);
+
+// Length-prefixed byte strings.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+bool GetLengthPrefixed(std::string_view* input, std::string_view* value);
+
+// Returns the encoded size of `value` as a varint.
+int VarintLength(uint64_t value);
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_CODING_H_

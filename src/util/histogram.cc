@@ -1,0 +1,99 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace mmdb {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+
+void Histogram::Clear() {
+  count_ = 0;
+  min_ = std::numeric_limits<double>::max();
+  max_ = 0.0;
+  sum_ = 0.0;
+  sum_squares_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int Histogram::BucketFor(double value) {
+  if (value < 1.0) return 0;
+  int b = 1 + static_cast<int>(std::log(value) / std::log(kRatio));
+  return std::min(b, kNumBuckets - 1);
+}
+
+double Histogram::BucketLower(int b) {
+  if (b <= 0) return 0.0;
+  return std::pow(kRatio, b - 1);
+}
+
+double Histogram::BucketUpper(int b) {
+  if (b <= 0) return 1.0;
+  return std::pow(kRatio, b);
+}
+
+void Histogram::Add(double value) {
+  if (value < 0.0) value = 0.0;
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += value;
+  sum_squares_ += value * value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StandardDeviation() const {
+  if (count_ == 0) return 0.0;
+  double n = static_cast<double>(count_);
+  double variance = (sum_squares_ - sum_ * sum_ / n) / n;
+  return variance <= 0.0 ? 0.0 : std::sqrt(variance);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  double threshold = static_cast<double>(count_) * (p / 100.0);
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (static_cast<double>(seen + buckets_[b]) >= threshold) {
+      double within = (threshold - static_cast<double>(seen)) /
+                      static_cast<double>(buckets_[b]);
+      double lo = std::max(BucketLower(b), min());
+      double hi = std::min(BucketUpper(b), max_);
+      if (hi < lo) hi = lo;
+      return lo + within * (hi - lo);
+    }
+    seen += buckets_[b];
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3f stddev=%.3f min=%.3f p50=%.3f "
+                "p99=%.3f max=%.3f",
+                static_cast<unsigned long long>(count_), Mean(),
+                StandardDeviation(), min(), Percentile(50.0),
+                Percentile(99.0), max_);
+  return buf;
+}
+
+}  // namespace mmdb

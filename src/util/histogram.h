@@ -1,0 +1,56 @@
+#ifndef MMDB_UTIL_HISTOGRAM_H_
+#define MMDB_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmdb {
+
+// Running scalar statistics (count/mean/min/max/stddev) plus approximate
+// percentiles via geometric bucketing (ratio 1.25, starting at 1.0; one
+// underflow bucket for values < 1). Used by the metrics layer to summarize
+// latencies and per-transaction overheads. Values must be non-negative.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double StandardDeviation() const;
+
+  // Approximate p-th percentile, p in [0, 100]. Linear interpolation within
+  // the containing bucket; exact at the extremes (min/max).
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  // One-line human-readable summary.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 180;  // covers up to ~1.25^179 ≈ 2.5e17
+  static constexpr double kRatio = 1.25;
+
+  static int BucketFor(double value);
+  // Inclusive lower / exclusive upper value bounds of bucket b.
+  static double BucketLower(int b);
+  static double BucketUpper(int b);
+
+  uint64_t count_;
+  double min_;
+  double max_;
+  double sum_;
+  double sum_squares_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_HISTOGRAM_H_

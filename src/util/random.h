@@ -1,0 +1,80 @@
+#ifndef MMDB_UTIL_RANDOM_H_
+#define MMDB_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace mmdb {
+
+// Deterministic, seedable pseudo-random generator (xorshift128+). Every
+// stochastic component of the simulator draws from an explicitly seeded
+// Random so that experiments replay bit-for-bit.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to expand the seed into two nonzero state words.
+    state_[0] = SplitMix(&seed);
+    state_[1] = SplitMix(&seed);
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 0x9e3779b97f4a7c15ull;
+  }
+
+  // Uniform over [0, 2^64).
+  uint64_t Next() {
+    uint64_t s1 = state_[0];
+    const uint64_t s0 = state_[1];
+    const uint64_t result = s0 + s1;
+    state_[0] = s0;
+    s1 ^= s1 << 23;
+    state_[1] = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return result;
+  }
+
+  // Uniform over [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -n % n;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Uniform over [lo, hi). Requires lo < hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    assert(lo < hi);
+    return lo + Uniform(hi - lo);
+  }
+
+  // Uniform over [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed with the given mean (inter-arrival times of a
+  // Poisson process at rate 1/mean).
+  double Exponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state_[2];
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_RANDOM_H_

@@ -1,0 +1,83 @@
+#include "util/status.h"
+
+namespace mmdb {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kNotSupported:
+      return "NOT_SUPPORTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgumentError(std::string_view msg) {
+  return Status(StatusCode::kInvalidArgument, std::string(msg));
+}
+Status NotFoundError(std::string_view msg) {
+  return Status(StatusCode::kNotFound, std::string(msg));
+}
+Status AlreadyExistsError(std::string_view msg) {
+  return Status(StatusCode::kAlreadyExists, std::string(msg));
+}
+Status OutOfRangeError(std::string_view msg) {
+  return Status(StatusCode::kOutOfRange, std::string(msg));
+}
+Status FailedPreconditionError(std::string_view msg) {
+  return Status(StatusCode::kFailedPrecondition, std::string(msg));
+}
+Status AbortedError(std::string_view msg) {
+  return Status(StatusCode::kAborted, std::string(msg));
+}
+Status CorruptionError(std::string_view msg) {
+  return Status(StatusCode::kCorruption, std::string(msg));
+}
+Status IoError(std::string_view msg) {
+  return Status(StatusCode::kIoError, std::string(msg));
+}
+Status NotSupportedError(std::string_view msg) {
+  return Status(StatusCode::kNotSupported, std::string(msg));
+}
+Status ResourceExhaustedError(std::string_view msg) {
+  return Status(StatusCode::kResourceExhausted, std::string(msg));
+}
+Status InternalError(std::string_view msg) {
+  return Status(StatusCode::kInternal, std::string(msg));
+}
+
+}  // namespace mmdb

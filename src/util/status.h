@@ -1,0 +1,103 @@
+#ifndef MMDB_UTIL_STATUS_H_
+#define MMDB_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mmdb {
+
+// Canonical error space for the library. The library does not use C++
+// exceptions; every fallible operation returns a Status (or a StatusOr<T>,
+// see statusor.h).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAborted,        // e.g., a two-color constraint violation
+  kCorruption,     // checksum mismatch, malformed log/backup data
+  kIoError,        // Env-level failure
+  kNotSupported,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Returns a stable, human-readable name, e.g. "ABORTED".
+std::string_view StatusCodeToString(StatusCode code);
+
+// A cheap value type carrying success or an (error code, message) pair.
+//
+//   Status s = log->Append(rec);
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Success.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Convenience factories mirroring absl::<Code>Error().
+Status InvalidArgumentError(std::string_view msg);
+Status NotFoundError(std::string_view msg);
+Status AlreadyExistsError(std::string_view msg);
+Status OutOfRangeError(std::string_view msg);
+Status FailedPreconditionError(std::string_view msg);
+Status AbortedError(std::string_view msg);
+Status CorruptionError(std::string_view msg);
+Status IoError(std::string_view msg);
+Status NotSupportedError(std::string_view msg);
+Status ResourceExhaustedError(std::string_view msg);
+Status InternalError(std::string_view msg);
+
+}  // namespace mmdb
+
+// Propagates a non-OK Status from an expression to the caller.
+#define MMDB_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::mmdb::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#endif  // MMDB_UTIL_STATUS_H_

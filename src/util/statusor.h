@@ -1,0 +1,83 @@
+#ifndef MMDB_UTIL_STATUSOR_H_
+#define MMDB_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace mmdb {
+
+// Holds either a value of type T or a non-OK Status explaining why the value
+// is absent. Mirrors absl::StatusOr<T> for the subset this library needs.
+//
+//   StatusOr<CheckpointId> id = ckpt->Run();
+//   if (!id.ok()) return id.status();
+//   Use(*id);
+template <typename T>
+class StatusOr {
+ public:
+  // Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  // Constructs from a value.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  // By value: callers routinely write `F().status()` on a temporary
+  // StatusOr, and a reference into the dead temporary would dangle.
+  Status status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mmdb
+
+// Evaluates `rexpr` (a StatusOr<T>), propagating errors; otherwise binds the
+// value to `lhs`. Usage: MMDB_ASSIGN_OR_RETURN(auto file, env->Open(p));
+#define MMDB_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  MMDB_ASSIGN_OR_RETURN_IMPL_(                            \
+      MMDB_STATUS_MACROS_CONCAT_(_status_or_, __LINE__), lhs, rexpr)
+
+#define MMDB_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) return statusor.status();           \
+  lhs = std::move(statusor).value()
+
+#define MMDB_STATUS_MACROS_CONCAT_(x, y) MMDB_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define MMDB_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // MMDB_UTIL_STATUSOR_H_

@@ -1,0 +1,34 @@
+#ifndef MMDB_UTIL_TYPES_H_
+#define MMDB_UTIL_TYPES_H_
+
+#include <cstdint>
+
+namespace mmdb {
+
+// Index of a record within the database, in [0, DatabaseParams::num_records).
+using RecordId = uint64_t;
+
+// Index of a segment (the unit of transfer to the backup disks), in
+// [0, DatabaseParams::num_segments).
+using SegmentId = uint64_t;
+
+// Transaction identifier, assigned at Begin in increasing order.
+using TxnId = uint64_t;
+
+// Logical timestamp drawn from the engine's timestamp oracle. Used by the
+// copy-on-update algorithms for tau(T), tau(S) and tau(CH).
+using Timestamp = uint64_t;
+
+// Log sequence number: a dense, monotonically increasing sequence over log
+// records. Lsn 0 is reserved ("no record").
+using Lsn = uint64_t;
+
+// Checkpoint identifier, increasing with each checkpoint started.
+using CheckpointId = uint64_t;
+
+inline constexpr Lsn kInvalidLsn = 0;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+}  // namespace mmdb
+
+#endif  // MMDB_UTIL_TYPES_H_

@@ -1,0 +1,222 @@
+#include "wal/log_manager.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace mmdb {
+
+void EncodeLogFrame(const LogRecord& record, std::string* dst) {
+  std::string payload;
+  record.EncodeTo(&payload);
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  uint32_t crc = crc32c::Mask(crc32c::Value(payload));
+  dst->append(payload);
+  PutFixed32(dst, crc);
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+}
+
+LogManager::LogManager(Env* env, std::string path, const SystemParams& params,
+                       CpuMeter* meter, bool stable_log_tail,
+                       double min_flush_spacing)
+    : env_(env),
+      path_(std::move(path)),
+      params_(params),
+      meter_(meter),
+      stable_log_tail_(stable_log_tail),
+      min_flush_spacing_(min_flush_spacing) {}
+
+namespace {
+
+std::string EncodeLogFileHeader(uint64_t base_offset) {
+  std::string header;
+  PutFixed32(&header, kLogFileMagic);
+  PutFixed32(&header, kLogFileVersion);
+  PutFixed64(&header, base_offset);
+  return header;
+}
+
+}  // namespace
+
+Status LogManager::Open() {
+  MMDB_ASSIGN_OR_RETURN(file_, env_->NewWritableFile(path_));
+  base_offset_ = 0;
+  return file_->Append(EncodeLogFileHeader(0));
+}
+
+Status LogManager::OpenExisting(uint64_t existing_bytes, Lsn next_lsn) {
+  std::string contents;
+  MMDB_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
+  uint64_t base = 0;
+  if (contents.size() >= kLogFileHeaderBytes &&
+      DecodeFixed32(contents.data()) == kLogFileMagic) {
+    base = DecodeFixed64(contents.data() + 8);
+    contents.erase(0, kLogFileHeaderBytes);
+  }
+  if (base + contents.size() < existing_bytes || existing_bytes < base) {
+    return CorruptionError("log file shorter than its valid prefix");
+  }
+  contents.resize(existing_bytes - base);
+  std::string rewritten = EncodeLogFileHeader(base);
+  rewritten += contents;
+  MMDB_RETURN_IF_ERROR(
+      env_->WriteStringToFile(path_, rewritten, /*sync=*/true));
+  MMDB_ASSIGN_OR_RETURN(file_, env_->NewAppendableFile(path_));
+  base_offset_ = base;
+  written_bytes_ = existing_bytes;
+  appended_bytes_ = existing_bytes;
+  next_lsn_ = next_lsn;
+  tail_.clear();
+  tail_last_lsn_ = kInvalidLsn;
+  pending_.clear();
+  flushed_lsn_ = next_lsn > 0 ? next_lsn - 1 : kInvalidLsn;
+  durable_floor_ = flushed_lsn_;
+  durable_bytes_floor_ = existing_bytes;
+  return Status::OK();
+}
+
+Lsn LogManager::Append(LogRecord* record) {
+  record->lsn = next_lsn_++;
+  size_t before = tail_.size();
+  EncodeLogFrame(*record, &tail_);
+  size_t frame_bytes = tail_.size() - before;
+  appended_bytes_ += frame_bytes;
+  tail_last_lsn_ = record->lsn;
+  // Log creation is data movement into the log buffer: 1 instr/word. This
+  // is base logging work, excluded from checkpoint-overhead metrics.
+  meter_->Charge(CpuCategory::kLogging,
+                 params_.costs.move_per_word *
+                     (static_cast<double>(frame_bytes) / kWordBytes));
+  return record->lsn;
+}
+
+double LogManager::Flush(double now) {
+  if (tail_.empty()) return now;
+  uint64_t words = (tail_.size() + kWordBytes - 1) / kWordBytes;
+
+  // The bytes go to the Env file immediately; Crash() rolls back anything
+  // whose modeled completion hadn't been reached.
+  Status s = file_->Append(tail_);
+  (void)s;  // MemEnv/Posix appends only fail on real I/O errors; tests
+            // exercise those paths via Env fault injection.
+  written_bytes_ += tail_.size();
+  flushed_lsn_ = tail_last_lsn_;
+
+  if (!pending_.empty() && pending_.back().start_time > now) {
+    // Group commit: the previous batch has not started writing yet; this
+    // request coalesces into it rather than issuing another seek. Earlier
+    // bytes keep their already-promised completion (they stream to the
+    // platter first); the merged bytes become durable when the enlarged
+    // batch finishes. Recorded as a new immutable entry so no durability
+    // promise ever moves — the write-ahead gates depend on that.
+    const PendingFlush& batch = pending_.back();
+    uint64_t batch_words = batch.words + words;
+    double done = std::max(batch.done_time,
+                           batch.start_time + FlushSeconds(batch_words));
+    flush_busy_seconds_ += done - batch.done_time;
+    pending_.push_back(PendingFlush{tail_last_lsn_, written_bytes_,
+                                    batch_words, batch.start_time, done});
+    tail_.clear();
+    return done;
+  }
+
+  // One I/O initiation per physical flush batch.
+  meter_->Charge(CpuCategory::kLogging,
+                 static_cast<double>(params_.costs.io));
+  // Serial stream: a batch starts no sooner than the cadence allows and
+  // never before the previous batch finished.
+  double start = std::max(now, last_flush_start_ + min_flush_spacing_);
+  if (!pending_.empty()) start = std::max(start, pending_.back().done_time);
+  last_flush_start_ = start;
+  double done = start + FlushSeconds(words);
+  flush_busy_seconds_ += done - start;
+  ++flush_count_;
+  pending_.push_back(
+      PendingFlush{tail_last_lsn_, written_bytes_, words, start, done});
+  tail_.clear();
+  return done;
+}
+
+Lsn LogManager::DurableLsn(double now) const {
+  if (stable_log_tail_) return LastLsn();
+  Lsn durable = durable_floor_;
+  for (const PendingFlush& f : pending_) {
+    if (f.done_time <= now) durable = f.last_lsn;
+  }
+  return durable;
+}
+
+double LogManager::WhenDurable(Lsn lsn, double now) const {
+  if (lsn == kInvalidLsn) return now;
+  if (stable_log_tail_) return now;
+  if (lsn <= durable_floor_) return now;
+  for (const PendingFlush& f : pending_) {
+    if (f.last_lsn >= lsn) return std::max(now, f.done_time);
+  }
+  // Still in the tail (or not yet appended): not durable until a future
+  // Flush covers it.
+  return std::numeric_limits<double>::infinity();
+}
+
+Status LogManager::Crash(double now) {
+  uint64_t surviving_bytes = durable_bytes_floor_;
+  if (stable_log_tail_) {
+    // Stable RAM: both the flushed prefix and the tail survive. Persist the
+    // tail so recovery sees it in the file.
+    if (!tail_.empty()) {
+      MMDB_RETURN_IF_ERROR(file_->Append(tail_));
+      written_bytes_ += tail_.size();
+      tail_.clear();
+    }
+    surviving_bytes = written_bytes_;
+  } else {
+    for (const PendingFlush& f : pending_) {
+      if (f.done_time <= now) surviving_bytes = f.bytes_upto;
+    }
+  }
+  MMDB_RETURN_IF_ERROR(file_->Close());
+  file_.reset();
+
+  std::string contents;
+  MMDB_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
+  uint64_t physical_keep =
+      kLogFileHeaderBytes + (surviving_bytes > base_offset_
+                                 ? surviving_bytes - base_offset_
+                                 : 0);
+  if (contents.size() > physical_keep) {
+    contents.resize(physical_keep);
+    MMDB_RETURN_IF_ERROR(
+        env_->WriteStringToFile(path_, contents, /*sync=*/true));
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> LogManager::TruncateBefore(uint64_t cut) {
+  if (cut < base_offset_) return uint64_t{0};  // already truncated past it
+  if (cut > written_bytes_) {
+    return InvalidArgumentError(
+        "cannot truncate past the end of the flushed log");
+  }
+  uint64_t dropped = cut - base_offset_;
+  if (dropped == 0) return uint64_t{0};
+
+  std::string contents;
+  MMDB_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
+  if (contents.size() < kLogFileHeaderBytes + dropped) {
+    return CorruptionError("log file shorter than its truncation point");
+  }
+  std::string rewritten = EncodeLogFileHeader(cut);
+  rewritten.append(contents, kLogFileHeaderBytes + dropped,
+                   contents.size() - kLogFileHeaderBytes - dropped);
+  MMDB_RETURN_IF_ERROR(file_->Close());
+  MMDB_RETURN_IF_ERROR(
+      env_->WriteStringToFile(path_, rewritten, /*sync=*/true));
+  MMDB_ASSIGN_OR_RETURN(file_, env_->NewAppendableFile(path_));
+  base_offset_ = cut;
+  return dropped;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,144 @@
+#include "wal/log_reader.h"
+
+#include <algorithm>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/string_util.h"
+#include "wal/log_manager.h"
+
+namespace mmdb {
+
+LogReader::LogReader(std::string contents) : contents_(std::move(contents)) {
+  if (contents_.size() >= kLogFileHeaderBytes &&
+      DecodeFixed32(contents_.data()) == kLogFileMagic) {
+    base_offset_ = DecodeFixed64(contents_.data() + 8);
+    contents_.erase(0, kLogFileHeaderBytes);
+  }
+  BuildIndex();
+}
+
+StatusOr<LogReader> LogReader::Open(Env* env, const std::string& path) {
+  std::string contents;
+  MMDB_RETURN_IF_ERROR(env->ReadFileToString(path, &contents));
+  return LogReader(std::move(contents));
+}
+
+void LogReader::BuildIndex() {
+  uint64_t pos = 0;
+  const uint64_t size = contents_.size();
+  while (pos + kLogFrameOverhead <= size) {
+    uint32_t len = DecodeFixed32(contents_.data() + pos);
+    uint64_t frame_end = pos + 4 + len + 8;
+    if (frame_end > size) {
+      truncated_tail_ = true;
+      break;
+    }
+    const char* payload = contents_.data() + pos + 4;
+    uint32_t stored_crc =
+        crc32c::Unmask(DecodeFixed32(contents_.data() + pos + 4 + len));
+    uint32_t trailer_len = DecodeFixed32(contents_.data() + pos + 4 + len + 4);
+    if (trailer_len != len || crc32c::Value(payload, len) != stored_crc) {
+      truncated_tail_ = true;
+      break;
+    }
+    index_.push_back(FrameRef{pos, len});
+    pos = frame_end;
+  }
+  if (pos < size && !truncated_tail_) truncated_tail_ = true;
+  valid_bytes_ = base_offset_ + (pos <= size ? pos : size);
+  if (!index_.empty()) {
+    valid_bytes_ = base_offset_ + index_.back().offset + 4 +
+                   index_.back().payload_size + 8;
+  }
+}
+
+StatusOr<LogRecord> LogReader::RecordAt(uint64_t offset) const {
+  if (offset < base_offset_) {
+    return NotFoundError("offset precedes the log's base (truncated)");
+  }
+  offset -= base_offset_;
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), offset,
+      [](const FrameRef& f, uint64_t off) { return f.offset < off; });
+  if (it == index_.end() || it->offset != offset) {
+    return NotFoundError(
+        StringPrintf("no log frame at offset %llu",
+                     static_cast<unsigned long long>(offset)));
+  }
+  LogRecord record;
+  MMDB_RETURN_IF_ERROR(LogRecord::DecodeFrom(
+      std::string_view(contents_.data() + it->offset + 4, it->payload_size),
+      &record));
+  return record;
+}
+
+Status LogReader::ScanForward(
+    uint64_t from_offset,
+    const std::function<bool(const LogRecord&, uint64_t)>& fn) const {
+  if (from_offset < base_offset_) {
+    return InvalidArgumentError(
+        "scan start precedes the log's base (truncated away)");
+  }
+  from_offset -= base_offset_;
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), from_offset,
+      [](const FrameRef& f, uint64_t off) { return f.offset < off; });
+  if (it != index_.end() && it->offset != from_offset) {
+    return InvalidArgumentError("from_offset is not a frame boundary");
+  }
+  for (; it != index_.end(); ++it) {
+    LogRecord record;
+    MMDB_RETURN_IF_ERROR(LogRecord::DecodeFrom(
+        std::string_view(contents_.data() + it->offset + 4, it->payload_size),
+        &record));
+    if (!fn(record, base_offset_ + it->offset)) break;
+  }
+  return Status::OK();
+}
+
+Status LogReader::ScanBackward(
+    const std::function<bool(const LogRecord&, uint64_t)>& fn) const {
+  for (auto it = index_.rbegin(); it != index_.rend(); ++it) {
+    LogRecord record;
+    MMDB_RETURN_IF_ERROR(LogRecord::DecodeFrom(
+        std::string_view(contents_.data() + it->offset + 4, it->payload_size),
+        &record));
+    if (!fn(record, base_offset_ + it->offset)) break;
+  }
+  return Status::OK();
+}
+
+StatusOr<LogReader::CheckpointMarker> LogReader::FindLastCompleteCheckpoint()
+    const {
+  bool found_end = false;
+  CheckpointId end_id = 0;
+  bool found_begin = false;
+  CheckpointMarker marker;
+  Status scan = ScanBackward([&](const LogRecord& r, uint64_t offset) {
+    if (!found_end) {
+      if (r.type == LogRecordType::kEndCheckpoint) {
+        found_end = true;
+        end_id = r.checkpoint_id;
+      }
+      return true;  // keep scanning
+    }
+    if (r.type == LogRecordType::kBeginCheckpoint &&
+        r.checkpoint_id == end_id) {
+      marker = CheckpointMarker{end_id, offset, r};
+      found_begin = true;
+      return false;
+    }
+    return true;
+  });
+  MMDB_RETURN_IF_ERROR(scan);
+  if (!found_end) return NotFoundError("no completed checkpoint in the log");
+  if (!found_begin) {
+    return CorruptionError(StringPrintf(
+        "end-checkpoint %llu has no begin marker",
+        static_cast<unsigned long long>(end_id)));
+  }
+  return marker;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,201 @@
+#include "wal/log_record.h"
+
+#include "util/coding.h"
+#include "util/string_util.h"
+
+namespace mmdb {
+
+LogRecord LogRecord::Update(TxnId txn, RecordId record, std::string image) {
+  LogRecord r;
+  r.type = LogRecordType::kUpdate;
+  r.txn_id = txn;
+  r.record_id = record;
+  r.image = std::move(image);
+  return r;
+}
+
+LogRecord LogRecord::Delta(TxnId txn, RecordId record, uint32_t field_offset,
+                           int64_t delta) {
+  LogRecord r;
+  r.type = LogRecordType::kDelta;
+  r.txn_id = txn;
+  r.record_id = record;
+  r.field_offset = field_offset;
+  r.delta = delta;
+  return r;
+}
+
+LogRecord LogRecord::Commit(TxnId txn) {
+  LogRecord r;
+  r.type = LogRecordType::kCommit;
+  r.txn_id = txn;
+  return r;
+}
+
+LogRecord LogRecord::Abort(TxnId txn) {
+  LogRecord r;
+  r.type = LogRecordType::kAbort;
+  r.txn_id = txn;
+  return r;
+}
+
+LogRecord LogRecord::BeginCheckpoint(CheckpointId id, Timestamp tau,
+                                     std::vector<ActiveTxnEntry> active) {
+  LogRecord r;
+  r.type = LogRecordType::kBeginCheckpoint;
+  r.checkpoint_id = id;
+  r.timestamp = tau;
+  r.active_txns = std::move(active);
+  return r;
+}
+
+LogRecord LogRecord::EndCheckpoint(CheckpointId id) {
+  LogRecord r;
+  r.type = LogRecordType::kEndCheckpoint;
+  r.checkpoint_id = id;
+  return r;
+}
+
+void LogRecord::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutVarint64(dst, lsn);
+  PutVarint64(dst, txn_id);
+  switch (type) {
+    case LogRecordType::kUpdate:
+      PutVarint64(dst, record_id);
+      PutLengthPrefixed(dst, image);
+      break;
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+      break;
+    case LogRecordType::kBeginCheckpoint:
+      PutVarint64(dst, checkpoint_id);
+      PutVarint64(dst, timestamp);
+      PutVarint64(dst, active_txns.size());
+      for (const ActiveTxnEntry& e : active_txns) {
+        PutVarint64(dst, e.txn_id);
+        PutVarint64(dst, e.first_lsn);
+      }
+      break;
+    case LogRecordType::kEndCheckpoint:
+      PutVarint64(dst, checkpoint_id);
+      break;
+    case LogRecordType::kDelta:
+      PutVarint64(dst, record_id);
+      PutVarint32(dst, field_offset);
+      PutFixed64(dst, static_cast<uint64_t>(delta));
+      break;
+  }
+}
+
+Status LogRecord::DecodeFrom(std::string_view payload, LogRecord* out) {
+  *out = LogRecord();
+  if (payload.empty()) return CorruptionError("empty log record payload");
+  uint8_t raw_type = static_cast<uint8_t>(payload.front());
+  payload.remove_prefix(1);
+  if (raw_type < static_cast<uint8_t>(LogRecordType::kUpdate) ||
+      raw_type > static_cast<uint8_t>(LogRecordType::kDelta)) {
+    return CorruptionError(
+        StringPrintf("unknown log record type %u", raw_type));
+  }
+  out->type = static_cast<LogRecordType>(raw_type);
+  if (!GetVarint64(&payload, &out->lsn) ||
+      !GetVarint64(&payload, &out->txn_id)) {
+    return CorruptionError("truncated log record header");
+  }
+  switch (out->type) {
+    case LogRecordType::kUpdate: {
+      std::string_view image;
+      if (!GetVarint64(&payload, &out->record_id) ||
+          !GetLengthPrefixed(&payload, &image)) {
+        return CorruptionError("truncated update record");
+      }
+      out->image.assign(image.data(), image.size());
+      break;
+    }
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+      break;
+    case LogRecordType::kBeginCheckpoint: {
+      uint64_t count;
+      if (!GetVarint64(&payload, &out->checkpoint_id) ||
+          !GetVarint64(&payload, &out->timestamp) ||
+          !GetVarint64(&payload, &count)) {
+        return CorruptionError("truncated begin-checkpoint record");
+      }
+      out->active_txns.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        ActiveTxnEntry e;
+        if (!GetVarint64(&payload, &e.txn_id) ||
+            !GetVarint64(&payload, &e.first_lsn)) {
+          return CorruptionError("truncated active-transaction list");
+        }
+        out->active_txns.push_back(e);
+      }
+      break;
+    }
+    case LogRecordType::kEndCheckpoint:
+      if (!GetVarint64(&payload, &out->checkpoint_id)) {
+        return CorruptionError("truncated end-checkpoint record");
+      }
+      break;
+    case LogRecordType::kDelta: {
+      uint64_t raw_delta;
+      if (!GetVarint64(&payload, &out->record_id) ||
+          !GetVarint32(&payload, &out->field_offset) ||
+          !GetFixed64(&payload, &raw_delta)) {
+        return CorruptionError("truncated delta record");
+      }
+      out->delta = static_cast<int64_t>(raw_delta);
+      break;
+    }
+  }
+  if (!payload.empty()) {
+    return CorruptionError("trailing bytes after log record payload");
+  }
+  return Status::OK();
+}
+
+size_t LogRecord::EncodedSize() const {
+  std::string tmp;
+  EncodeTo(&tmp);
+  return tmp.size();
+}
+
+std::string LogRecord::DebugString() const {
+  switch (type) {
+    case LogRecordType::kUpdate:
+      return StringPrintf("UPDATE lsn=%llu txn=%llu rec=%llu (%zu bytes)",
+                          static_cast<unsigned long long>(lsn),
+                          static_cast<unsigned long long>(txn_id),
+                          static_cast<unsigned long long>(record_id),
+                          image.size());
+    case LogRecordType::kCommit:
+      return StringPrintf("COMMIT lsn=%llu txn=%llu",
+                          static_cast<unsigned long long>(lsn),
+                          static_cast<unsigned long long>(txn_id));
+    case LogRecordType::kAbort:
+      return StringPrintf("ABORT lsn=%llu txn=%llu",
+                          static_cast<unsigned long long>(lsn),
+                          static_cast<unsigned long long>(txn_id));
+    case LogRecordType::kBeginCheckpoint:
+      return StringPrintf("BEGIN_CKPT lsn=%llu id=%llu tau=%llu active=%zu",
+                          static_cast<unsigned long long>(lsn),
+                          static_cast<unsigned long long>(checkpoint_id),
+                          static_cast<unsigned long long>(timestamp),
+                          active_txns.size());
+    case LogRecordType::kEndCheckpoint:
+      return StringPrintf("END_CKPT lsn=%llu id=%llu",
+                          static_cast<unsigned long long>(lsn),
+                          static_cast<unsigned long long>(checkpoint_id));
+    case LogRecordType::kDelta:
+      return StringPrintf("DELTA lsn=%llu txn=%llu rec=%llu off=%u %+lld",
+                          static_cast<unsigned long long>(lsn),
+                          static_cast<unsigned long long>(txn_id),
+                          static_cast<unsigned long long>(record_id),
+                          field_offset, static_cast<long long>(delta));
+  }
+  return "INVALID";
+}
+
+}  // namespace mmdb

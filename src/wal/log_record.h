@@ -1,0 +1,88 @@
+#ifndef MMDB_WAL_LOG_RECORD_H_
+#define MMDB_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace mmdb {
+
+// REDO-only log record kinds (Section 2.6: shadow-copy updates make UNDO
+// logging unnecessary — old versions are never overwritten before commit).
+enum class LogRecordType : uint8_t {
+  kUpdate = 1,           // after-image of one record (physical logging)
+  kCommit = 2,           // transaction committed
+  kAbort = 3,            // transaction aborted (accounting only; never redone)
+  kBeginCheckpoint = 4,  // checkpoint begin marker + active transaction list
+  kEndCheckpoint = 5,    // checkpoint completion marker
+  // Logical (operation) logging: an 8-byte signed addition at an offset
+  // within a record — a fraction of an after-image's bytes, but NOT
+  // idempotent, so it is legal only with checkpoints whose backup is an
+  // exact snapshot at the replay start point (the COU algorithms). The
+  // paper notes this logging style as an advantage of consistent backups
+  // (Section 3.2).
+  kDelta = 6,
+};
+
+// One entry in a begin-checkpoint marker's active-transaction list. For
+// fuzzy checkpoints, recovery must scan back to the earliest active
+// transaction's first log record (Section 3.3); `first_lsn` is kInvalidLsn
+// when the transaction has not logged anything yet (always the case under
+// commit-time logging, where a transaction's records are emitted as one
+// contiguous group at commit).
+struct ActiveTxnEntry {
+  TxnId txn_id = kInvalidTxnId;
+  Lsn first_lsn = kInvalidLsn;
+
+  friend bool operator==(const ActiveTxnEntry&, const ActiveTxnEntry&) =
+      default;
+};
+
+// In-memory form of a log record. Only the fields relevant to `type` are
+// meaningful; the encoder writes exactly those.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kUpdate;
+  Lsn lsn = kInvalidLsn;  // assigned by LogManager::Append
+  TxnId txn_id = kInvalidTxnId;
+
+  // kUpdate / kDelta:
+  RecordId record_id = 0;
+  std::string image;       // kUpdate: after-image, record_bytes long
+  uint32_t field_offset = 0;  // kDelta: byte offset of the 8-byte field
+  int64_t delta = 0;          // kDelta: signed amount added to the field
+
+  // kBeginCheckpoint / kEndCheckpoint:
+  CheckpointId checkpoint_id = 0;
+  Timestamp timestamp = 0;                    // tau(CH) for COU checkpoints
+  std::vector<ActiveTxnEntry> active_txns;    // kBeginCheckpoint only
+
+  static LogRecord Update(TxnId txn, RecordId record, std::string image);
+  static LogRecord Delta(TxnId txn, RecordId record, uint32_t field_offset,
+                         int64_t delta);
+  static LogRecord Commit(TxnId txn);
+  static LogRecord Abort(TxnId txn);
+  static LogRecord BeginCheckpoint(CheckpointId id, Timestamp tau,
+                                   std::vector<ActiveTxnEntry> active);
+  static LogRecord EndCheckpoint(CheckpointId id);
+
+  // Serializes the record payload (without framing) onto *dst.
+  void EncodeTo(std::string* dst) const;
+
+  // Parses a payload produced by EncodeTo. Returns CORRUPTION on malformed
+  // input.
+  static Status DecodeFrom(std::string_view payload, LogRecord* out);
+
+  // Payload size in bytes once encoded.
+  size_t EncodedSize() const;
+
+  std::string DebugString() const;
+
+  friend bool operator==(const LogRecord&, const LogRecord&) = default;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_WAL_LOG_RECORD_H_

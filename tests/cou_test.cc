@@ -1,0 +1,231 @@
+// Copy-on-update algorithm specifics: quiesce, tau bookkeeping, old-copy
+// preservation, buffer lifecycle, and the headline transaction-consistency
+// property of the COU snapshot.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+class CouTest : public testing::TestWithParam<Algorithm> {
+ protected:
+  void Open(CheckpointMode mode = CheckpointMode::kFull,
+            uint32_t max_buffers = 0) {
+    EngineOptions opt = TinyOptions();
+    opt.algorithm = GetParam();
+    opt.checkpoint_mode = mode;
+    opt.max_snapshot_buffers = max_buffers;
+    env_ = NewMemEnv();
+    auto engine = Engine::Open(opt, env_.get());
+    MMDB_ASSERT_OK(engine);
+    engine_ = std::move(*engine);
+  }
+
+  std::string Image(RecordId r, uint64_t m) {
+    return MakeRecordImage(engine_->db().record_bytes(), r, m);
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(CouTest, SnapshotIsStateAtCheckpointBegin) {
+  Open();
+  // Populate every segment, then start a checkpoint and keep updating
+  // WHILE it runs. The completed backup copy must equal the database as it
+  // stood at Begin — byte for byte — no matter which updates raced the
+  // sweep. This is the paper's transaction-consistency claim for COU.
+  const uint32_t rps = engine_->params().db.records_per_segment();
+  for (SegmentId s = 0; s < engine_->db().num_segments(); ++s) {
+    MMDB_ASSERT_OK(engine_->Apply({{s * rps, Image(s * rps, 100 + s)}})
+                       .status());
+  }
+  MMDB_ASSERT_OK(engine_->StartCheckpoint());
+  std::string snapshot(engine_->db().data(), engine_->db().size_bytes());
+
+  // Interleave updates across the whole database with sweep progress.
+  uint64_t marker = 1000;
+  while (engine_->CheckpointInProgress()) {
+    MMDB_ASSERT_OK(engine_->StepCheckpoint());
+    RecordId r = (marker * 37) % engine_->db().num_records();
+    MMDB_ASSERT_OK(engine_->Apply({{r, Image(r, marker)}}).status());
+    ++marker;
+  }
+
+  auto meta = engine_->backup()->ReadMeta();
+  MMDB_ASSERT_OK(meta);
+  std::string segment;
+  for (SegmentId s = 0; s < engine_->db().num_segments(); ++s) {
+    MMDB_ASSERT_OK(engine_->backup()->ReadSegment(meta->copy, s, &segment));
+    EXPECT_EQ(segment,
+              snapshot.substr(s * engine_->db().segment_bytes(),
+                              engine_->db().segment_bytes()))
+        << "segment " << s << " is not the begin-time image";
+  }
+}
+
+TEST_P(CouTest, NeverAbortsTransactionsOnceStarted) {
+  Open();
+  MMDB_ASSERT_OK(engine_->StartCheckpoint());
+  for (int i = 0; i < 4; ++i) MMDB_ASSERT_OK(engine_->StepCheckpoint());
+  // Updates spanning "both ends" of the database are fine under COU.
+  RecordId low = 0, high = engine_->db().num_records() - 1;
+  Transaction* t = engine_->Begin();
+  MMDB_ASSERT_OK(engine_->Write(t, low, Image(low, 1)));
+  MMDB_ASSERT_OK(engine_->Write(t, high, Image(high, 1)));
+  MMDB_ASSERT_OK(engine_->Commit(t).status());
+  EXPECT_EQ(engine_->txns().color_aborts(), 0u);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+}
+
+TEST_P(CouTest, OldCopiesAreMadeOnlyForUnvisitedPreCheckpointSegments) {
+  Open();
+  MMDB_ASSERT_OK(engine_->StartCheckpoint());
+  // Let the sweep pass the first few segments.
+  for (int i = 0; i < 4; ++i) MMDB_ASSERT_OK(engine_->StepCheckpoint());
+  ASSERT_TRUE(engine_->CheckpointInProgress());
+
+  uint64_t copies_before = engine_->checkpointer().last_stats().cou_copies;
+  (void)copies_before;
+  // Update the LAST segment (not yet visited): must trigger one COU copy.
+  RecordId last = engine_->db().num_records() - 1;
+  MMDB_ASSERT_OK(engine_->Apply({{last, Image(last, 1)}}).status());
+  EXPECT_GE(engine_->buffers().allocated(), 1u);
+  // A second update to the same segment must NOT copy again.
+  RecordId last2 = last - 1;
+  MMDB_ASSERT_OK(engine_->Apply({{last2, Image(last2, 2)}}).status());
+  EXPECT_EQ(engine_->buffers().allocated(), 1u);
+
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  // Old copies are flushed and released by the end of the sweep.
+  EXPECT_EQ(engine_->buffers().allocated(), 0u);
+  EXPECT_GE(engine_->checkpointer().last_stats().cou_copies, 1u);
+}
+
+TEST_P(CouTest, UpdateToAlreadyDumpedSegmentMakesNoCopy) {
+  Open();
+  MMDB_ASSERT_OK(engine_->StartCheckpoint());
+  for (int i = 0; i < 5; ++i) MMDB_ASSERT_OK(engine_->StepCheckpoint());
+  ASSERT_TRUE(engine_->CheckpointInProgress());
+  // Segment 0 was processed first; updating it now needs no preservation.
+  MMDB_ASSERT_OK(engine_->Apply({{0, Image(0, 3)}}).status());
+  EXPECT_EQ(engine_->buffers().allocated(), 0u);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  EXPECT_EQ(engine_->checkpointer().last_stats().cou_copies, 0u);
+}
+
+TEST_P(CouTest, QuiesceDelaysTransactionsUntilSweepStart) {
+  Open();
+  MMDB_ASSERT_OK(engine_->StartCheckpoint());
+  double t0 = engine_->now();
+  // The first transaction after Begin waits for the begin-marker flush.
+  MMDB_ASSERT_OK(engine_->Apply({{0, Image(0, 1)}}).status());
+  EXPECT_GT(engine_->now(), t0);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  EXPECT_GT(engine_->checkpointer().last_stats().quiesce_seconds, 0.0);
+}
+
+TEST_P(CouTest, BufferExhaustionDegradesGracefully) {
+  // With a 1-buffer cap, concurrent updates overflow the snapshot pool;
+  // the checkpoint must still complete and recovery must stay correct.
+  Open(CheckpointMode::kFull, /*max_buffers=*/1);
+  MMDB_ASSERT_OK(engine_->StartCheckpoint());
+  for (int i = 0; i < 3; ++i) MMDB_ASSERT_OK(engine_->StepCheckpoint());
+  // Touch several distinct unvisited segments: only one can be preserved.
+  const uint32_t rps = engine_->params().db.records_per_segment();
+  uint64_t n_seg = engine_->db().num_segments();
+  for (SegmentId s = n_seg - 4; s < n_seg; ++s) {
+    RecordId r = s * rps;
+    MMDB_ASSERT_OK(engine_->Apply({{r, Image(r, 50 + s)}}).status());
+  }
+  EXPECT_LE(engine_->buffers().allocated(), 1u);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+
+  // Durability is unaffected (the degraded segments are merely fuzzy).
+  engine_->FlushLog();
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  Lsn durable = engine_->DurableLsn();
+  MMDB_ASSERT_OK(engine_->Crash());
+  MMDB_ASSERT_OK(engine_->Recover());
+  for (SegmentId s = n_seg - 4; s < n_seg; ++s) {
+    RecordId r = s * rps;
+    EXPECT_EQ(engine_->ReadRecordRaw(r), std::string_view(Image(r, 50 + s)))
+        << "record " << r;
+  }
+  (void)durable;
+}
+
+TEST_P(CouTest, TimestampsGateNextCheckpoint) {
+  Open(CheckpointMode::kPartial);
+  MMDB_ASSERT_OK(engine_->Apply({{0, Image(0, 1)}}).status());
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  uint64_t flushed1 = engine_->checkpointer().last_stats().segments_flushed;
+  EXPECT_EQ(flushed1, 1u);
+  // No updates in between: the next sweep (other copy) still owes one
+  // flush, the one after that none.
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  EXPECT_EQ(engine_->checkpointer().last_stats().segments_flushed, 1u);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  EXPECT_EQ(engine_->checkpointer().last_stats().segments_flushed, 0u);
+}
+
+// Regression: an update racing the sweep forces an old-image flush; the
+// post-snapshot content must still reach THIS ping-pong copy at the next
+// checkpoint that writes it. (Bug found via the telecom example: clearing
+// the dirty bit when the OLD image was flushed left cold segments stale in
+// one copy forever, surfacing as lost updates two checkpoints later.)
+TEST_P(CouTest, OldImageFlushDoesNotLoseColdUpdates) {
+  Open(CheckpointMode::kPartial);
+  const uint64_t n_seg = engine_->db().num_segments();
+  const uint32_t rps = engine_->params().db.records_per_segment();
+  // Cold record in the LAST segment.
+  RecordId cold = (n_seg - 1) * rps;
+  std::string image = Image(cold, 4242);
+
+  // Dirty every segment so the sweep has real work (a fresh partial
+  // checkpoint would skip everything instantly).
+  for (SegmentId s = 0; s < n_seg; ++s) {
+    RecordId r = s * rps;
+    MMDB_ASSERT_OK(engine_->Apply({{r, Image(r, 1000 + s)}}).status());
+  }
+
+  // Start a checkpoint and update the cold record while the sweep has not
+  // reached its segment: COU preserves the pre-update image and flushes
+  // THAT.
+  MMDB_ASSERT_OK(engine_->StartCheckpoint());
+  for (int i = 0; i < 3; ++i) MMDB_ASSERT_OK(engine_->StepCheckpoint());
+  ASSERT_TRUE(engine_->CheckpointInProgress());
+  MMDB_ASSERT_OK(engine_->Apply({{cold, image}}).status());
+  ASSERT_GE(engine_->buffers().allocated(), 1u);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+
+  // Two more checkpoints with NO further updates: both copies must pick up
+  // the post-snapshot content.
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+
+  engine_->FlushLog();
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  MMDB_ASSERT_OK(engine_->Crash());
+  MMDB_ASSERT_OK(engine_->Recover());
+  EXPECT_EQ(engine_->ReadRecordRaw(cold), std::string_view(image))
+      << "cold update lost: stale old image survived in one ping-pong copy";
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, CouTest,
+                         testing::Values(Algorithm::kCouFlush,
+                                         Algorithm::kCouCopy),
+                         [](const testing::TestParamInfo<Algorithm>& info) {
+                           return std::string(AlgorithmName(info.param)) ==
+                                          "COUFLUSH"
+                                      ? "Flush"
+                                      : "Copy";
+                         });
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,275 @@
+// Analytic-model tests: internal math, paper-scale magnitudes, the
+// qualitative shapes of Figures 4a-4e, and agreement in ordering with the
+// executable engine.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "model/analytic_model.h"
+#include "tests/test_util.h"
+
+namespace mmdb {
+namespace {
+
+ModelInputs PaperInputs(Algorithm a) {
+  ModelInputs in;
+  in.params = SystemParams::PaperDefaults();
+  in.algorithm = a;
+  in.mode = CheckpointMode::kPartial;
+  return in;
+}
+
+double Overhead(ModelInputs in) {
+  AnalyticModel model(in);
+  auto out = model.Evaluate();
+  EXPECT_TRUE(out.ok()) << out.status();
+  return out->overhead_per_txn;
+}
+
+TEST(AnalyticMathTest, MeanConflictProbability) {
+  // 1 - 2/(k+1).
+  EXPECT_DOUBLE_EQ(AnalyticModel::MeanConflictProbability(1), 0.0);
+  EXPECT_DOUBLE_EQ(AnalyticModel::MeanConflictProbability(5), 1.0 - 2.0 / 6);
+  EXPECT_NEAR(AnalyticModel::MeanConflictProbability(100), 1.0, 0.02);
+}
+
+TEST(AnalyticMathTest, RerunsGrowWithK) {
+  EXPECT_DOUBLE_EQ(AnalyticModel::ExpectedRerunsPerActiveArrival(1), 0.0);
+  double k2 = AnalyticModel::ExpectedRerunsPerActiveArrival(2);
+  double k5 = AnalyticModel::ExpectedRerunsPerActiveArrival(5);
+  double k10 = AnalyticModel::ExpectedRerunsPerActiveArrival(10);
+  EXPECT_GT(k2, 0.0);
+  EXPECT_GT(k5, k2);
+  EXPECT_GT(k10, k5);
+  // k=2: E_z[v/(1-v)] with v = 2z(1-z): integral of 2z(1-z)/(1-2z+2z^2)
+  // over [0,1] = pi/2 - 1.
+  EXPECT_NEAR(k2, M_PI / 2 - 1.0, 1e-4);
+}
+
+TEST(AnalyticMathTest, LogWordsPerTxnMatchesEncodedSizes) {
+  SystemParams p = SystemParams::PaperDefaults();
+  double words = AnalyticModel::LogWordsPerTxn(p);
+  // 5 updates of a 128-byte record (+ header + framing) plus a commit:
+  // roughly 5*152 + 20 bytes = ~195 words; bound it loosely.
+  EXPECT_GT(words, 150.0);
+  EXPECT_LT(words, 250.0);
+}
+
+TEST(AnalyticModelTest, PaperScaleGeometry) {
+  AnalyticModel model(PaperInputs(Algorithm::kFuzzyCopy));
+  auto out = model.Evaluate();
+  MMDB_ASSERT_OK(out);
+  // Full sweep of 32768 segments at 54.576 ms over 20 disks ~ 89.4 s; at
+  // the minimum interval the dirty fraction is ~1, so D_min is close to
+  // that.
+  EXPECT_GT(out->min_interval, 60.0);
+  EXPECT_LT(out->min_interval, 95.0);
+  EXPECT_NEAR(out->active_fraction, 1.0, 0.05);
+  // Recovery: reload 1 GB + read the log: minutes, not hours.
+  EXPECT_GT(out->recovery_seconds, 80.0);
+  EXPECT_LT(out->recovery_seconds, 400.0);
+}
+
+TEST(AnalyticModelTest, Figure4aOrdering) {
+  // Two-color algorithms are by far the most expensive (reruns); COU is
+  // comparable to fuzzy; recovery times are nearly equal with two-color
+  // slightly longer.
+  double fuzzy = Overhead(PaperInputs(Algorithm::kFuzzyCopy));
+  double cou_c = Overhead(PaperInputs(Algorithm::kCouCopy));
+  double cou_f = Overhead(PaperInputs(Algorithm::kCouFlush));
+  double tc_c = Overhead(PaperInputs(Algorithm::kTwoColorCopy));
+  double tc_f = Overhead(PaperInputs(Algorithm::kTwoColorFlush));
+
+  EXPECT_GT(tc_c, 4.0 * fuzzy);
+  EXPECT_GT(tc_f, 4.0 * fuzzy);
+  EXPECT_LT(cou_c, 1.5 * fuzzy);
+  EXPECT_LT(cou_f, 1.5 * fuzzy);
+  EXPECT_GT(cou_c, 0.3 * fuzzy);
+
+  auto recovery = [&](Algorithm a) {
+    AnalyticModel m(PaperInputs(a));
+    auto out = m.Evaluate();
+    EXPECT_TRUE(out.ok());
+    return out->recovery_seconds;
+  };
+  double r_fuzzy = recovery(Algorithm::kFuzzyCopy);
+  double r_tc = recovery(Algorithm::kTwoColorCopy);
+  double r_cou = recovery(Algorithm::kCouCopy);
+  EXPECT_GE(r_tc, r_fuzzy);          // aborted attempts add log bulk
+  EXPECT_LT(r_tc, 1.2 * r_fuzzy);    // ... but only slightly
+  EXPECT_NEAR(r_cou, r_fuzzy, 0.05 * r_fuzzy);
+}
+
+TEST(AnalyticModelTest, Figure4bTradeoffAndBandwidth) {
+  // Longer intervals: overhead falls, recovery time rises.
+  ModelInputs in = PaperInputs(Algorithm::kCouCopy);
+  AnalyticModel m0(in);
+  auto base = m0.Evaluate();
+  MMDB_ASSERT_OK(base);
+  in.checkpoint_interval = 3.0 * base->min_interval;
+  AnalyticModel m1(in);
+  auto stretched = m1.Evaluate();
+  MMDB_ASSERT_OK(stretched);
+  EXPECT_LT(stretched->overhead_per_txn, base->overhead_per_txn);
+  EXPECT_GT(stretched->recovery_seconds, base->recovery_seconds);
+
+  // Doubling the disks reduces the minimum interval; comparing at the
+  // SAME duration (the 20-disk minimum), the extra bandwidth helps 2CCOPY
+  // (shorter active fraction, fewer reruns) much more than COUCOPY.
+  auto with_disks = [&](Algorithm a, int disks, double interval) {
+    ModelInputs i2 = PaperInputs(a);
+    i2.params.disk.num_disks = disks;
+    i2.checkpoint_interval = interval;
+    AnalyticModel m(i2);
+    auto out = m.Evaluate();
+    EXPECT_TRUE(out.ok());
+    return *out;
+  };
+  double d20 = with_disks(Algorithm::kTwoColorCopy, 20, 0).min_interval;
+  ModelOutputs cou20 = with_disks(Algorithm::kCouCopy, 20, d20);
+  ModelOutputs cou40 = with_disks(Algorithm::kCouCopy, 40, d20);
+  ModelOutputs tc20 = with_disks(Algorithm::kTwoColorCopy, 20, d20);
+  ModelOutputs tc40 = with_disks(Algorithm::kTwoColorCopy, 40, d20);
+  EXPECT_LT(with_disks(Algorithm::kCouCopy, 40, 0).min_interval,
+            with_disks(Algorithm::kCouCopy, 20, 0).min_interval);
+  EXPECT_LT(tc40.active_fraction, 0.7 * tc20.active_fraction);
+  double tc_gain = tc20.overhead_per_txn - tc40.overhead_per_txn;
+  double cou_gain = cou20.overhead_per_txn - cou40.overhead_per_txn;
+  EXPECT_GT(tc_gain, 4.0 * std::abs(cou_gain));
+}
+
+TEST(AnalyticModelTest, Figure4cLoadTrends) {
+  // Per-transaction overhead falls as load rises (fixed checkpoint cost is
+  // shared). 2CFLUSH is the cheapest at low load but among the most
+  // costly at high load.
+  auto at_load = [&](Algorithm a, double lambda) {
+    ModelInputs in = PaperInputs(a);
+    in.params.txn.arrival_rate = lambda;
+    return Overhead(in);
+  };
+  for (Algorithm a : {Algorithm::kFuzzyCopy, Algorithm::kCouCopy,
+                      Algorithm::kTwoColorFlush}) {
+    EXPECT_GT(at_load(a, 100), at_load(a, 3000)) << AlgorithmName(a);
+  }
+  // Low load: 2CFLUSH (no copies ever) beats the copy-based algorithms.
+  EXPECT_LT(at_load(Algorithm::kTwoColorFlush, 50),
+            at_load(Algorithm::kFuzzyCopy, 50));
+  EXPECT_LT(at_load(Algorithm::kTwoColorFlush, 50),
+            at_load(Algorithm::kCouCopy, 50));
+  // High load: reruns dominate; 2CFLUSH costs more than fuzzy/COU.
+  EXPECT_GT(at_load(Algorithm::kTwoColorFlush, 3000),
+            at_load(Algorithm::kFuzzyCopy, 3000));
+  EXPECT_GT(at_load(Algorithm::kTwoColorFlush, 3000),
+            at_load(Algorithm::kCouCopy, 3000));
+}
+
+TEST(AnalyticModelTest, Figure4dSegmentSizeTrends) {
+  // Run-as-fast-as-possible: copy-heavy algorithms get worse with bigger
+  // segments, 2CFLUSH gets better.
+  auto at_seg = [&](Algorithm a, uint32_t seg_words, double interval) {
+    ModelInputs in = PaperInputs(a);
+    in.params.db.segment_words = seg_words;
+    in.checkpoint_interval = interval;
+    return Overhead(in);
+  };
+  EXPECT_GT(at_seg(Algorithm::kTwoColorCopy, 32768, 0),
+            at_seg(Algorithm::kTwoColorCopy, 2048, 0));
+  EXPECT_GT(at_seg(Algorithm::kCouCopy, 32768, 0),
+            at_seg(Algorithm::kCouCopy, 2048, 0));
+  EXPECT_LT(at_seg(Algorithm::kTwoColorFlush, 32768, 0),
+            at_seg(Algorithm::kTwoColorFlush, 2048, 0));
+  // Fixed 300s interval: the two-color algorithms improve with segment
+  // size (shorter active fraction, fewer aborts).
+  EXPECT_LT(at_seg(Algorithm::kTwoColorCopy, 32768, 300),
+            at_seg(Algorithm::kTwoColorCopy, 2048, 300));
+  EXPECT_LT(at_seg(Algorithm::kTwoColorFlush, 32768, 300),
+            at_seg(Algorithm::kTwoColorFlush, 2048, 300));
+}
+
+TEST(AnalyticModelTest, Figure4eStableLogTail) {
+  // FASTFUZZY with a stable tail costs only a few hundred instructions;
+  // the others barely change.
+  ModelInputs fast = PaperInputs(Algorithm::kFastFuzzy);
+  fast.stable_log_tail = true;
+  double fast_cost = Overhead(fast);
+  EXPECT_LT(fast_cost, 600.0);
+  EXPECT_GT(fast_cost, 0.0);
+
+  for (Algorithm a : {Algorithm::kFuzzyCopy, Algorithm::kCouCopy,
+                      Algorithm::kTwoColorCopy}) {
+    ModelInputs v = PaperInputs(a);
+    double volatile_cost = Overhead(v);
+    ModelInputs s = PaperInputs(a);
+    s.stable_log_tail = true;
+    double stable_cost = Overhead(s);
+    EXPECT_LT(stable_cost, volatile_cost + 1.0) << AlgorithmName(a);
+    EXPECT_GT(stable_cost, 0.85 * volatile_cost) << AlgorithmName(a);
+    EXPECT_GT(fast_cost * 5, 0.0);
+  }
+  // FASTFUZZY without the stable tail is rejected.
+  ModelInputs bad = PaperInputs(Algorithm::kFastFuzzy);
+  AnalyticModel m(bad);
+  EXPECT_TRUE(m.Evaluate().status().IsFailedPrecondition());
+}
+
+TEST(AnalyticModelTest, FullCostsAtLeastPartialAtEqualInterval) {
+  // Compared at the same checkpoint duration, a full checkpoint flushes a
+  // superset of the partial one's segments. (At run-as-fast-as-possible
+  // intervals the comparison is meaningless: a lightly-loaded partial
+  // checkpointer spins through near-empty sweeps, burning its dirty-bit
+  // scan on almost no transactions - see EXPERIMENTS.md.)
+  for (Algorithm a : {Algorithm::kFuzzyCopy, Algorithm::kCouCopy}) {
+    ModelInputs full = PaperInputs(a);
+    full.mode = CheckpointMode::kFull;
+    full.params.txn.arrival_rate = 20;
+    AnalyticModel fm(full);
+    auto fout = fm.Evaluate();
+    ASSERT_TRUE(fout.ok());
+    ModelInputs partial = PaperInputs(a);
+    partial.params.txn.arrival_rate = 20;
+    partial.checkpoint_interval = fout->interval;
+    EXPECT_GE(fout->overhead_per_txn, Overhead(partial)) << AlgorithmName(a);
+  }
+}
+
+TEST(AnalyticModelTest, LogicalLoggingShrinksLogAndRecovery) {
+  ModelInputs physical = PaperInputs(Algorithm::kCouCopy);
+  ModelInputs logical = physical;
+  logical.logical_logging = true;
+  AnalyticModel pm(physical), lm(logical);
+  auto p = pm.Evaluate();
+  auto l = lm.Evaluate();
+  MMDB_ASSERT_OK(p);
+  MMDB_ASSERT_OK(l);
+  EXPECT_LT(l->log_words_per_txn * 3, p->log_words_per_txn);
+  EXPECT_LT(l->recovery_log_seconds, p->recovery_log_seconds);
+  EXPECT_LT(l->recovery_seconds, p->recovery_seconds);
+  // Same CPU overhead: the logging style changes bytes, not checkpointing.
+  EXPECT_DOUBLE_EQ(l->overhead_per_txn, p->overhead_per_txn);
+
+  // Not available for fuzzy/two-color backups.
+  ModelInputs bad = PaperInputs(Algorithm::kFuzzyCopy);
+  bad.logical_logging = true;
+  AnalyticModel bm(bad);
+  EXPECT_TRUE(bm.Evaluate().status().IsFailedPrecondition());
+}
+
+TEST(AnalyticModelTest, ModelAndEngineAgreeOnOrdering) {
+  // The engine at test scale and the model at the same scale must rank the
+  // algorithms identically: 2C >> fuzzy, COU ~ fuzzy.
+  auto model_overhead = [&](Algorithm a) {
+    ModelInputs in;
+    in.params = TinyOptions().params;
+    in.algorithm = a;
+    return Overhead(in);
+  };
+  double m_fuzzy = model_overhead(Algorithm::kFuzzyCopy);
+  double m_cou = model_overhead(Algorithm::kCouCopy);
+  double m_tc = model_overhead(Algorithm::kTwoColorCopy);
+  EXPECT_GT(m_tc, m_fuzzy);
+  EXPECT_GT(m_tc, m_cou);
+  EXPECT_LT(std::abs(m_cou - m_fuzzy), m_tc - std::max(m_cou, m_fuzzy));
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,179 @@
+// RecoveryManager-focused tests: marker location, metadata cross-checks,
+// REDO filtering of uncommitted transactions, timing accounting, and
+// corruption handling.
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "recovery/recovery_manager.h"
+#include "tests/test_util.h"
+#include "wal/log_reader.h"
+
+namespace mmdb {
+namespace {
+
+class RecoveryTest : public testing::Test {
+ protected:
+  void Open(EngineOptions opt) {
+    env_ = NewMemEnv();
+    auto engine = Engine::Open(opt, env_.get());
+    MMDB_ASSERT_OK(engine);
+    engine_ = std::move(*engine);
+  }
+
+  std::string Image(RecordId r, uint64_t marker) {
+    return MakeRecordImage(engine_->db().record_bytes(), r, marker);
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(RecoveryTest, ReplaysCommittedSkipsUncommitted) {
+  Open(TinyOptions());
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+
+  std::string durable_image = Image(1, 100);
+  MMDB_ASSERT_OK(engine_->Apply({{1, durable_image}}).status());
+  engine_->FlushLog();
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+
+  // A transaction whose commit record never reaches the disk.
+  std::string lost_image = Image(2, 200);
+  MMDB_ASSERT_OK(engine_->Apply({{2, lost_image}}).status());
+
+  MMDB_ASSERT_OK(engine_->Crash());
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  EXPECT_EQ(engine_->ReadRecordRaw(1), std::string_view(durable_image));
+  EXPECT_NE(engine_->ReadRecordRaw(2), std::string_view(lost_image));
+  EXPECT_GE(stats->updates_applied, 1u);
+  EXPECT_GE(stats->txns_redone, 1u);
+}
+
+TEST_F(RecoveryTest, RecoveryTimeScalesWithLogBulk) {
+  Open(TinyOptions());
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+
+  // Small log.
+  WorkloadOptions wopt;
+  wopt.duration = 0.05;
+  wopt.run_checkpoints = false;
+  WorkloadDriver d1(engine_.get(), wopt);
+  MMDB_ASSERT_OK(d1.Run());
+  engine_->FlushLog();
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  MMDB_ASSERT_OK(engine_->Crash());
+  auto small = engine_->Recover();
+  MMDB_ASSERT_OK(small);
+
+  // Much bigger log on a fresh engine (no intervening checkpoints).
+  Open(TinyOptions());
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  wopt.duration = 1.0;
+  WorkloadDriver d2(engine_.get(), wopt);
+  MMDB_ASSERT_OK(d2.Run());
+  engine_->FlushLog();
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  MMDB_ASSERT_OK(engine_->Crash());
+  auto big = engine_->Recover();
+  MMDB_ASSERT_OK(big);
+
+  EXPECT_GT(big->log_bytes_read, small->log_bytes_read * 5);
+  EXPECT_GT(big->log_read_seconds, small->log_read_seconds);
+  EXPECT_GT(big->total_seconds, small->total_seconds);
+  // Backup read time is identical: same database size, same disks.
+  EXPECT_NEAR(big->backup_read_seconds, small->backup_read_seconds, 1e-9);
+}
+
+TEST_F(RecoveryTest, UsesLatestCompleteCheckpointAfterSeveral) {
+  Open(TinyOptions());
+  WorkloadOptions wopt;
+  wopt.duration = 4.0;
+  WorkloadDriver driver(engine_.get(), wopt);
+  auto r = driver.Run();
+  MMDB_ASSERT_OK(r);
+  ASSERT_GE(r->checkpoints_completed, 3u);
+
+  Lsn durable = engine_->DurableLsn();
+  CheckpointId last = engine_->scheduler().completed();
+  MMDB_ASSERT_OK(engine_->Crash());
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  // The restored checkpoint is the last *complete* one (the in-progress
+  // checkpoint, if any, is skipped).
+  EXPECT_GE(stats->checkpoint_id + 1, last);
+  VerifyRecovered(*engine_, driver, durable);
+}
+
+TEST_F(RecoveryTest, MetadataLogMismatchIsCorruption) {
+  Open(TinyOptions());
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  MMDB_ASSERT_OK(engine_->Crash());
+
+  // Corrupt the metadata to point at a bogus offset.
+  CheckpointMeta bogus;
+  bogus.checkpoint_id = 1;
+  bogus.copy = 1;
+  bogus.log_offset = 4;  // not a frame boundary / wrong marker
+  bogus.begin_lsn = 1;
+  MMDB_ASSERT_OK(engine_->backup()->CommitCheckpoint(bogus));
+
+  auto stats = engine_->Recover();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption()) << stats.status();
+}
+
+TEST_F(RecoveryTest, TruncatedLogTailIsTolerated) {
+  Open(TinyOptions());
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  std::string image = Image(3, 7);
+  MMDB_ASSERT_OK(engine_->Apply({{3, image}}).status());
+  engine_->FlushLog();
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  MMDB_ASSERT_OK(engine_->Crash());
+
+  // Chop bytes off the end of the log file: a torn final flush.
+  std::string contents;
+  MMDB_ASSERT_OK(env_->ReadFileToString(engine_->LogPath(), &contents));
+  contents.resize(contents.size() - 5);
+  MMDB_ASSERT_OK(
+      env_->WriteStringToFile(engine_->LogPath(), contents, false));
+
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  // The torn transaction is simply not recovered.
+  EXPECT_NE(engine_->ReadRecordRaw(3), std::string_view(image));
+}
+
+TEST_F(RecoveryTest, EngineContinuesAfterRecoveryNewCommitsWork) {
+  Open(TinyOptions());
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  MMDB_ASSERT_OK(engine_->Crash());
+  MMDB_ASSERT_OK(engine_->Recover());
+
+  std::string image = Image(9, 42);
+  MMDB_ASSERT_OK(engine_->Apply({{9, image}}).status());
+  engine_->FlushLog();
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+
+  MMDB_ASSERT_OK(engine_->Crash());
+  MMDB_ASSERT_OK(engine_->Recover());
+  EXPECT_EQ(engine_->ReadRecordRaw(9), std::string_view(image));
+}
+
+TEST_F(RecoveryTest, RecoveryClockAdvancesByModeledTime) {
+  Open(TinyOptions());
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  MMDB_ASSERT_OK(engine_->Crash());
+  double before = engine_->now();
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  EXPECT_NEAR(engine_->now() - before, stats->total_seconds, 1e-12);
+  EXPECT_GT(stats->backup_read_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,242 @@
+// Cold-restart (Engine::OpenExisting) and log-truncation tests: a new
+// engine process picking up the files an earlier one left behind, and
+// bounded log growth across checkpoints.
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "wal/log_reader.h"
+
+namespace mmdb {
+namespace {
+
+class RestartTest : public testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+
+  std::unique_ptr<Engine> MustOpen(const EngineOptions& opt) {
+    auto engine = Engine::Open(opt, env_.get());
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return std::move(*engine);
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(RestartTest, OpenExistingRequiresPriorState) {
+  EngineOptions opt = TinyOptions();
+  auto engine = Engine::OpenExisting(opt, env_.get());
+  EXPECT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsNotFound());
+}
+
+TEST_F(RestartTest, RestartRecoversDurableStateAndContinues) {
+  EngineOptions opt = TinyOptions();
+  std::string image1, image2, image3;
+  Lsn last_lsn = 0;
+  {
+    auto engine = MustOpen(opt);
+    image1 = MakeRecordImage(engine->db().record_bytes(), 1, 11);
+    image2 = MakeRecordImage(engine->db().record_bytes(), 2, 22);
+    MMDB_ASSERT_OK(engine->Apply({{1, image1}}).status());
+    MMDB_ASSERT_OK(engine->RunCheckpointToCompletion());
+    auto lsn = engine->Apply({{2, image2}});  // post-checkpoint, log-only
+    MMDB_ASSERT_OK(lsn);
+    last_lsn = *lsn;
+    engine->FlushLog();
+    MMDB_ASSERT_OK(engine->AdvanceTime(1.0));
+    // Engine object destroyed without a clean shutdown: volatile state
+    // (primary memory) is simply gone, like a process kill.
+  }
+
+  auto reopened = Engine::OpenExisting(opt, env_.get());
+  MMDB_ASSERT_OK(reopened);
+  Engine& engine = **reopened;
+  EXPECT_EQ(engine.ReadRecordRaw(1), std::string_view(image1));
+  EXPECT_EQ(engine.ReadRecordRaw(2), std::string_view(image2));
+
+  // LSNs continue past the old log's records.
+  image3 = MakeRecordImage(engine.db().record_bytes(), 3, 33);
+  auto lsn = engine.Apply({{3, image3}});
+  MMDB_ASSERT_OK(lsn);
+  EXPECT_GT(*lsn, last_lsn);
+
+  // Checkpoint numbering continues, so the ping-pong alternation holds:
+  // checkpoint 1 wrote copy 1, the next must be id 2 -> copy 0.
+  MMDB_ASSERT_OK(engine.RunCheckpointToCompletion());
+  auto meta = engine.backup()->ReadMeta();
+  MMDB_ASSERT_OK(meta);
+  EXPECT_EQ(meta->checkpoint_id, 2u);
+  EXPECT_EQ(meta->copy, 0u);
+}
+
+TEST_F(RestartTest, SecondRestartAfterMoreWork) {
+  EngineOptions opt = TinyOptions();
+  std::string a, b;
+  {
+    auto engine = MustOpen(opt);
+    a = MakeRecordImage(engine->db().record_bytes(), 10, 1);
+    MMDB_ASSERT_OK(engine->Apply({{10, a}}).status());
+    MMDB_ASSERT_OK(engine->RunCheckpointToCompletion());
+  }
+  {
+    auto engine = Engine::OpenExisting(opt, env_.get());
+    MMDB_ASSERT_OK(engine);
+    b = MakeRecordImage((*engine)->db().record_bytes(), 11, 2);
+    MMDB_ASSERT_OK((*engine)->Apply({{11, b}}).status());
+    MMDB_ASSERT_OK((*engine)->RunCheckpointToCompletion());
+  }
+  auto engine = Engine::OpenExisting(opt, env_.get());
+  MMDB_ASSERT_OK(engine);
+  EXPECT_EQ((*engine)->ReadRecordRaw(10), std::string_view(a));
+  EXPECT_EQ((*engine)->ReadRecordRaw(11), std::string_view(b));
+}
+
+TEST_F(RestartTest, GeometryMismatchRejected) {
+  EngineOptions opt = TinyOptions();
+  {
+    auto engine = MustOpen(opt);
+    MMDB_ASSERT_OK(engine->RunCheckpointToCompletion());
+  }
+  EngineOptions other = opt;
+  other.params.db.segment_words = 2048;  // different geometry, same dir
+  auto engine = Engine::OpenExisting(other, env_.get());
+  EXPECT_FALSE(engine.ok());
+  EXPECT_TRUE(engine.status().IsInvalidArgument()) << engine.status();
+}
+
+TEST_F(RestartTest, RestartAfterPowerFailureMatchesOracle) {
+  EngineOptions opt = TinyOptions();
+  WorkloadOptions wopt;
+  wopt.duration = 1.0;
+  wopt.seed = 31;
+
+  auto engine = MustOpen(opt);
+  WorkloadDriver driver(engine.get(), wopt);
+  MMDB_ASSERT_OK(driver.Run());
+  Lsn durable = engine->DurableLsn();
+  // Power failure, then the process dies: Crash() strips everything whose
+  // modeled I/O had not completed, so the restart sees exactly the durable
+  // state.
+  MMDB_ASSERT_OK(engine->Crash());
+  engine.reset();
+
+  auto reopened = Engine::OpenExisting(opt, env_.get());
+  MMDB_ASSERT_OK(reopened);
+  VerifyRecovered(**reopened, driver, durable);
+}
+
+TEST_F(RestartTest, RestartWithoutPowerFailureRecoversAtLeastDurable) {
+  // Destroying the engine WITHOUT Crash() models a process kill where
+  // issued log writes still reach the disk: the restart may legitimately
+  // recover MORE than the durability floor, but never less, and never a
+  // value that was not committed.
+  EngineOptions opt = TinyOptions();
+  WorkloadOptions wopt;
+  wopt.duration = 1.0;
+  wopt.seed = 33;
+
+  auto engine = MustOpen(opt);
+  WorkloadDriver driver(engine.get(), wopt);
+  MMDB_ASSERT_OK(driver.Run());
+  Lsn durable = engine->DurableLsn();
+  engine.reset();
+
+  auto reopened = Engine::OpenExisting(opt, env_.get());
+  MMDB_ASSERT_OK(reopened);
+  const std::string zeros((*reopened)->db().record_bytes(), '\0');
+  for (const auto& [record, commits] : driver.history()) {
+    std::string_view actual = (*reopened)->ReadRecordRaw(record);
+    // The recovered value must be one of the committed images (or zeros if
+    // nothing durable), and at least as new as the newest durable one.
+    Lsn newest_durable = kInvalidLsn;
+    Lsn actual_lsn = kInvalidLsn;
+    bool found = actual == std::string_view(zeros);
+    for (const auto& commit : commits) {
+      if (commit.lsn <= durable) newest_durable = commit.lsn;
+      if (actual == std::string_view(commit.image)) {
+        actual_lsn = commit.lsn;
+        found = true;
+      }
+    }
+    ASSERT_TRUE(found) << "record " << record
+                       << " holds a value that was never committed";
+    ASSERT_GE(actual_lsn, newest_durable)
+        << "record " << record << " regressed below the durable state";
+  }
+}
+
+TEST_F(RestartTest, TruncationBoundsLogAndKeepsRecoveryWorking) {
+  EngineOptions opt = TinyOptions();
+  opt.truncate_log_at_checkpoint = true;
+
+  auto engine = MustOpen(opt);
+  WorkloadOptions wopt;
+  wopt.duration = 1.5;
+  wopt.seed = 37;
+  WorkloadDriver driver(engine.get(), wopt);
+  auto result = driver.Run();
+  MMDB_ASSERT_OK(result);
+  ASSERT_GE(result->checkpoints_completed, 2u);
+
+  // The log's base moved: the file holds only the replayable suffix
+  // (physically smaller than the logical history).
+  EXPECT_GT(engine->log()->BaseOffset(), 0u);
+  auto file_size = env_->FileSize(engine->LogPath());
+  MMDB_ASSERT_OK(file_size);
+  EXPECT_LT(*file_size, engine->log()->NextOffset());
+
+  // Metadata offsets still resolve against the truncated file.
+  Lsn durable = engine->DurableLsn();
+  MMDB_ASSERT_OK(engine->Crash());
+  MMDB_ASSERT_OK(engine->Recover());
+  VerifyRecovered(*engine, driver, durable);
+}
+
+TEST_F(RestartTest, TruncationThenRestart) {
+  EngineOptions opt = TinyOptions();
+  opt.truncate_log_at_checkpoint = true;
+  std::string image;
+  {
+    auto engine = MustOpen(opt);
+    image = MakeRecordImage(engine->db().record_bytes(), 5, 55);
+    MMDB_ASSERT_OK(engine->Apply({{5, image}}).status());
+    MMDB_ASSERT_OK(engine->RunCheckpointToCompletion());
+    MMDB_ASSERT_OK(engine->RunCheckpointToCompletion());
+    EXPECT_GT(engine->log()->BaseOffset(), 0u);
+  }
+  auto engine = Engine::OpenExisting(opt, env_.get());
+  MMDB_ASSERT_OK(engine);
+  EXPECT_EQ((*engine)->ReadRecordRaw(5), std::string_view(image));
+  // And the reopened log carries the base forward.
+  EXPECT_GT((*engine)->log()->BaseOffset(), 0u);
+}
+
+TEST_F(RestartTest, TruncatedPrefixIsGoneFromTheReader) {
+  EngineOptions opt = TinyOptions();
+  opt.truncate_log_at_checkpoint = true;
+  auto engine = MustOpen(opt);
+  MMDB_ASSERT_OK(
+      engine
+          ->Apply({{0, MakeRecordImage(engine->db().record_bytes(), 0, 1)}})
+          .status());
+  MMDB_ASSERT_OK(engine->RunCheckpointToCompletion());
+  uint64_t base = engine->log()->BaseOffset();
+  ASSERT_GT(base, 0u);
+  MMDB_ASSERT_OK(engine->Crash());
+
+  auto reader = LogReader::Open(env_.get(), engine->LogPath());
+  MMDB_ASSERT_OK(reader);
+  EXPECT_EQ(reader->base_offset(), base);
+  // Scanning from 0 is now invalid; scanning from the base works.
+  EXPECT_FALSE(
+      reader->ScanForward(0, [](const LogRecord&, uint64_t) { return true; })
+          .ok());
+  MMDB_EXPECT_OK(reader->ScanForward(
+      base, [](const LogRecord&, uint64_t) { return true; }));
+}
+
+}  // namespace
+}  // namespace mmdb

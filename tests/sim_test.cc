@@ -1,0 +1,179 @@
+// Tests for the simulation substrate: cost-model parameters and
+// validation, the virtual clock, the CPU meter, and the disk-array model.
+
+#include "gtest/gtest.h"
+#include "sim/cost_model.h"
+#include "sim/cpu_meter.h"
+#include "sim/disk_model.h"
+#include "sim/virtual_clock.h"
+
+namespace mmdb {
+namespace {
+
+TEST(CostModelTest, PaperDefaultsMatchTables) {
+  SystemParams p = SystemParams::PaperDefaults();
+  // Table 2a.
+  EXPECT_EQ(p.costs.lock, 20u);
+  EXPECT_EQ(p.costs.alloc, 100u);
+  EXPECT_EQ(p.costs.io, 1000u);
+  EXPECT_EQ(p.costs.lsn, 20u);
+  EXPECT_DOUBLE_EQ(p.costs.move_per_word, 1.0);
+  // Table 2b.
+  EXPECT_DOUBLE_EQ(p.disk.seek_seconds, 0.03);
+  EXPECT_DOUBLE_EQ(p.disk.transfer_seconds_per_word, 3e-6);
+  EXPECT_EQ(p.disk.num_disks, 20);
+  // Table 2c.
+  EXPECT_EQ(p.db.db_words, 256ull << 20);
+  EXPECT_EQ(p.db.record_words, 32u);
+  EXPECT_EQ(p.db.segment_words, 8192u);
+  // Table 2d.
+  EXPECT_DOUBLE_EQ(p.txn.arrival_rate, 1000.0);
+  EXPECT_EQ(p.txn.updates_per_txn, 5u);
+  EXPECT_EQ(p.txn.instructions, 25000u);
+  EXPECT_TRUE(p.Validate().ok());
+}
+
+TEST(CostModelTest, DerivedGeometry) {
+  SystemParams p = SystemParams::PaperDefaults();
+  EXPECT_EQ(p.db.num_segments(), 32768u);
+  EXPECT_EQ(p.db.records_per_segment(), 256u);
+  EXPECT_EQ(p.db.num_records(), 8388608u);
+  EXPECT_EQ(p.db.segment_bytes(), 32768u);
+  // Segment I/O: 0.03 + 3e-6 * 8192 = 54.576 ms.
+  EXPECT_NEAR(p.disk.IoSeconds(8192), 0.054576, 1e-9);
+  // Per-segment update rate: 1000*5*8192/2^28.
+  EXPECT_NEAR(p.SegmentUpdateRate(), 0.152587890625, 1e-12);
+}
+
+TEST(CostModelTest, ValidationCatchesBadGeometry) {
+  SystemParams p = SystemParams::TestDefaults();
+  p.db.segment_words = 100;  // not a multiple of 32
+  EXPECT_FALSE(p.Validate().ok());
+  p = SystemParams::TestDefaults();
+  p.db.db_words = p.db.segment_words * 3 + 1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SystemParams::TestDefaults();
+  p.disk.num_disks = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SystemParams::TestDefaults();
+  p.txn.arrival_rate = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SystemParams::TestDefaults();
+  p.cpu_mips = -5;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(CostModelTest, InstructionConversion) {
+  SystemParams p;
+  p.cpu_mips = 50;
+  EXPECT_DOUBLE_EQ(p.InstructionsToSeconds(50e6), 1.0);
+  EXPECT_DOUBLE_EQ(p.InstructionsToSeconds(25000), 0.0005);
+}
+
+TEST(VirtualClockTest, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.AdvanceBy(1.5);
+  clock.AdvanceTo(2.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(CpuMeterTest, ChargesByCategory) {
+  CpuMeter m;
+  m.Charge(CpuCategory::kTxnLogic, 25000);
+  m.Charge(CpuCategory::kSyncLsn, 100);
+  m.Charge(CpuCategory::kCkptIo, 1000);
+  m.Charge(CpuCategory::kCkptCopy, 8192);
+  EXPECT_DOUBLE_EQ(m.Count(CpuCategory::kTxnLogic), 25000);
+  EXPECT_DOUBLE_EQ(m.Total(), 25000 + 100 + 1000 + 8192);
+  // Overhead splits: txn logic is base work, not overhead.
+  EXPECT_DOUBLE_EQ(m.SynchronousOverhead(), 100);
+  EXPECT_DOUBLE_EQ(m.AsynchronousOverhead(), 9192);
+  m.Reset();
+  EXPECT_DOUBLE_EQ(m.Total(), 0);
+}
+
+TEST(CpuMeterTest, RerunsCountAsSynchronousOverhead) {
+  CpuMeter m;
+  m.Charge(CpuCategory::kTxnRerun, 25000);
+  EXPECT_DOUBLE_EQ(m.SynchronousOverhead(), 25000);
+  EXPECT_DOUBLE_EQ(m.AsynchronousOverhead(), 0);
+}
+
+TEST(DiskModelTest, SingleRequestTiming) {
+  DiskParams dp;
+  dp.num_disks = 1;
+  DiskArrayModel disks(dp);
+  double done = disks.Submit(0.0, 8192);
+  EXPECT_NEAR(done, 0.03 + 3e-6 * 8192, 1e-12);
+  EXPECT_EQ(disks.RequestCount(), 1u);
+}
+
+TEST(DiskModelTest, ParallelismAcrossDevices) {
+  DiskParams dp;
+  dp.num_disks = 4;
+  DiskArrayModel disks(dp);
+  // 4 requests at t=0 run fully in parallel.
+  double last = 0;
+  for (int i = 0; i < 4; ++i) last = disks.Submit(0.0, 8192);
+  EXPECT_NEAR(last, dp.IoSeconds(8192), 1e-12);
+  // A 5th queues behind the earliest device.
+  double fifth = disks.Submit(0.0, 8192);
+  EXPECT_NEAR(fifth, 2 * dp.IoSeconds(8192), 1e-12);
+}
+
+TEST(DiskModelTest, ThroughputScalesWithDisks) {
+  DiskParams one;
+  one.num_disks = 1;
+  DiskParams twenty;
+  twenty.num_disks = 20;
+  DiskArrayModel a(one), b(twenty);
+  for (int i = 0; i < 100; ++i) {
+    a.Submit(0.0, 8192);
+    b.Submit(0.0, 8192);
+  }
+  EXPECT_NEAR(a.AllIdleTime() / b.AllIdleTime(), 20.0, 0.01);
+}
+
+TEST(DiskModelTest, NextAvailableAndIdle) {
+  DiskParams dp;
+  dp.num_disks = 2;
+  DiskArrayModel disks(dp);
+  EXPECT_DOUBLE_EQ(disks.NextAvailable(5.0), 5.0);
+  EXPECT_TRUE(disks.IdleAt(0.0));
+  disks.Submit(0.0, 1000);
+  disks.Submit(0.0, 1000);
+  EXPECT_GT(disks.NextAvailable(0.0), 0.0);
+  EXPECT_FALSE(disks.IdleAt(0.0));
+  EXPECT_TRUE(disks.IdleAt(disks.AllIdleTime()));
+  disks.Reset();
+  EXPECT_TRUE(disks.IdleAt(0.0));
+  EXPECT_EQ(disks.RequestCount(), 0u);
+}
+
+TEST(DiskModelTest, ArraySecondsFormula) {
+  DiskParams dp;  // 20 disks
+  // 32768 segments of 8192 words: the paper-scale full sweep.
+  double t = dp.ArraySeconds(32768, 8192);
+  EXPECT_NEAR(t, 32768 * 0.054576 / 20.0, 1e-6);
+}
+
+TEST(DiskModelTest, BusyAccounting) {
+  DiskParams dp;
+  dp.num_disks = 2;
+  DiskArrayModel disks(dp);
+  disks.Submit(0.0, 1000);
+  disks.Submit(0.0, 1000);
+  EXPECT_NEAR(disks.BusySeconds(), 2 * dp.IoSeconds(1000), 1e-12);
+}
+
+TEST(CpuCategoryTest, NamesAreStable) {
+  EXPECT_EQ(CpuCategoryName(CpuCategory::kTxnRerun), "txn_rerun");
+  EXPECT_EQ(CpuCategoryName(CpuCategory::kCkptCopy), "ckpt_copy");
+  EXPECT_EQ(CpuCategoryName(CpuCategory::kRecovery), "recovery");
+}
+
+}  // namespace
+}  // namespace mmdb

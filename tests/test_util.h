@@ -1,0 +1,83 @@
+#ifndef MMDB_TESTS_TEST_UTIL_H_
+#define MMDB_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "core/options.h"
+#include "core/workload.h"
+#include "env/env.h"
+#include "gtest/gtest.h"
+
+// Fails the current test if `expr` (a Status or StatusOr) is not OK.
+// Binds by const reference so move-only StatusOr payloads work.
+#define MMDB_ASSERT_OK(expr)                                   \
+  do {                                                         \
+    const auto& _assert_ok = (expr);                           \
+    ASSERT_TRUE(_assert_ok.ok()) << StatusOf(_assert_ok);      \
+  } while (0)
+
+#define MMDB_EXPECT_OK(expr)                                   \
+  do {                                                         \
+    const auto& _expect_ok = (expr);                           \
+    EXPECT_TRUE(_expect_ok.ok()) << StatusOf(_expect_ok);      \
+  } while (0)
+
+namespace mmdb {
+
+inline std::string StatusOf(const Status& s) { return s.ToString(); }
+template <typename T>
+std::string StatusOf(const StatusOr<T>& s) {
+  return s.status().ToString();
+}
+
+// A tiny engine configuration: 256 KiB database as 64 segments of 1024
+// words (32-word records), paper cost parameters otherwise. 64 segments
+// across 20 disks gives the sweep a real pipeline (several disk rounds), so
+// mid-sweep states - color boundaries, held locks, in-flight writes - are
+// observable; a full sweep costs ~64 * 0.033s / 20 disks of virtual time
+// and microseconds of real time.
+inline EngineOptions TinyOptions() {
+  EngineOptions opt;
+  opt.params.db.db_words = 64 * 1024;   // 64 segments
+  opt.params.db.segment_words = 1024;   // 4 KiB
+  opt.params.db.record_words = 32;
+  return opt;
+}
+
+// Verifies the recovered primary copy exactly: each record must hold its
+// newest committed image whose commit LSN was durable at crash time, or
+// zeros if it was never durably updated. This is the paper's durability
+// contract — commits are durable once their log records reach the disk,
+// volatile-only commits are legitimately lost.
+// `overrides` holds updates a test applied outside the driver (after the
+// driver finished), newest-last per record.
+inline void VerifyRecovered(
+    const Engine& engine, const WorkloadDriver& driver, Lsn durable_lsn,
+    const std::map<RecordId, std::pair<Lsn, std::string>>& overrides = {}) {
+  const auto& oracle = driver.history();
+  const std::string zeros(engine.db().record_bytes(), '\0');
+  for (RecordId r = 0; r < engine.db().num_records(); ++r) {
+    std::string_view expected = zeros;
+    auto it = oracle.find(r);
+    if (it != oracle.end()) {
+      for (const auto& commit : it->second) {
+        if (commit.lsn <= durable_lsn) {
+          expected = commit.image;  // history is in commit-LSN order
+        }
+      }
+    }
+    auto ov = overrides.find(r);
+    if (ov != overrides.end() && ov->second.first <= durable_lsn) {
+      expected = ov->second.second;
+    }
+    ASSERT_EQ(engine.ReadRecordRaw(r), expected)
+        << "record " << r << " (durable lsn " << durable_lsn << ")";
+  }
+}
+
+}  // namespace mmdb
+
+#endif  // MMDB_TESTS_TEST_UTIL_H_

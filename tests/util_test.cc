@@ -1,0 +1,261 @@
+// Unit tests for util/: Status, StatusOr, coding, CRC32C, Random,
+// Histogram, string helpers.
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/string_util.h"
+
+namespace mmdb {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = AbortedError("two-color violation");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(s.ToString(), "ABORTED: two-color violation");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_TRUE(InvalidArgumentError("x").IsInvalidArgument());
+  EXPECT_TRUE(NotFoundError("x").IsNotFound());
+  EXPECT_TRUE(CorruptionError("x").IsCorruption());
+  EXPECT_TRUE(IoError("x").IsIoError());
+  EXPECT_TRUE(FailedPreconditionError("x").IsFailedPrecondition());
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(NotSupportedError("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  StatusOr<int> bad = NotFoundError("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  MMDB_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  EXPECT_TRUE(UseHalf(7, &out).IsInvalidArgument());
+}
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed64(&buf, 0x0123456789abcdefull);
+  std::string_view in = buf;
+  uint32_t v32;
+  uint64_t v64;
+  ASSERT_TRUE(GetFixed32(&in, &v32));
+  ASSERT_TRUE(GetFixed64(&in, &v64));
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  EXPECT_EQ(v64, 0x0123456789abcdefull);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  const uint64_t cases[] = {0,           1,          127,
+                            128,         16383,      16384,
+                            (1ull << 32) - 1, 1ull << 32, UINT64_MAX};
+  for (uint64_t v : cases) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+    std::string_view in = buf;
+    uint64_t out;
+    ASSERT_TRUE(GetVarint64(&in, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string buf;
+  PutVarint64(&buf, (1ull << 32));
+  std::string_view in = buf;
+  uint32_t out;
+  EXPECT_FALSE(GetVarint32(&in, &out));
+}
+
+TEST(CodingTest, VarintRejectsTruncation) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  std::string_view in = buf;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(&in, &out));
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(300, 'x'));
+  std::string_view in = buf;
+  std::string_view a, b, c;
+  ASSERT_TRUE(GetLengthPrefixed(&in, &a));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &b));
+  ASSERT_TRUE(GetLengthPrefixed(&in, &c));
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(300, 'x'));
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: CRC-32C of 32 zero bytes.
+  char zeros[32] = {0};
+  EXPECT_EQ(crc32c::Value(zeros, sizeof(zeros)), 0x8a9136aau);
+  // "123456789" -> 0xe3069283.
+  EXPECT_EQ(crc32c::Value("123456789", 9), 0xe3069283u);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  const std::string data = "hello world, checkpointing";
+  uint32_t whole = crc32c::Value(data);
+  uint32_t split = crc32c::Extend(crc32c::Value(data.substr(0, 10)),
+                                  data.data() + 10, data.size() - 10);
+  EXPECT_EQ(whole, split);
+}
+
+TEST(Crc32cTest, MaskUnmaskInverse) {
+  for (uint32_t v : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(v)), v);
+    EXPECT_NE(crc32c::Mask(v), v);
+  }
+}
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, UniformInRange) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(17);
+    EXPECT_LT(v, 17u);
+  }
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(17));
+  EXPECT_EQ(seen.size(), 17u);  // all values hit
+}
+
+TEST(RandomTest, ExponentialMeanApproximatelyCorrect) {
+  Random rng(99);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.25);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random rng(7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_NEAR(h.StandardDeviation(), std::sqrt(2.0), 1e-9);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram h;
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.NextDouble() * 1000.0);
+  double last = 0;
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    double v = h.Percentile(p);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+  EXPECT_NEAR(h.Percentile(50), 500.0, 60.0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(StringUtilTest, StringPrintfHandlesLongOutput) {
+  std::string big(1000, 'a');
+  std::string out = StringPrintf("[%s]", big.c_str());
+  EXPECT_EQ(out.size(), 1002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StringUtilTest, StrSplit) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, ThousandsSeparators) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+}
+
+TEST(StringUtilTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("backup_0.db", "backup_"));
+  EXPECT_FALSE(StartsWith("db", "backup_"));
+  EXPECT_TRUE(EndsWith("wal.log", ".log"));
+  EXPECT_FALSE(EndsWith("wal.log", ".db"));
+}
+
+}  // namespace
+}  // namespace mmdb

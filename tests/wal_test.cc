@@ -1,0 +1,355 @@
+// Tests for wal/: record encoding, framing, the LogManager's modeled
+// durability and crash semantics, and the LogReader's scans.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "gtest/gtest.h"
+#include "sim/cpu_meter.h"
+#include "tests/test_util.h"
+#include "wal/log_manager.h"
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+
+namespace mmdb {
+namespace {
+
+TEST(LogRecordTest, UpdateRoundTrip) {
+  LogRecord r = LogRecord::Update(7, 123, std::string(128, 'q'));
+  r.lsn = 99;
+  std::string payload;
+  r.EncodeTo(&payload);
+  LogRecord out;
+  MMDB_ASSERT_OK(LogRecord::DecodeFrom(payload, &out));
+  EXPECT_EQ(out, r);
+}
+
+TEST(LogRecordTest, CommitAbortRoundTrip) {
+  for (LogRecord r : {LogRecord::Commit(5), LogRecord::Abort(6)}) {
+    r.lsn = 3;
+    std::string payload;
+    r.EncodeTo(&payload);
+    LogRecord out;
+    MMDB_ASSERT_OK(LogRecord::DecodeFrom(payload, &out));
+    EXPECT_EQ(out, r);
+  }
+}
+
+TEST(LogRecordTest, BeginCheckpointWithActiveList) {
+  LogRecord r = LogRecord::BeginCheckpoint(
+      4, 1000, {{10, kInvalidLsn}, {11, 55}});
+  r.lsn = 77;
+  std::string payload;
+  r.EncodeTo(&payload);
+  LogRecord out;
+  MMDB_ASSERT_OK(LogRecord::DecodeFrom(payload, &out));
+  EXPECT_EQ(out, r);
+  ASSERT_EQ(out.active_txns.size(), 2u);
+  EXPECT_EQ(out.active_txns[1].first_lsn, 55u);
+}
+
+TEST(LogRecordTest, EndCheckpointRoundTrip) {
+  LogRecord r = LogRecord::EndCheckpoint(9);
+  r.lsn = 80;
+  std::string payload;
+  r.EncodeTo(&payload);
+  LogRecord out;
+  MMDB_ASSERT_OK(LogRecord::DecodeFrom(payload, &out));
+  EXPECT_EQ(out, r);
+}
+
+TEST(LogRecordTest, DecodeRejectsGarbage) {
+  LogRecord out;
+  EXPECT_TRUE(LogRecord::DecodeFrom("", &out).IsCorruption());
+  EXPECT_TRUE(LogRecord::DecodeFrom("\x63", &out).IsCorruption());
+  // Valid record with trailing junk.
+  LogRecord r = LogRecord::Commit(1);
+  std::string payload;
+  r.EncodeTo(&payload);
+  payload += "junk";
+  EXPECT_TRUE(LogRecord::DecodeFrom(payload, &out).IsCorruption());
+}
+
+class LogManagerTest : public testing::Test {
+ protected:
+  void Open(bool stable = false) {
+    env_ = NewMemEnv();
+    log_ = std::make_unique<LogManager>(env_.get(), "wal.log",
+                                        SystemParams::TestDefaults(), &meter_,
+                                        stable);
+    MMDB_ASSERT_OK(log_->Open());
+  }
+
+  Lsn Append(TxnId txn) {
+    LogRecord r = LogRecord::Commit(txn);
+    return log_->Append(&r);
+  }
+
+  std::unique_ptr<Env> env_;
+  CpuMeter meter_;
+  std::unique_ptr<LogManager> log_;
+};
+
+TEST_F(LogManagerTest, LsnsAreDense) {
+  Open();
+  EXPECT_EQ(Append(1), 1u);
+  EXPECT_EQ(Append(2), 2u);
+  EXPECT_EQ(log_->NextLsn(), 3u);
+  EXPECT_EQ(log_->LastLsn(), 2u);
+}
+
+TEST_F(LogManagerTest, DurabilityTracksFlushCompletion) {
+  Open();
+  Append(1);
+  EXPECT_EQ(log_->DurableLsn(0.0), kInvalidLsn);
+  double done = log_->Flush(0.0);
+  EXPECT_GT(done, 0.0);
+  EXPECT_EQ(log_->DurableLsn(done - 1e-9), kInvalidLsn);
+  EXPECT_EQ(log_->DurableLsn(done), 1u);
+  // WhenDurable: already durable -> now; future flush -> completion.
+  Append(2);
+  EXPECT_EQ(log_->WhenDurable(1, done + 1.0), done + 1.0);
+  EXPECT_TRUE(std::isinf(log_->WhenDurable(2, done + 1.0)));
+  double done2 = log_->Flush(done + 1.0);
+  EXPECT_EQ(log_->WhenDurable(2, done + 1.0), done2);
+}
+
+TEST_F(LogManagerTest, StableTailDurableImmediately) {
+  Open(/*stable=*/true);
+  Lsn lsn = Append(1);
+  EXPECT_EQ(log_->DurableLsn(0.0), lsn);
+  EXPECT_EQ(log_->WhenDurable(lsn, 0.0), 0.0);
+}
+
+TEST_F(LogManagerTest, CrashDropsUnflushedAndUnlandedBytes) {
+  Open();
+  Append(1);
+  double done1 = log_->Flush(0.0);  // lands at done1
+  Append(2);
+  log_->Flush(done1);  // lands later
+  Append(3);           // never flushed
+  // Crash after the first flush landed but before the second.
+  MMDB_ASSERT_OK(log_->Crash(done1));
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  MMDB_ASSERT_OK(reader);
+  EXPECT_EQ(reader->num_records(), 1u);
+}
+
+TEST_F(LogManagerTest, StableCrashKeepsEverything) {
+  Open(/*stable=*/true);
+  Append(1);
+  log_->Flush(0.0);
+  Append(2);
+  Append(3);
+  MMDB_ASSERT_OK(log_->Crash(0.0));
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  MMDB_ASSERT_OK(reader);
+  EXPECT_EQ(reader->num_records(), 3u);
+}
+
+TEST_F(LogManagerTest, OpenExistingContinuesLsnsAndOffsets) {
+  Open();
+  Append(1);
+  Append(2);
+  log_->Flush(0.0);
+  MMDB_ASSERT_OK(log_->Crash(100.0));  // everything landed
+
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  MMDB_ASSERT_OK(reader);
+  ASSERT_EQ(reader->num_records(), 2u);
+
+  LogManager reopened(env_.get(), "wal.log", SystemParams::TestDefaults(),
+                      &meter_, false);
+  MMDB_ASSERT_OK(reopened.OpenExisting(reader->valid_bytes(), 3));
+  EXPECT_EQ(reopened.NextLsn(), 3u);
+  EXPECT_EQ(reopened.NextOffset(), reader->valid_bytes());
+  // The recovered prefix counts as durable.
+  EXPECT_EQ(reopened.DurableLsn(0.0), 2u);
+  EXPECT_EQ(reopened.WhenDurable(2, 5.0), 5.0);
+  // New appends work and survive their own flush.
+  LogRecord r = LogRecord::Commit(9);
+  EXPECT_EQ(reopened.Append(&r), 3u);
+  reopened.Flush(0.0);
+  MMDB_ASSERT_OK(reopened.Crash(1000.0));
+  auto reader2 = LogReader::Open(env_.get(), "wal.log");
+  MMDB_ASSERT_OK(reader2);
+  EXPECT_EQ(reader2->num_records(), 3u);
+}
+
+TEST_F(LogManagerTest, TruncateBeforeDropsPrefixKeepsOffsets) {
+  Open();
+  Lsn l1 = Append(1);
+  (void)l1;
+  log_->Flush(0.0);
+  uint64_t cut = log_->NextOffset();
+  Lsn l2 = Append(2);
+  log_->Flush(10.0);
+  MMDB_ASSERT_OK(log_->Crash(1000.0));  // settle everything into the file
+
+  LogManager reopened(env_.get(), "wal.log", SystemParams::TestDefaults(),
+                      &meter_, false);
+  MMDB_ASSERT_OK(reopened.OpenExisting(log_->NextOffset(), 3));
+  auto dropped = reopened.TruncateBefore(cut);
+  MMDB_ASSERT_OK(dropped);
+  EXPECT_EQ(*dropped, cut);
+  EXPECT_EQ(reopened.BaseOffset(), cut);
+  // Idempotent / already-truncated cuts are no-ops.
+  auto again = reopened.TruncateBefore(cut);
+  MMDB_ASSERT_OK(again);
+  EXPECT_EQ(*again, 0u);
+  // Past-the-end cuts are rejected.
+  EXPECT_FALSE(reopened.TruncateBefore(reopened.NextOffset() + 100).ok());
+
+  // The surviving record is still readable at its ORIGINAL offset.
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  MMDB_ASSERT_OK(reader);
+  EXPECT_EQ(reader->base_offset(), cut);
+  EXPECT_EQ(reader->num_records(), 1u);
+  auto rec = reader->RecordAt(cut);
+  MMDB_ASSERT_OK(rec);
+  EXPECT_EQ(rec->lsn, l2);
+  EXPECT_TRUE(reader->RecordAt(0).status().IsNotFound());
+}
+
+TEST_F(LogManagerTest, AppendsAfterTruncationSurvive) {
+  Open();
+  Append(1);
+  log_->Flush(0.0);
+  uint64_t cut = log_->NextOffset();
+  MMDB_ASSERT_OK(log_->TruncateBefore(cut).status());
+  Lsn l2 = Append(2);
+  log_->Flush(100.0);
+  MMDB_ASSERT_OK(log_->Crash(10000.0));
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  MMDB_ASSERT_OK(reader);
+  ASSERT_EQ(reader->num_records(), 1u);
+  auto rec = reader->RecordAt(cut);
+  MMDB_ASSERT_OK(rec);
+  EXPECT_EQ(rec->lsn, l2);
+}
+
+class LogReaderTest : public testing::Test {
+ protected:
+  std::string MakeLog(const std::vector<LogRecord>& records) {
+    std::string bytes;
+    Lsn lsn = 1;
+    for (LogRecord r : records) {
+      r.lsn = lsn++;
+      EncodeLogFrame(r, &bytes);
+    }
+    return bytes;
+  }
+};
+
+TEST_F(LogReaderTest, ForwardScanSeesAllRecords) {
+  LogReader reader(MakeLog({LogRecord::Commit(1), LogRecord::Commit(2),
+                            LogRecord::Commit(3)}));
+  EXPECT_FALSE(reader.truncated_tail());
+  std::vector<TxnId> seen;
+  MMDB_ASSERT_OK(reader.ScanForward(0, [&](const LogRecord& r, uint64_t) {
+    seen.push_back(r.txn_id);
+    return true;
+  }));
+  EXPECT_EQ(seen, (std::vector<TxnId>{1, 2, 3}));
+}
+
+TEST_F(LogReaderTest, BackwardScanReverses) {
+  LogReader reader(MakeLog({LogRecord::Commit(1), LogRecord::Commit(2)}));
+  std::vector<TxnId> seen;
+  MMDB_ASSERT_OK(reader.ScanBackward([&](const LogRecord& r, uint64_t) {
+    seen.push_back(r.txn_id);
+    return true;
+  }));
+  EXPECT_EQ(seen, (std::vector<TxnId>{2, 1}));
+}
+
+TEST_F(LogReaderTest, ScanFromSavedOffset) {
+  std::string bytes = MakeLog({LogRecord::Commit(1)});
+  uint64_t offset = bytes.size();
+  LogRecord marker = LogRecord::BeginCheckpoint(1, 0, {});
+  marker.lsn = 2;
+  EncodeLogFrame(marker, &bytes);
+  LogRecord after = LogRecord::Commit(3);
+  after.lsn = 3;
+  EncodeLogFrame(after, &bytes);
+
+  LogReader reader(std::move(bytes));
+  std::vector<Lsn> seen;
+  MMDB_ASSERT_OK(
+      reader.ScanForward(offset, [&](const LogRecord& r, uint64_t) {
+        seen.push_back(r.lsn);
+        return true;
+      }));
+  EXPECT_EQ(seen, (std::vector<Lsn>{2, 3}));
+  // Non-boundary offsets are rejected.
+  EXPECT_FALSE(reader.ScanForward(offset + 1, [](const LogRecord&, uint64_t) {
+    return true;
+  }).ok());
+}
+
+TEST_F(LogReaderTest, TornTailStopsCleanly) {
+  std::string bytes = MakeLog({LogRecord::Commit(1), LogRecord::Commit(2)});
+  uint64_t good = bytes.size();
+  bytes += MakeLog({LogRecord::Commit(3)}).substr(0, 7);  // partial frame
+  LogReader reader(std::move(bytes));
+  EXPECT_TRUE(reader.truncated_tail());
+  EXPECT_EQ(reader.num_records(), 2u);
+  EXPECT_EQ(reader.valid_bytes(), good);
+}
+
+TEST_F(LogReaderTest, CorruptPayloadStopsAtCrc) {
+  std::string bytes = MakeLog({LogRecord::Commit(1), LogRecord::Commit(2)});
+  bytes[6] ^= 0x40;  // flip a payload bit in the first frame
+  LogReader reader(std::move(bytes));
+  EXPECT_TRUE(reader.truncated_tail());
+  EXPECT_EQ(reader.num_records(), 0u);
+}
+
+TEST_F(LogReaderTest, FindLastCompleteCheckpoint) {
+  std::string bytes;
+  Lsn lsn = 1;
+  auto append = [&](LogRecord r) {
+    r.lsn = lsn++;
+    size_t at = bytes.size();
+    EncodeLogFrame(r, &bytes);
+    return at;
+  };
+  append(LogRecord::Commit(1));
+  uint64_t begin1 = append(LogRecord::BeginCheckpoint(1, 0, {}));
+  append(LogRecord::EndCheckpoint(1));
+  uint64_t begin2 = append(LogRecord::BeginCheckpoint(2, 0, {}));
+  append(LogRecord::EndCheckpoint(2));
+  append(LogRecord::BeginCheckpoint(3, 0, {}));  // incomplete: no end
+
+  LogReader reader(std::move(bytes));
+  auto marker = reader.FindLastCompleteCheckpoint();
+  MMDB_ASSERT_OK(marker);
+  EXPECT_EQ(marker->checkpoint_id, 2u);
+  EXPECT_EQ(marker->begin_offset, begin2);
+  EXPECT_NE(marker->begin_offset, begin1);
+}
+
+TEST_F(LogReaderTest, NoCompleteCheckpointIsNotFound) {
+  LogReader reader(
+      MakeLog({LogRecord::Commit(1), LogRecord::BeginCheckpoint(1, 0, {})}));
+  EXPECT_TRUE(reader.FindLastCompleteCheckpoint().status().IsNotFound());
+}
+
+TEST_F(LogReaderTest, RecordAtExactOffsets) {
+  std::string bytes = MakeLog({LogRecord::Commit(1)});
+  uint64_t second = bytes.size();
+  LogRecord r2 = LogRecord::Commit(2);
+  r2.lsn = 2;
+  EncodeLogFrame(r2, &bytes);
+  LogReader reader(std::move(bytes));
+  auto rec = reader.RecordAt(second);
+  MMDB_ASSERT_OK(rec);
+  EXPECT_EQ(rec->txn_id, 2u);
+  EXPECT_TRUE(reader.RecordAt(second + 1).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace mmdb
