@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_overhead_recovery.dir/fig4a_overhead_recovery.cc.o"
+  "CMakeFiles/fig4a_overhead_recovery.dir/fig4a_overhead_recovery.cc.o.d"
+  "fig4a_overhead_recovery"
+  "fig4a_overhead_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_overhead_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_tradeoff.dir/fig4b_tradeoff.cc.o"
+  "CMakeFiles/fig4b_tradeoff.dir/fig4b_tradeoff.cc.o.d"
+  "fig4b_tradeoff"
+  "fig4b_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

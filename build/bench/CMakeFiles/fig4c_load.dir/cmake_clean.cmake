@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_load.dir/fig4c_load.cc.o"
+  "CMakeFiles/fig4c_load.dir/fig4c_load.cc.o.d"
+  "fig4c_load"
+  "fig4c_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_segment_size.dir/fig4d_segment_size.cc.o"
+  "CMakeFiles/fig4d_segment_size.dir/fig4d_segment_size.cc.o.d"
+  "fig4d_segment_size"
+  "fig4d_segment_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_segment_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4e_stable_log.dir/fig4e_stable_log.cc.o"
+  "CMakeFiles/fig4e_stable_log.dir/fig4e_stable_log.cc.o.d"
+  "fig4e_stable_log"
+  "fig4e_stable_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4e_stable_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_billing.dir/telecom_billing.cpp.o"
+  "CMakeFiles/telecom_billing.dir/telecom_billing.cpp.o.d"
+  "telecom_billing"
+  "telecom_billing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_billing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("env")
+subdirs("sim")
+subdirs("storage")
+subdirs("wal")
+subdirs("backup")
+subdirs("txn")
+subdirs("checkpoint")
+subdirs("recovery")
+subdirs("core")
+subdirs("model")
+subdirs("tools")

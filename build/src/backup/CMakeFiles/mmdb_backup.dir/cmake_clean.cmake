@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_backup.dir/backup_store.cc.o"
+  "CMakeFiles/mmdb_backup.dir/backup_store.cc.o.d"
+  "libmmdb_backup.a"
+  "libmmdb_backup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_backup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_checkpoint.dir/checkpointer.cc.o"
+  "CMakeFiles/mmdb_checkpoint.dir/checkpointer.cc.o.d"
+  "CMakeFiles/mmdb_checkpoint.dir/cou.cc.o"
+  "CMakeFiles/mmdb_checkpoint.dir/cou.cc.o.d"
+  "CMakeFiles/mmdb_checkpoint.dir/fuzzy.cc.o"
+  "CMakeFiles/mmdb_checkpoint.dir/fuzzy.cc.o.d"
+  "CMakeFiles/mmdb_checkpoint.dir/two_color.cc.o"
+  "CMakeFiles/mmdb_checkpoint.dir/two_color.cc.o.d"
+  "libmmdb_checkpoint.a"
+  "libmmdb_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

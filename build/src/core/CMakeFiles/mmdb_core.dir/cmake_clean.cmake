@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_core.dir/engine.cc.o"
+  "CMakeFiles/mmdb_core.dir/engine.cc.o.d"
+  "CMakeFiles/mmdb_core.dir/workload.cc.o"
+  "CMakeFiles/mmdb_core.dir/workload.cc.o.d"
+  "libmmdb_core.a"
+  "libmmdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_env.dir/env.cc.o"
+  "CMakeFiles/mmdb_env.dir/env.cc.o.d"
+  "CMakeFiles/mmdb_env.dir/mem_env.cc.o"
+  "CMakeFiles/mmdb_env.dir/mem_env.cc.o.d"
+  "CMakeFiles/mmdb_env.dir/posix_env.cc.o"
+  "CMakeFiles/mmdb_env.dir/posix_env.cc.o.d"
+  "libmmdb_env.a"
+  "libmmdb_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

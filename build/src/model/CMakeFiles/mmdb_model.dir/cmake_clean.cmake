@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_model.dir/analytic_model.cc.o"
+  "CMakeFiles/mmdb_model.dir/analytic_model.cc.o.d"
+  "libmmdb_model.a"
+  "libmmdb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

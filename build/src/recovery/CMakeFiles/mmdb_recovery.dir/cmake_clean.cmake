@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_recovery.dir/recovery_manager.cc.o"
+  "CMakeFiles/mmdb_recovery.dir/recovery_manager.cc.o.d"
+  "libmmdb_recovery.a"
+  "libmmdb_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_sim.dir/cost_model.cc.o"
+  "CMakeFiles/mmdb_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/mmdb_sim.dir/cpu_meter.cc.o"
+  "CMakeFiles/mmdb_sim.dir/cpu_meter.cc.o.d"
+  "CMakeFiles/mmdb_sim.dir/disk_model.cc.o"
+  "CMakeFiles/mmdb_sim.dir/disk_model.cc.o.d"
+  "libmmdb_sim.a"
+  "libmmdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/mmdb_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/mmdb_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/mmdb_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/mmdb_storage.dir/database.cc.o.d"
+  "/root/repo/src/storage/segment_table.cc" "src/storage/CMakeFiles/mmdb_storage.dir/segment_table.cc.o" "gcc" "src/storage/CMakeFiles/mmdb_storage.dir/segment_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mmdb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmdb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/mmdb_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/database.cc.o"
+  "CMakeFiles/mmdb_storage.dir/database.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/segment_table.cc.o"
+  "CMakeFiles/mmdb_storage.dir/segment_table.cc.o.d"
+  "libmmdb_storage.a"
+  "libmmdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

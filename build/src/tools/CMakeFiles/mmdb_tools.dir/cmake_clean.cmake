@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_tools.dir/inspect.cc.o"
+  "CMakeFiles/mmdb_tools.dir/inspect.cc.o.d"
+  "libmmdb_tools.a"
+  "libmmdb_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

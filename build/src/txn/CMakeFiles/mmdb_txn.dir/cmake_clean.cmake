@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/mmdb_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn_manager.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn_manager.cc.o.d"
+  "libmmdb_txn.a"
+  "libmmdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

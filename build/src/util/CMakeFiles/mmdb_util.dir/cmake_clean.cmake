@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_util.dir/coding.cc.o"
+  "CMakeFiles/mmdb_util.dir/coding.cc.o.d"
+  "CMakeFiles/mmdb_util.dir/crc32c.cc.o"
+  "CMakeFiles/mmdb_util.dir/crc32c.cc.o.d"
+  "CMakeFiles/mmdb_util.dir/histogram.cc.o"
+  "CMakeFiles/mmdb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/mmdb_util.dir/status.cc.o"
+  "CMakeFiles/mmdb_util.dir/status.cc.o.d"
+  "CMakeFiles/mmdb_util.dir/string_util.cc.o"
+  "CMakeFiles/mmdb_util.dir/string_util.cc.o.d"
+  "libmmdb_util.a"
+  "libmmdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

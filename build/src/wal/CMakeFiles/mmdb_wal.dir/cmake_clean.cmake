@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_wal.dir/log_manager.cc.o"
+  "CMakeFiles/mmdb_wal.dir/log_manager.cc.o.d"
+  "CMakeFiles/mmdb_wal.dir/log_reader.cc.o"
+  "CMakeFiles/mmdb_wal.dir/log_reader.cc.o.d"
+  "CMakeFiles/mmdb_wal.dir/log_record.cc.o"
+  "CMakeFiles/mmdb_wal.dir/log_record.cc.o.d"
+  "libmmdb_wal.a"
+  "libmmdb_wal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_wal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

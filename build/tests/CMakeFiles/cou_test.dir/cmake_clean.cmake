@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cou_test.dir/cou_test.cc.o"
+  "CMakeFiles/cou_test.dir/cou_test.cc.o.d"
+  "cou_test"
+  "cou_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cou_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

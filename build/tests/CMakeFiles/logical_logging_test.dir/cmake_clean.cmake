@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logical_logging_test.dir/logical_logging_test.cc.o"
+  "CMakeFiles/logical_logging_test.dir/logical_logging_test.cc.o.d"
+  "logical_logging_test"
+  "logical_logging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logical_logging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/recovery_test.cc" "tests/CMakeFiles/recovery_test.dir/recovery_test.cc.o" "gcc" "tests/CMakeFiles/recovery_test.dir/recovery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/mmdb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tools/CMakeFiles/mmdb_tools.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/mmdb_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkpoint/CMakeFiles/mmdb_checkpoint.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mmdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/wal/CMakeFiles/mmdb_wal.dir/DependInfo.cmake"
+  "/root/repo/build/src/backup/CMakeFiles/mmdb_backup.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/mmdb_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mmdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

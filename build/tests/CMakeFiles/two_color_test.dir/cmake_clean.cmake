@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_color_test.dir/two_color_test.cc.o"
+  "CMakeFiles/two_color_test.dir/two_color_test.cc.o.d"
+  "two_color_test"
+  "two_color_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_color_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_backup_inspect.dir/mmdb_backup_inspect.cc.o"
+  "CMakeFiles/mmdb_backup_inspect.dir/mmdb_backup_inspect.cc.o.d"
+  "mmdb_backup_inspect"
+  "mmdb_backup_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_backup_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

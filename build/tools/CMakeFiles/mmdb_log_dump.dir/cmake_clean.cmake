@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_log_dump.dir/mmdb_log_dump.cc.o"
+  "CMakeFiles/mmdb_log_dump.dir/mmdb_log_dump.cc.o.d"
+  "mmdb_log_dump"
+  "mmdb_log_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_log_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
