@@ -94,6 +94,7 @@ Status Checkpointer::Begin(CheckpointId id, double now) {
   next_due_ = now;
   last_write_done_ = now;
   locked_until_.clear();
+  cleared_dirty_.clear();
 
   // Let the algorithm quiesce / assign tau(CH) before the marker is cut.
   MMDB_RETURN_IF_ERROR(OnBegin(now));
@@ -106,8 +107,10 @@ Status Checkpointer::Begin(CheckpointId id, double now) {
   // The marker (and everything before it) must be durable before the first
   // segment image can land in the backup; gating the whole sweep on the
   // flush keeps every algorithm safe and matches Figure 3.3's "log
-  // begin-checkpoint record and flush log tail".
-  sweep_start_ = ctx_.log->Flush(now);
+  // begin-checkpoint record and flush log tail". A flush failure leaves
+  // the state idle; the stray begin marker in the retained tail is
+  // harmless (recovery only trusts begin/end pairs).
+  MMDB_ASSIGN_OR_RETURN(sweep_start_, ctx_.log->Flush(now));
   if (QuiescesTransactions()) {
     stats_.quiesce_seconds = sweep_start_ - now;
   }
@@ -134,6 +137,7 @@ StatusOr<double> Checkpointer::SubmitWrite(SegmentId s, std::string_view data,
                         ctx_.backup->WriteSegment(copy(), s, data, issue));
   last_write_done_ = std::max(last_write_done_, done);
   ctx_.segments->ClearDirty(s, copy());
+  cleared_dirty_.push_back(s);
   ++stats_.segments_flushed;
   if (lock_through_io) {
     locked_until_[s] = done;
@@ -142,13 +146,13 @@ StatusOr<double> Checkpointer::SubmitWrite(SegmentId s, std::string_view data,
   return done;
 }
 
-double Checkpointer::WhenLogDurable(Lsn lsn, double now) {
+StatusOr<double> Checkpointer::WhenLogDurable(Lsn lsn, double now) {
   double t = ctx_.log->WhenDurable(lsn, now);
   if (t == kNever) {
     // The record is still in the volatile tail: wait for the next group
     // flush. Modeled by flushing now — equivalent timing to the engine's
     // group commit running immediately.
-    ctx_.log->Flush(now);
+    MMDB_RETURN_IF_ERROR(ctx_.log->Flush(now).status());
     t = ctx_.log->WhenDurable(lsn, now);
   }
   return t;
@@ -205,13 +209,25 @@ StatusOr<double> Checkpointer::Step(double now) {
       locked_until_.clear();
       LogRecord end = LogRecord::EndCheckpoint(id_);
       ctx_.log->Append(&end);
-      end_marker_durable_ = ctx_.log->Flush(now);
+      MMDB_ASSIGN_OR_RETURN(end_marker_durable_, ctx_.log->Flush(now));
       state_ = State::kFinalizing;
       return end_marker_durable_;
     }
 
     case State::kFinalizing: {
       if (now < end_marker_durable_) return end_marker_durable_;
+      // Past this point the checkpoint IS complete: every segment write
+      // has drained and the end marker is durable, so recovery can already
+      // restore this copy (the log's backward scan outranks the metadata
+      // file). A failure below — the metadata rewrite — therefore finishes
+      // the checkpoint and surfaces the error instead of aborting it;
+      // aborting would log a second begin marker with this id after its
+      // end marker, and the stale pair could certify the half-rewritten
+      // copy the retry leaves behind at a crash.
+      stats_.end_time = now;
+      last_stats_ = stats_;
+      history_.push_back(stats_);
+      state_ = State::kIdle;
       MMDB_RETURN_IF_ERROR(OnComplete(now));
       CheckpointMeta meta;
       meta.checkpoint_id = id_;
@@ -220,10 +236,6 @@ StatusOr<double> Checkpointer::Step(double now) {
       meta.begin_lsn = begin_marker_lsn_;
       meta.tau = tau_ch_;
       MMDB_RETURN_IF_ERROR(ctx_.backup->CommitCheckpoint(meta));
-      stats_.end_time = now;
-      last_stats_ = stats_;
-      history_.push_back(stats_);
-      state_ = State::kIdle;
       return kNever;
     }
   }
@@ -249,7 +261,20 @@ void Checkpointer::Reset() {
     ctx_.segments->set_ckpt_locked(seg, false);
   }
   locked_until_.clear();
+  cleared_dirty_.clear();
   state_ = State::kIdle;
+}
+
+void Checkpointer::Abort() {
+  if (!InProgress()) return;
+  // Re-dirty everything this attempt flushed: the copy now holds a mix of
+  // this attempt's and stale images, and the retry (same id, same copy)
+  // must rewrite all of it even in partial mode.
+  for (SegmentId s : cleared_dirty_) {
+    ctx_.segments->MarkDirtyCopy(s, copy());
+  }
+  ++aborted_count_;
+  Reset();
 }
 
 double Checkpointer::EarliestExecutionTime(

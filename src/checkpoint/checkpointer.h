@@ -128,6 +128,16 @@ class Checkpointer : public CheckpointHooks {
   // Abandons any in-progress checkpoint and volatile state (crash path).
   virtual void Reset();
 
+  // Aborts an in-progress checkpoint after an I/O failure: releases locks
+  // and algorithm state (via Reset) and re-marks the dirty bits of every
+  // segment this attempt had cleared, so the next attempt — which reuses
+  // the same id and therefore the same ping-pong copy — rewrites them.
+  // The previous complete copy is never touched by a failed attempt, so a
+  // readable backup exists throughout. No-op when idle.
+  void Abort();
+  // Checkpoints abandoned via Abort() since construction.
+  uint64_t aborted_count() const { return aborted_count_; }
+
   // --- CheckpointHooks (defaults; subclasses refine) ---------------------
   double EarliestExecutionTime(const std::vector<SegmentId>& segments,
                                double now) const override;
@@ -178,8 +188,9 @@ class Checkpointer : public CheckpointHooks {
 
   // Time at which the log is durable through `lsn`, flushing the tail if
   // the record is still buffered (models waiting for the next group
-  // flush).
-  double WhenLogDurable(Lsn lsn, double now);
+  // flush). Surfaces the flush's device error, which fails the checkpoint
+  // (the write-ahead gate cannot be satisfied).
+  StatusOr<double> WhenLogDurable(Lsn lsn, double now);
 
   // Charges c * C_lock to the checkpointer lock category.
   void ChargeCkptLocks(int ops);
@@ -203,6 +214,10 @@ class Checkpointer : public CheckpointHooks {
   // Segments the checkpointer holds locked through an in-flight disk I/O,
   // mapped to the lock release (I/O completion) time.
   std::unordered_map<SegmentId, double> locked_until_;
+
+  // Segments whose dirty bit this attempt cleared; Abort() restores them.
+  std::vector<SegmentId> cleared_dirty_;
+  uint64_t aborted_count_ = 0;
 
   CheckpointStats stats_;       // in-progress
   CheckpointStats last_stats_;  // most recently completed

@@ -18,7 +18,8 @@ Status FuzzyCopyCheckpointer::ProcessSegment(SegmentId s, double now) {
   ++stats_.checkpointer_copies;
 
   Lsn required = std::max(ctx_.segments->update_lsn(s), begin_marker_lsn_);
-  double earliest = std::max(sweep_start_, WhenLogDurable(required, now));
+  MMDB_ASSIGN_OR_RETURN(double durable_at, WhenLogDurable(required, now));
+  double earliest = std::max(sweep_start_, durable_at);
   return SubmitWrite(s, ctx_.db->ReadSegment(s), now, earliest,
                      /*lock_through_io=*/false)
       .status();

@@ -20,7 +20,8 @@ Status TwoColorCheckpointer::ProcessSegment(SegmentId s, double now) {
                                ctx_.params.db.segment_words);
     ++stats_.checkpointer_copies;
     ctx_.segments->Paint(s, PaintColor::kBlack);
-    double earliest = std::max(sweep_start_, WhenLogDurable(required, now));
+    MMDB_ASSIGN_OR_RETURN(double durable_at, WhenLogDurable(required, now));
+    double earliest = std::max(sweep_start_, durable_at);
     return SubmitWrite(s, ctx_.db->ReadSegment(s), now, earliest,
                        /*lock_through_io=*/false)
         .status();
@@ -30,7 +31,8 @@ Status TwoColorCheckpointer::ProcessSegment(SegmentId s, double now) {
   // delay); the image goes straight from database memory to disk.
   ChargeCkptLocks(2);
   ctx_.segments->Paint(s, PaintColor::kBlack);
-  double earliest = std::max(sweep_start_, WhenLogDurable(required, now));
+  MMDB_ASSIGN_OR_RETURN(double durable_at, WhenLogDurable(required, now));
+  double earliest = std::max(sweep_start_, durable_at);
   return SubmitWrite(s, ctx_.db->ReadSegment(s), now, earliest,
                      /*lock_through_io=*/true)
       .status();

@@ -40,8 +40,8 @@ StatusOr<std::unique_ptr<Engine>> Engine::OpenExisting(
   // Restart is recovery: rebuild the primary copy from the backup and log
   // exactly as after a power failure, then resume numbering.
   engine->crashed_ = true;
-  MMDB_ASSIGN_OR_RETURN(RecoveryStats stats, engine->Recover());
-  engine->scheduler_.Restore(stats.checkpoint_id, engine->clock_.now());
+  // Recover() also restores the checkpoint numbering.
+  MMDB_RETURN_IF_ERROR(engine->Recover().status());
   return engine;
 }
 
@@ -122,7 +122,11 @@ Status Engine::WriteDelta(Transaction* txn, RecordId record,
         "boundary-consistent backup corrupts data");
   }
   MMDB_RETURN_IF_ERROR(WaitForAdmission({db_->SegmentOf(record)}));
-  return txns_->WriteDelta(txn, record, field_offset, delta, clock_.now());
+  Status st = txns_->WriteDelta(txn, record, field_offset, delta, clock_.now());
+  // Once a delta is staged the log may carry non-idempotent REDO records,
+  // which rules out checkpoint abort-and-retry (see FailCheckpoint).
+  if (st.ok()) logical_deltas_logged_ = true;
+  return st;
 }
 
 StatusOr<Lsn> Engine::ApplyDelta(RecordId record, uint32_t field_offset,
@@ -150,7 +154,9 @@ StatusOr<Lsn> Engine::ApplyDelta(RecordId record, uint32_t field_offset,
 StatusOr<Lsn> Engine::Commit(Transaction* txn) {
   if (crashed_) return FailedPreconditionError("engine has crashed");
   // Installing updates touches the written segments; respect checkpoint
-  // locks covering them.
+  // locks covering them. Deduplicate — a transaction writing several
+  // records of one segment must wait on (and be charged for) that
+  // segment's lock once, not once per record.
   std::vector<SegmentId> segs;
   for (const auto& [record, image] : txn->pending) {
     segs.push_back(db_->SegmentOf(record));
@@ -158,9 +164,16 @@ StatusOr<Lsn> Engine::Commit(Transaction* txn) {
   for (const auto& [key, delta] : txn->pending_deltas) {
     segs.push_back(db_->SegmentOf(key.first));
   }
+  std::sort(segs.begin(), segs.end());
+  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
   MMDB_RETURN_IF_ERROR(WaitForAdmission(segs));
   StatusOr<Lsn> lsn = txns_->Commit(txn, clock_.now());
-  if (lsn.ok()) MaybeGroupFlush();
+  if (!lsn.ok()) return lsn;
+  // Surface log-device errors to the committer. The transaction is applied
+  // in memory and its records sit in the retained log tail — a later
+  // successful flush still makes it durable — but the caller must learn
+  // that durability did not advance here.
+  MMDB_RETURN_IF_ERROR(MaybeGroupFlush());
   return lsn;
 }
 
@@ -218,14 +231,46 @@ Status Engine::StartCheckpoint() {
   return Status::OK();
 }
 
+Status Engine::FailCheckpoint(Status error) {
+  // Abort-and-retry: the attempt's partial work is discarded (dirty bits
+  // restored, locks released) and the previous complete backup copy is
+  // untouched, so a readable backup still exists. The scheduler's
+  // completed count is unchanged, so the next StartCheckpoint reuses the
+  // same id and rewrites the same torn ping-pong copy.
+  checkpointer_->Abort();
+  last_checkpoint_error_ = error;
+  if (logical_deltas_logged_) {
+    // Retrying is only sound because replaying full-image REDO records is
+    // idempotent: the retried copy mixes two attempts' segment images, and
+    // replay from the certified begin marker repaints every record anyway.
+    // Logical deltas are not idempotent — replaying them over a segment
+    // the retry already rewrote would apply them twice — so a logical-
+    // logging engine halts instead. The lost tail also discards any stale
+    // end marker this attempt left in the unflushed tail, so recovery
+    // restores the last complete checkpoint exactly.
+    (void)Crash();
+  }
+  return error;
+}
+
 Status Engine::StepCheckpoint() {
   if (!checkpointer_->InProgress()) return Status::OK();
-  MMDB_ASSIGN_OR_RETURN(double next, checkpointer_->Step(clock_.now()));
+  StatusOr<double> next = checkpointer_->Step(clock_.now());
   if (!checkpointer_->InProgress()) {
+    // The checkpoint completed. `next` may still hold an error: a failed
+    // metadata rewrite after the end marker was durable. The copy is
+    // complete and the log certifies it (recovery trusts the backward scan
+    // over stale metadata), so the schedule advances either way and the
+    // error is only surfaced, not retried.
     scheduler_.OnComplete(clock_.now());
+    if (!next.ok()) {
+      last_checkpoint_error_ = next.status();
+      return next.status();
+    }
     return MaybeTruncateLog();
   }
-  if (next > clock_.now()) clock_.AdvanceTo(next);
+  if (!next.ok()) return FailCheckpoint(next.status());
+  if (*next > clock_.now()) clock_.AdvanceTo(*next);
   return Status::OK();
 }
 
@@ -249,18 +294,48 @@ Status Engine::AdvanceTime(double seconds) {
                             : kNoEvent;
     double next_ckpt = kNoEvent;
     if (checkpointer_->InProgress()) {
-      MMDB_ASSIGN_OR_RETURN(next_ckpt, checkpointer_->Step(clock_.now()));
+      StatusOr<double> stepped = checkpointer_->Step(clock_.now());
       if (!checkpointer_->InProgress()) {
+        // Completed — possibly with a failed metadata rewrite, which still
+        // counts (the durable end marker certifies the copy; recovery
+        // trusts the log over stale metadata). See StepCheckpoint.
         scheduler_.OnComplete(clock_.now());
-        MMDB_RETURN_IF_ERROR(MaybeTruncateLog());
+        if (stepped.ok()) {
+          MMDB_RETURN_IF_ERROR(MaybeTruncateLog());
+        } else {
+          last_checkpoint_error_ = stepped.status();
+        }
         continue;  // state changed at the current instant; re-evaluate
       }
+      if (!stepped.ok()) {
+        // Background servicing degrades gracefully: the checkpoint aborts
+        // (to be retried next interval) but the timeline — and the
+        // transaction the caller is waiting on — continues. A logical-
+        // logging engine halts instead (see FailCheckpoint), and the
+        // caller sees its failed-precondition errors from then on.
+        (void)FailCheckpoint(stepped.status());
+        if (crashed_) {
+          return FailedPreconditionError(
+              "engine halted: checkpoint failed under logical logging");
+        }
+        continue;
+      }
+      next_ckpt = *stepped;
       if (next_ckpt <= clock_.now()) continue;  // more work due now
     }
     double next_event = std::min(next_flush, next_ckpt);
     if (next_event > target) break;
     clock_.AdvanceTo(next_event);
-    if (next_event == next_flush) log_->Flush(clock_.now());
+    if (next_event == next_flush) {
+      // A failed cadence flush keeps the tail; durability just does not
+      // advance until a later flush succeeds. With a zero flush interval a
+      // persistent device error would retry at the same instant forever —
+      // stop servicing events and let the clock jump to the target.
+      if (!log_->Flush(clock_.now()).ok() &&
+          options_.log_flush_interval <= 0) {
+        break;
+      }
+    }
   }
   clock_.AdvanceTo(target);
   return Status::OK();
@@ -274,14 +349,22 @@ Status Engine::MaybeTruncateLog() {
   }
   // Everything before the newest complete checkpoint's begin marker is
   // unreachable by recovery (which replays forward from that marker).
-  return log_->TruncateBefore(meta->log_offset).status();
+  Status st = log_->TruncateBefore(meta->log_offset).status();
+  // Truncation is purely an optimization, and a failed rewrite leaves the
+  // original file intact (temp + rename): degrade by keeping the longer
+  // log and retrying after the next checkpoint.
+  if (st.IsIoError()) return Status::OK();
+  return st;
 }
 
-void Engine::MaybeGroupFlush() {
+Status Engine::MaybeGroupFlush() {
   if (log_->TailBytes() >= options_.log_group_bytes) {
-    log_->Flush(clock_.now());
+    return log_->Flush(clock_.now()).status();
   }
+  return Status::OK();
 }
+
+Status Engine::FlushLog() { return log_->Flush(clock_.now()).status(); }
 
 Status Engine::Crash() {
   if (crashed_) return FailedPreconditionError("already crashed");
@@ -312,8 +395,13 @@ StatusOr<RecoveryStats> Engine::Recover() {
   // this, a checkpoint completed in the log but not yet in the metadata
   // would get its id REUSED by the next sweep — and a later backward scan
   // could pair the old incarnation's end marker with the new (possibly
-  // torn) incarnation's backup copy.
-  scheduler_.Restore(result.stats.checkpoint_id, clock_.now());
+  // torn) incarnation's backup copy. The same hazard arises when recovery
+  // fell back past a bad newer copy: skip beyond every end marker already
+  // in the log, preserving the ping-pong parity so the next checkpoint
+  // rewrites the damaged copy and leaves the restored one untouched.
+  CheckpointId next = result.stats.checkpoint_id + 1;
+  while (next <= result.newest_end_id) next += 2;
+  scheduler_.Restore(next - 1, clock_.now());
   return result.stats;
 }
 

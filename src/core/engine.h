@@ -115,18 +115,31 @@ class Engine {
   Status StartCheckpoint();
   bool CheckpointInProgress() const { return checkpointer_->InProgress(); }
   // Advances the in-progress checkpoint by one event, moving the clock to
-  // that event's time. No-op when idle.
+  // that event's time. No-op when idle. On a device error the checkpoint
+  // is aborted (dirty bits restored, previous complete backup untouched)
+  // and the error returned; the next StartCheckpoint retries with the same
+  // id, overwriting the torn ping-pong copy.
   Status StepCheckpoint();
   // Starts (if idle) and drives the checkpoint to completion.
   Status RunCheckpointToCompletion();
+  // Most recent checkpoint failure (OK if none ever failed). Failures
+  // encountered while AdvanceTime services checkpoint events are recorded
+  // here rather than failing the timeline.
+  const Status& last_checkpoint_error() const {
+    return last_checkpoint_error_;
+  }
 
   // --- time & durability -------------------------------------------------
   double now() const { return clock_.now(); }
   // Moves the clock forward, flushing the log on the group-commit cadence
-  // and servicing due checkpoint events along the way.
+  // and servicing due checkpoint events along the way. Device errors on
+  // those background flushes/checkpoints degrade gracefully (durability
+  // simply does not advance; the checkpoint aborts and will retry) instead
+  // of failing the timeline.
   Status AdvanceTime(double seconds);
   // Forces a log flush now (durable at the modeled completion time).
-  void FlushLog() { log_->Flush(clock_.now()); }
+  // Surfaces the device error if the flush failed.
+  Status FlushLog();
   // Highest LSN guaranteed durable at the current time.
   Lsn DurableLsn() const { return log_->DurableLsn(clock_.now()); }
 
@@ -169,7 +182,9 @@ class Engine {
   // Waits (advances the clock) until a transaction may touch `segments`.
   Status WaitForAdmission(const std::vector<SegmentId>& segments);
   // Flushes the log if the tail exceeds the group-commit threshold.
-  void MaybeGroupFlush();
+  Status MaybeGroupFlush();
+  // Aborts the in-progress checkpoint after `error` and records it.
+  Status FailCheckpoint(Status error);
 
   EngineOptions options_;
   Env* env_;
@@ -190,6 +205,10 @@ class Engine {
 
   uint64_t apply_seed_ = 0x6d6d6462;  // backoff jitter for Apply retries
   bool crashed_ = false;
+  Status last_checkpoint_error_;
+  // Whether any logical delta has been staged: checkpoint failures then
+  // halt the engine instead of retrying (delta replay is not idempotent).
+  bool logical_deltas_logged_ = false;
 };
 
 }  // namespace mmdb

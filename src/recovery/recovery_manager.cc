@@ -30,12 +30,14 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
   // --- Phase 1: decide which checkpoint to restore ----------------------
   // Two sources name the last complete checkpoint: the metadata file
   // (renamed into place after the end marker is durable) and the log's own
-  // backward scan for an end-checkpoint marker (the paper's rule). They
-  // can legitimately disagree by exactly one checkpoint: a crash can land
-  // after the end marker reached stable storage but before the metadata
-  // rename. The log is then ahead, and the newer checkpoint IS complete
-  // (its segment writes all finished before its end marker was cut), so
-  // the log wins. Any other disagreement is corruption.
+  // backward scan for an end-checkpoint marker (the paper's rule). The
+  // metadata may legitimately lag: a crash can land after the end marker
+  // reached stable storage but before the metadata rename, and failed
+  // metadata rewrites degrade gracefully (the checkpoint still counts), so
+  // the lag can span several checkpoints. The log is then ahead, and the
+  // newer checkpoint IS complete (its segment writes all finished before
+  // its end marker was cut), so the log wins. Metadata NEWER than the
+  // log's last end marker is corruption.
   db->Clear();
   MMDB_ASSIGN_OR_RETURN(LogReader reader, LogReader::Open(env_, log_path));
   result.log_valid_bytes = reader.valid_bytes();
@@ -61,10 +63,14 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
             static_cast<unsigned long long>(meta->checkpoint_id)));
       }
       restore_copy = meta->copy;
-    } else if (!meta.ok() || meta->checkpoint_id + 1 == marker->checkpoint_id) {
-      // Metadata lags by one (or is missing for the very first
-      // checkpoint): trust the log, and repair the metadata so later
-      // restarts (and log truncation) see a consistent pair.
+    } else if (!meta.ok() || meta->checkpoint_id < marker->checkpoint_id) {
+      // Metadata lags the log (or is missing for the very first
+      // checkpoint): a crash can land after the end marker reached stable
+      // storage but before the metadata rename, and with graceful
+      // degradation of failed metadata rewrites the lag can exceed one
+      // checkpoint. The end marker always certifies a complete copy, so
+      // trust the log and repair the metadata so later restarts (and log
+      // truncation) see a consistent pair.
       restore_copy = BackupStore::CopyFor(marker->checkpoint_id);
       CheckpointMeta repaired;
       repaired.checkpoint_id = marker->checkpoint_id;
@@ -84,6 +90,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
     have_checkpoint = true;
     restore_id = marker->checkpoint_id;
     replay_from_offset = marker->begin_offset;
+    result.newest_end_id = marker->checkpoint_id;
     // Fuzzy checkpoints may require scanning back to the earliest
     // transaction active at the marker. Under commit-time logging an
     // active transaction has no log records yet, so the extension is
@@ -106,15 +113,67 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
   // --- Phase 2: load the chosen backup copy -----------------------------
   double backup_done = now;
   if (have_checkpoint) {
+    auto load_copy = [&](uint32_t copy_idx) -> Status {
+      db->Clear();
+      std::string image;
+      for (SegmentId s = 0; s < db->num_segments(); ++s) {
+        MMDB_RETURN_IF_ERROR(backup->ReadSegment(copy_idx, s, &image));
+        db->WriteSegment(s, image);
+        backup_disks.Submit(now, params_.db.segment_words);
+        ++stats.segments_loaded;
+      }
+      return Status::OK();
+    };
+    Status load = load_copy(restore_copy);
+    if (load.IsCorruption() || load.IsIoError()) {
+      // The newest copy has a CRC-bad or unreadable segment (a torn
+      // checkpoint tail, a scribbled in-flight slot, or a device fault).
+      // The ping-pong protocol guarantees the PREVIOUS checkpoint's copy
+      // was complete before this one started overwriting the other file,
+      // so fall back to it and replay the longer log suffix from its
+      // begin marker — which must still be in the log, since truncation
+      // only ever cuts before the newest complete checkpoint's marker.
+      CheckpointId prev_id = restore_id - 1;
+      bool found_prev = false;
+      uint64_t prev_begin_offset = 0;
+      LogRecord prev_begin_record;
+      if (prev_id >= 1) {
+        MMDB_RETURN_IF_ERROR(
+            reader.ScanBackward([&](const LogRecord& r, uint64_t offset) {
+              if (r.type == LogRecordType::kBeginCheckpoint &&
+                  r.checkpoint_id == prev_id) {
+                prev_begin_offset = offset;
+                prev_begin_record = r;
+                found_prev = true;
+                return false;
+              }
+              return true;
+            }));
+      }
+      if (!found_prev) {
+        return CorruptionError(StringPrintf(
+            "backup copy %u of checkpoint %llu is unreadable (%s) and no "
+            "older complete checkpoint is reachable in the log",
+            restore_copy, static_cast<unsigned long long>(restore_id),
+            load.message().c_str()));
+      }
+      for (const ActiveTxnEntry& e : prev_begin_record.active_txns) {
+        if (e.first_lsn != kInvalidLsn) {
+          return NotSupportedError(
+              "active transaction with pre-marker log records; update-time "
+              "logging is not used by this engine");
+        }
+      }
+      restore_id = prev_id;
+      restore_copy = BackupStore::CopyFor(prev_id);
+      replay_from_offset = prev_begin_offset;
+      stats.fell_back_to_older_copy = true;
+      // A second failure means neither copy is readable: fatal.
+      load = load_copy(restore_copy);
+    }
+    MMDB_RETURN_IF_ERROR(load);
     stats.checkpoint_id = restore_id;
     stats.copy = restore_copy;
-    std::string image;
-    for (SegmentId s = 0; s < db->num_segments(); ++s) {
-      MMDB_RETURN_IF_ERROR(backup->ReadSegment(restore_copy, s, &image));
-      db->WriteSegment(s, image);
-      backup_disks.Submit(now, params_.db.segment_words);
-      ++stats.segments_loaded;
-    }
     backup_done = std::max(now, backup_disks.AllIdleTime());
   }
   stats.backup_read_seconds = backup_done - now;

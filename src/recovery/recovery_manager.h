@@ -33,6 +33,11 @@ struct RecoveryStats {
   uint64_t records_scanned = 0;
   uint64_t updates_applied = 0;
   uint64_t txns_redone = 0;
+
+  // The newest backup copy had an unreadable or CRC-bad segment and the
+  // previous checkpoint's copy was restored instead (replaying the longer
+  // log suffix).
+  bool fell_back_to_older_copy = false;
 };
 
 // Outputs the engine needs to resume normal processing after recovery.
@@ -40,6 +45,11 @@ struct RecoveryResult {
   RecoveryStats stats;
   Lsn last_lsn = kInvalidLsn;      // highest LSN found in the log
   uint64_t log_valid_bytes = 0;    // well-formed log prefix length
+  // Id of the newest end-checkpoint marker in the log (0 if none). Equals
+  // stats.checkpoint_id except when recovery fell back to the older copy;
+  // the engine must then skip past this id so a stale end marker is never
+  // paired with a half-overwritten backup copy.
+  CheckpointId newest_end_id = 0;
 };
 
 // Rebuilds the primary (memory-resident) database after a system failure

@@ -47,6 +47,35 @@ Status LogManager::Open() {
   return file_->Append(EncodeLogFileHeader(0));
 }
 
+Status LogManager::PersistRewrite(const std::string& contents) {
+  const std::string tmp = path_ + ".tmp";
+  MMDB_RETURN_IF_ERROR(env_->WriteStringToFile(tmp, contents, /*sync=*/true));
+  return env_->RenameFile(tmp, path_);
+}
+
+Status LogManager::Repair() {
+  // A failed append may have deposited an arbitrary prefix of the batch.
+  // Close may itself fail on a hosed device; the rewrite supersedes
+  // whatever state the handle left behind.
+  if (file_ != nullptr) (void)file_->Close();
+  file_.reset();
+  std::string contents;
+  MMDB_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
+  uint64_t keep = kLogFileHeaderBytes + (written_bytes_ - base_offset_);
+  if (contents.size() < keep) {
+    return CorruptionError("log file lost bytes that were already flushed");
+  }
+  contents.resize(keep);
+  Status rewrite = PersistRewrite(contents);
+  // Reopen even if the rewrite failed (the original file is intact — temp
+  // plus rename) so the manager stays usable; damaged_ then remains set
+  // and the next Flush retries the repair.
+  MMDB_ASSIGN_OR_RETURN(file_, env_->NewAppendableFile(path_));
+  MMDB_RETURN_IF_ERROR(rewrite);
+  damaged_ = false;
+  return Status::OK();
+}
+
 Status LogManager::OpenExisting(uint64_t existing_bytes, Lsn next_lsn) {
   std::string contents;
   MMDB_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
@@ -62,10 +91,10 @@ Status LogManager::OpenExisting(uint64_t existing_bytes, Lsn next_lsn) {
   contents.resize(existing_bytes - base);
   std::string rewritten = EncodeLogFileHeader(base);
   rewritten += contents;
-  MMDB_RETURN_IF_ERROR(
-      env_->WriteStringToFile(path_, rewritten, /*sync=*/true));
+  MMDB_RETURN_IF_ERROR(PersistRewrite(rewritten));
   MMDB_ASSIGN_OR_RETURN(file_, env_->NewAppendableFile(path_));
   base_offset_ = base;
+  damaged_ = false;
   written_bytes_ = existing_bytes;
   appended_bytes_ = existing_bytes;
   next_lsn_ = next_lsn;
@@ -93,15 +122,22 @@ Lsn LogManager::Append(LogRecord* record) {
   return record->lsn;
 }
 
-double LogManager::Flush(double now) {
+StatusOr<double> LogManager::Flush(double now) {
   if (tail_.empty()) return now;
+  if (damaged_) MMDB_RETURN_IF_ERROR(Repair());
   uint64_t words = (tail_.size() + kWordBytes - 1) / kWordBytes;
 
   // The bytes go to the Env file immediately; Crash() rolls back anything
   // whose modeled completion hadn't been reached.
   Status s = file_->Append(tail_);
-  (void)s;  // MemEnv/Posix appends only fail on real I/O errors; tests
-            // exercise those paths via Env fault injection.
+  if (!s.ok()) {
+    // The device may have taken a prefix of the batch. The tail is kept in
+    // full — every record stays replayable from memory and no durability
+    // promise has been made for it — and the partial frame is cut off by
+    // Repair() before the next attempt.
+    damaged_ = true;
+    return s;
+  }
   written_bytes_ += tail_.size();
   flushed_lsn_ = tail_last_lsn_;
 
@@ -165,7 +201,9 @@ Status LogManager::Crash(double now) {
   uint64_t surviving_bytes = durable_bytes_floor_;
   if (stable_log_tail_) {
     // Stable RAM: both the flushed prefix and the tail survive. Persist the
-    // tail so recovery sees it in the file.
+    // tail so recovery sees it in the file (cutting any garbage a failed
+    // append left in between first).
+    if (damaged_) MMDB_RETURN_IF_ERROR(Repair());
     if (!tail_.empty()) {
       MMDB_RETURN_IF_ERROR(file_->Append(tail_));
       written_bytes_ += tail_.size();
@@ -177,8 +215,10 @@ Status LogManager::Crash(double now) {
       if (f.done_time <= now) surviving_bytes = f.bytes_upto;
     }
   }
-  MMDB_RETURN_IF_ERROR(file_->Close());
-  file_.reset();
+  if (file_ != nullptr) {
+    MMDB_RETURN_IF_ERROR(file_->Close());
+    file_.reset();
+  }
 
   std::string contents;
   MMDB_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
@@ -188,8 +228,7 @@ Status LogManager::Crash(double now) {
                                  : 0);
   if (contents.size() > physical_keep) {
     contents.resize(physical_keep);
-    MMDB_RETURN_IF_ERROR(
-        env_->WriteStringToFile(path_, contents, /*sync=*/true));
+    MMDB_RETURN_IF_ERROR(PersistRewrite(contents));
   }
   return Status::OK();
 }
@@ -202,6 +241,9 @@ StatusOr<uint64_t> LogManager::TruncateBefore(uint64_t cut) {
   }
   uint64_t dropped = cut - base_offset_;
   if (dropped == 0) return uint64_t{0};
+  // A failed append's trailing garbage must not ride along into the
+  // rewritten file.
+  if (damaged_) MMDB_RETURN_IF_ERROR(Repair());
 
   std::string contents;
   MMDB_RETURN_IF_ERROR(env_->ReadFileToString(path_, &contents));
@@ -212,9 +254,13 @@ StatusOr<uint64_t> LogManager::TruncateBefore(uint64_t cut) {
   rewritten.append(contents, kLogFileHeaderBytes + dropped,
                    contents.size() - kLogFileHeaderBytes - dropped);
   MMDB_RETURN_IF_ERROR(file_->Close());
-  MMDB_RETURN_IF_ERROR(
-      env_->WriteStringToFile(path_, rewritten, /*sync=*/true));
+  file_.reset();
+  Status rewrite = PersistRewrite(rewritten);
+  // On failure the original file is intact (temp + rename); reopen it so
+  // the manager stays usable — truncation is only an optimization and the
+  // caller may treat the error as non-fatal.
   MMDB_ASSIGN_OR_RETURN(file_, env_->NewAppendableFile(path_));
+  MMDB_RETURN_IF_ERROR(rewrite);
   base_offset_ = cut;
   return dropped;
 }

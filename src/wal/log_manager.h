@@ -75,7 +75,13 @@ class LogManager {
   // Starts writing all buffered tail bytes to the log disks at time `now`.
   // Returns immediately; the bytes count as durable at the returned
   // completion time. A no-op returning `now` if the tail is empty.
-  double Flush(double now);
+  //
+  // On a device error the tail is retained in full (no record is lost from
+  // memory and no durability promise is made), the file is remembered as
+  // holding trailing garbage, and the error is returned so commit callers
+  // see that durability did not advance. The next Flush first rewrites the
+  // file back to its known-good prefix, then retries the whole tail.
+  StatusOr<double> Flush(double now);
 
   // Highest LSN durable at time `now` (kInvalidLsn if none).
   Lsn DurableLsn(double now) const;
@@ -114,6 +120,14 @@ class LogManager {
   bool stable_log_tail() const { return stable_log_tail_; }
 
  private:
+  // Rewrites the log file atomically (temp file + rename), so a fault
+  // mid-rewrite leaves the original — which holds every durable byte —
+  // untouched.
+  Status PersistRewrite(const std::string& contents);
+  // Cuts trailing garbage left by a failed append back to the flushed
+  // prefix and reopens the file for appending.
+  Status Repair();
+
   struct PendingFlush {
     Lsn last_lsn;         // highest LSN contained in this flush
     uint64_t bytes_upto;  // file size once this flush lands
@@ -153,6 +167,9 @@ class LogManager {
   // (the recovered prefix after OpenExisting).
   Lsn durable_floor_ = kInvalidLsn;
   uint64_t durable_bytes_floor_ = 0;
+  // A failed append may have left a partial frame in the file; set until
+  // Repair() restores the known-good prefix.
+  bool damaged_ = false;
 };
 
 // Framing shared with LogReader: [u32 len][payload][u32 masked-crc][u32 len].

@@ -19,9 +19,28 @@ LogReader::LogReader(std::string contents) : contents_(std::move(contents)) {
 }
 
 StatusOr<LogReader> LogReader::Open(Env* env, const std::string& path) {
+  if (!env->FileExists(path)) {
+    return NotFoundError("no log file at '" + path + "'");
+  }
   std::string contents;
   MMDB_RETURN_IF_ERROR(env->ReadFileToString(path, &contents));
-  return LogReader(std::move(contents));
+  // Engine-written log files always begin with the fixed header; anything
+  // else (including a bit flip within the header, which would otherwise
+  // silently read as an empty base-0 log) is corruption.
+  if (contents.size() < kLogFileHeaderBytes ||
+      DecodeFixed32(contents.data()) != kLogFileMagic) {
+    return CorruptionError("'" + path +
+                           "' is not a log file (bad or missing header)");
+  }
+  uint32_t version = DecodeFixed32(contents.data() + 4);
+  if (version != kLogFileVersion) {
+    return CorruptionError(
+        StringPrintf("'%s' has unsupported log version %u", path.c_str(),
+                     version));
+  }
+  LogReader reader(std::move(contents));
+  MMDB_RETURN_IF_ERROR(reader.status());
+  return reader;
 }
 
 void LogReader::BuildIndex() {
@@ -51,6 +70,30 @@ void LogReader::BuildIndex() {
     valid_bytes_ = base_offset_ + index_.back().offset + 4 +
                    index_.back().payload_size + 8;
   }
+  if (truncated_tail_ && AnyValidFrameAfter(pos)) {
+    // Intact frames past the bad one: the log was damaged in place, not
+    // torn at the end. Resuming quietly at the last good frame would drop
+    // the committed transactions between here and those frames.
+    status_ = CorruptionError(StringPrintf(
+        "log frame at offset %llu is corrupt but later frames are intact",
+        static_cast<unsigned long long>(base_offset_ + pos)));
+  }
+}
+
+bool LogReader::AnyValidFrameAfter(uint64_t pos) const {
+  const uint64_t size = contents_.size();
+  for (uint64_t q = pos + 1; q + kLogFrameOverhead <= size; ++q) {
+    uint32_t len = DecodeFixed32(contents_.data() + q);
+    uint64_t frame_end = q + 4 + len + 8;
+    if (frame_end > size) continue;
+    // Cheap filters first (trailer length copy), CRC last.
+    if (DecodeFixed32(contents_.data() + q + 4 + len + 4) != len) continue;
+    uint32_t stored_crc =
+        crc32c::Unmask(DecodeFixed32(contents_.data() + q + 4 + len));
+    if (crc32c::Value(contents_.data() + q + 4, len) != stored_crc) continue;
+    return true;
+  }
+  return false;
 }
 
 StatusOr<LogRecord> LogReader::RecordAt(uint64_t offset) const {

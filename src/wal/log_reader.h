@@ -19,6 +19,12 @@ namespace mmdb {
 // result of crashing mid-flush — simply ends the log at the last good frame
 // (LevelDB-style), which `truncated_tail()` reports.
 //
+// A bad frame followed by intact frames is a different story: the damage is
+// mid-log (a bit flip, an overlong length field), and stopping quietly at
+// the last good frame would silently drop committed transactions. That case
+// is reported as Corruption through status() — and by Open(), which also
+// rejects a file whose magic/version header is unreadable.
+//
 // Frames carry a trailing length copy, so the reader also supports the
 // paper's *backward* scan used at recovery to locate the begin-checkpoint
 // marker of the most recent complete checkpoint (Section 3.3).
@@ -26,11 +32,18 @@ class LogReader {
  public:
   // Takes ownership of raw log bytes. If they begin with the log-file
   // header (see kLogFileMagic), its base offset is honored; headerless
-  // byte strings (tests, hand-built logs) read with base 0.
+  // byte strings (tests, hand-built logs) read with base 0. Check status()
+  // for mid-log corruption.
   explicit LogReader(std::string contents);
 
-  // Reads `path` via `env` and wraps it.
+  // Reads `path` via `env` and wraps it. NOT_FOUND if the file does not
+  // exist; CORRUPTION if it lacks a valid log-file header (bad magic,
+  // unsupported version, bit-flipped header) or has mid-log damage.
   static StatusOr<LogReader> Open(Env* env, const std::string& path);
+
+  // OK, or Corruption when frames were damaged mid-log (intact frames
+  // exist past the first bad one, so this is not a torn tail).
+  const Status& status() const { return status_; }
 
   // Logical offset of the oldest frame retained (> 0 after truncation).
   uint64_t base_offset() const { return base_offset_; }
@@ -73,12 +86,16 @@ class LogReader {
   };
 
   void BuildIndex();
+  // Whether any well-formed frame starts after byte `pos` (used to tell a
+  // torn tail from mid-log corruption).
+  bool AnyValidFrameAfter(uint64_t pos) const;
 
   std::string contents_;   // frames only (file header stripped)
   std::vector<FrameRef> index_;
   uint64_t base_offset_ = 0;
   bool truncated_tail_ = false;
   uint64_t valid_bytes_ = 0;
+  Status status_;
 };
 
 }  // namespace mmdb

@@ -201,6 +201,61 @@ TEST_F(EngineTest, CouRefusesCheckpointWithOpenTransactions) {
   MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
 }
 
+// Regression: Engine::Commit deduplicates the touched-segment list before
+// waiting on checkpoint admission. A transaction writing several records of
+// ONE segment must wait on (and be accounted against) that segment's
+// checkpoint lock once, not once per record — so it commits at exactly the
+// same virtual time as a single-record transaction, and the checkpointer's
+// lock accounting is identical in both runs.
+TEST_F(EngineTest, CommitWaitsOncePerSegmentNotOncePerRecord) {
+  struct RunResult {
+    double end_time = -1;
+    double ckpt_lock = -1;
+    bool ok = false;
+  };
+  // Writes `nrecords` records of segment 0 in one transaction, commits it
+  // while segment 0 is checkpoint-locked through its backup I/O (2CFLUSH
+  // holds the lock until the write completes), and reports when the commit
+  // finished plus the checkpointer's lock charges up to that point.
+  auto run = [](int nrecords) {
+    RunResult out;
+    auto env = NewMemEnv();
+    EngineOptions opt = TinyOptions();
+    opt.algorithm = Algorithm::kTwoColorFlush;
+    opt.checkpoint_mode = CheckpointMode::kFull;
+    auto engine = Engine::Open(opt, env.get());
+    if (!engine.ok()) return out;
+    Engine& e = **engine;
+    Transaction* t = e.Begin();
+    for (RecordId r = 0; r < static_cast<RecordId>(nrecords); ++r) {
+      if (!e.Write(t, r, MakeRecordImage(e.db().record_bytes(), r, 7)).ok()) {
+        return out;
+      }
+    }
+    // Begin the sweep and issue segment 0's backup write; the segment is
+    // now locked until that I/O completes.
+    if (!e.StartCheckpoint().ok()) return out;
+    if (!e.StepCheckpoint().ok()) return out;  // reach sweep_start_
+    if (!e.StepCheckpoint().ok()) return out;  // issue segment 0's write
+    if (!e.Commit(t).ok()) return out;
+    out.end_time = e.now();
+    out.ckpt_lock = e.meter().Count(CpuCategory::kCkptLock);
+    out.ok = true;
+    return out;
+  };
+
+  RunResult one = run(1);
+  RunResult three = run(3);
+  ASSERT_TRUE(one.ok);
+  ASSERT_TRUE(three.ok);
+  // The admission wait is per segment: more records in the same segment
+  // must not change when the commit completes...
+  EXPECT_DOUBLE_EQ(one.end_time, three.end_time);
+  // ...nor how much checkpointer lock work had run by then (a duplicated
+  // wait would service extra checkpoint events before committing).
+  EXPECT_DOUBLE_EQ(one.ckpt_lock, three.ckpt_lock);
+}
+
 TEST_F(EngineTest, ApplyRetriesTwoColorAborts) {
   EngineOptions opt = TinyOptions();
   opt.algorithm = Algorithm::kTwoColorCopy;

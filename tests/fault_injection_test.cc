@@ -1,0 +1,673 @@
+// Fault-injection suite. Three layers:
+//
+//  1. Unit tests for FaultInjectionEnv itself (deterministic scheduling,
+//     path filtering, each fault shape's on-disk effect).
+//  2. Targeted protocol tests: recovery falling back to the older
+//     ping-pong copy when the newer one is unreadable, torn backup and
+//     log writes, and crashes around post-checkpoint log truncation.
+//  3. The fault sweep: for every algorithm x {full, partial} mode, run a
+//     fixed scripted history and inject a single fault at every k-th
+//     data-path I/O operation. A single transient device fault must never
+//     lose a durably-committed transaction, never leave the engine
+//     without a readable complete backup copy, and the aborted checkpoint
+//     must be retried successfully once the fault clears.
+//
+// Everything is deterministic: a failing (kind, k) pair replays exactly.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "backup/backup_store.h"
+#include "env/env.h"
+#include "env/fault_injection_env.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "wal/log_reader.h"
+
+namespace mmdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Layer 1: the decorator itself.
+// ---------------------------------------------------------------------------
+
+class FaultEnvTest : public testing::Test {
+ protected:
+  FaultEnvTest() : base_(NewMemEnv()), fenv_(base_.get()) {}
+
+  std::unique_ptr<WritableFile> Writable(const std::string& path) {
+    auto f = fenv_.NewWritableFile(path);
+    EXPECT_TRUE(f.ok());
+    return std::move(*f);
+  }
+
+  std::string Contents(const std::string& path) {
+    std::string out;
+    EXPECT_TRUE(base_->ReadFileToString(path, &out).ok());
+    return out;
+  }
+
+  std::unique_ptr<Env> base_;
+  FaultInjectionEnv fenv_;
+};
+
+TEST_F(FaultEnvTest, RuleArmsAtOpCountAndDisarmsAfterTimes) {
+  auto f = Writable("a");
+  fenv_.InjectFault({FaultKind::kWriteError, "", /*after_ops=*/2,
+                     /*times=*/1});
+  MMDB_EXPECT_OK(f->Append("x"));  // op 0
+  MMDB_EXPECT_OK(f->Append("y"));  // op 1
+  EXPECT_TRUE(f->Append("z").IsIoError());  // op 2: fires
+  MMDB_EXPECT_OK(f->Append("w"));  // op 3: rule spent
+  EXPECT_EQ(fenv_.op_count(), 4u);
+  EXPECT_EQ(fenv_.faults_fired(), 1u);
+  EXPECT_EQ(Contents("a"), "xyw");
+}
+
+TEST_F(FaultEnvTest, PathSubstringFiltersRules) {
+  fenv_.InjectFault({FaultKind::kWriteError, "victim", 0, /*times=*/0});
+  auto a = Writable("bystander");
+  auto b = Writable("dir/victim.db");
+  MMDB_EXPECT_OK(a->Append("ok"));
+  EXPECT_TRUE(b->Append("no").IsIoError());
+  EXPECT_EQ(Contents("bystander"), "ok");
+}
+
+TEST_F(FaultEnvTest, ClearFaultsDisarmsUnlimitedRule) {
+  fenv_.InjectFault({FaultKind::kWriteError, "", 0, /*times=*/0});
+  auto f = Writable("a");
+  EXPECT_TRUE(f->Append("x").IsIoError());
+  EXPECT_TRUE(f->Append("y").IsIoError());
+  fenv_.ClearFaults();
+  MMDB_EXPECT_OK(f->Append("z"));
+  EXPECT_EQ(Contents("a"), "z");
+}
+
+TEST_F(FaultEnvTest, ShortWritePersistsPrefixAndReportsError) {
+  auto f = Writable("a");
+  fenv_.InjectFault({FaultKind::kShortWrite, "", 0, 1});
+  EXPECT_TRUE(f->Append("abcdefgh").IsIoError());
+  EXPECT_EQ(Contents("a"), "abcd");
+}
+
+TEST_F(FaultEnvTest, TornWritePersistsPrefixSilently) {
+  auto f = Writable("a");
+  fenv_.InjectFault({FaultKind::kTornWrite, "", 0, 1});
+  MMDB_EXPECT_OK(f->Append("abcdefgh"));  // lies
+  EXPECT_EQ(Contents("a"), "abcd");
+}
+
+TEST_F(FaultEnvTest, SyncErrorDoesNotConsumeWriteRules) {
+  auto f = Writable("a");
+  fenv_.InjectFault({FaultKind::kSyncError, "", 0, 1});
+  MMDB_EXPECT_OK(f->Append("data"));  // write op, sync rule doesn't match
+  EXPECT_TRUE(f->Sync().IsIoError());
+  MMDB_EXPECT_OK(f->Sync());
+}
+
+TEST_F(FaultEnvTest, ReadFaults) {
+  MMDB_EXPECT_OK(base_->WriteStringToFile("a", "hello world", false));
+  auto file = fenv_.NewRandomAccessFile("a");
+  MMDB_ASSERT_OK(file);
+  std::string out;
+  fenv_.InjectFault({FaultKind::kReadError, "", 0, 1});
+  EXPECT_TRUE((*file)->Read(0, 11, &out).IsIoError());
+  fenv_.InjectFault({FaultKind::kCorruptRead, "", 0, 1});
+  MMDB_EXPECT_OK((*file)->Read(0, 11, &out));
+  EXPECT_NE(out, "hello world");  // one bit flipped in the middle
+  EXPECT_EQ(out.size(), 11u);
+  MMDB_EXPECT_OK((*file)->Read(0, 11, &out));
+  EXPECT_EQ(out, "hello world");  // the file itself is undamaged
+}
+
+TEST_F(FaultEnvTest, RandomWriteFaultShapes) {
+  auto f = fenv_.NewRandomWriteFile("a");
+  MMDB_ASSERT_OK(f);
+  MMDB_EXPECT_OK((*f)->Truncate(8));
+  fenv_.InjectFault({FaultKind::kShortWrite, "", fenv_.op_count(), 1});
+  EXPECT_TRUE((*f)->WriteAt(0, "abcdefgh").IsIoError());
+  std::string out;
+  MMDB_EXPECT_OK((*f)->Read(0, 8, &out));
+  EXPECT_EQ(out, std::string("abcd") + std::string(4, '\0'));
+}
+
+// ---------------------------------------------------------------------------
+// Shared engine-level plumbing.
+// ---------------------------------------------------------------------------
+
+// Committed images per record, in commit order.
+using Oracle = std::map<RecordId, std::vector<std::pair<Lsn, std::string>>>;
+
+// Small geometry so a whole checkpoint is a handful of I/Os: 16 segments
+// of 1024 words, 32-word records.
+EngineOptions SweepOptions(Algorithm algorithm, CheckpointMode mode) {
+  EngineOptions opt = TinyOptions();
+  opt.params.db.db_words = 16 * 1024;
+  opt.algorithm = algorithm;
+  opt.checkpoint_mode = mode;
+  opt.stable_log_tail = algorithm == Algorithm::kFastFuzzy;
+  return opt;
+}
+
+// Runs one transaction of `k` updates, retrying two-color aborts with a
+// shifted record set, and records the committed images in the oracle. A
+// commit whose group flush hit the injected fault still committed in
+// memory — its records sit in the retained log tail at the LSNs the
+// engine assigned — so it enters the oracle too; the durability audit
+// decides later whether it survived.
+void CommitTxn(Engine* engine, Oracle* oracle, RecordId base, int k,
+               uint64_t marker) {
+  const uint64_t n = engine->db().num_records();
+  const size_t rec_bytes = engine->db().record_bytes();
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::vector<std::pair<RecordId, std::string>> updates;
+    for (int i = 0; i < k; ++i) {
+      RecordId r = (base + static_cast<uint64_t>(attempt) * 37 +
+                    static_cast<uint64_t>(i) * 5) %
+                   n;
+      updates.emplace_back(r, MakeRecordImage(rec_bytes, r, marker));
+    }
+    Transaction* txn = engine->Begin();
+    Status st = Status::OK();
+    for (const auto& [r, image] : updates) {
+      st = engine->Write(txn, r, image);
+      if (!st.ok()) break;
+    }
+    if (!st.ok()) {
+      ASSERT_TRUE(st.IsAborted()) << st;
+      engine->Abort(txn, AbortReason::kColorViolation);
+      MMDB_ASSERT_OK(engine->AdvanceTime(0.002));
+      continue;
+    }
+    StatusOr<Lsn> lsn = engine->Commit(txn);
+    Lsn committed;
+    if (lsn.ok()) {
+      committed = *lsn;
+    } else {
+      ASSERT_TRUE(lsn.status().IsIoError()) << lsn.status();
+      committed = engine->log()->LastLsn();
+    }
+    for (const auto& [r, image] : updates) {
+      (*oracle)[r].push_back({committed, image});
+    }
+    return;
+  }
+  FAIL() << "transaction never admitted after 200 attempts";
+}
+
+// Device errors on checkpoint or flush paths are exactly what the sweep
+// injects; anything else is a real bug.
+void ExpectOkOrIoError(const Status& st) {
+  EXPECT_TRUE(st.ok() || st.IsIoError()) << st;
+}
+
+// The scripted history every sweep point replays: populate, checkpoint,
+// update, leave a checkpoint mid-sweep, update against it, finish.
+void RunScript(Engine* engine, Oracle* oracle) {
+  uint64_t marker = 1;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_NO_FATAL_FAILURE(
+        CommitTxn(engine, oracle, i * 31, 1 + (i % 3), marker++));
+  }
+  ExpectOkOrIoError(engine->RunCheckpointToCompletion());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_NO_FATAL_FAILURE(
+        CommitTxn(engine, oracle, 7 * i + 3, 1 + (i % 2), marker++));
+  }
+  ExpectOkOrIoError(engine->StartCheckpoint());
+  for (int i = 0; i < 4; ++i) {
+    ExpectOkOrIoError(engine->StepCheckpoint());
+  }
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_NO_FATAL_FAILURE(
+        CommitTxn(engine, oracle, 11 * i + 5, 1, marker++));
+  }
+  ExpectOkOrIoError(engine->RunCheckpointToCompletion());
+  ExpectOkOrIoError(engine->FlushLog());
+  MMDB_ASSERT_OK(engine->AdvanceTime(0.2));
+}
+
+// Every oracle record must hold its newest image committed at or below
+// `durable`, or zeros if none is.
+void Audit(const Engine& engine, const Oracle& oracle, Lsn durable) {
+  const std::string zeros(engine.db().record_bytes(), '\0');
+  for (const auto& [record, commits] : oracle) {
+    std::string_view expected = zeros;
+    for (const auto& [lsn, image] : commits) {
+      if (lsn <= durable) expected = image;
+    }
+    ASSERT_EQ(engine.ReadRecordRaw(record), expected)
+        << "record " << record << ", durable lsn " << durable;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: the sweep.
+// ---------------------------------------------------------------------------
+
+struct FaultSweepCase {
+  Algorithm algorithm;
+  CheckpointMode mode;
+};
+
+std::string SweepCaseName(const testing::TestParamInfo<FaultSweepCase>& info) {
+  return std::string(AlgorithmName(info.param.algorithm)) +
+         (info.param.mode == CheckpointMode::kFull ? "_full" : "_partial");
+}
+
+class FaultSweepTest : public testing::TestWithParam<FaultSweepCase> {
+ protected:
+  // Runs the script with a single `kind` fault armed at the k-th data-path
+  // operation after engine open (no fault if `inject` is false), then
+  // verifies the engine heals completely: flush and checkpoint succeed
+  // once the fault clears, a complete backup copy is readable, and
+  // crash+recovery reproduces exactly the durably-committed state.
+  void RunFaultPoint(FaultKind kind, uint64_t k, bool inject,
+                     uint64_t* ops_used) {
+    const FaultSweepCase& c = GetParam();
+    std::unique_ptr<Env> base = NewMemEnv();
+    FaultInjectionEnv fenv(base.get());
+    auto engine_or = Engine::Open(SweepOptions(c.algorithm, c.mode), &fenv);
+    MMDB_ASSERT_OK(engine_or);
+    std::unique_ptr<Engine> engine = std::move(*engine_or);
+
+    const uint64_t start_ops = fenv.op_count();
+    if (inject) {
+      fenv.InjectFault({kind, "", start_ops + k, /*times=*/1});
+    }
+    Oracle oracle;
+    ASSERT_NO_FATAL_FAILURE(RunScript(engine.get(), &oracle));
+    if (ops_used != nullptr) *ops_used = fenv.op_count() - start_ops;
+
+    // The fault was transient (times=1); with a clear device everything
+    // must heal: the retained log tail flushes (repairing any partial
+    // frame), and the aborted checkpoint's retry completes.
+    fenv.ClearFaults();
+    MMDB_ASSERT_OK(engine->FlushLog());
+    MMDB_ASSERT_OK(engine->RunCheckpointToCompletion());
+    MMDB_ASSERT_OK(engine->AdvanceTime(1.0));
+
+    // The ping-pong invariant: a complete, CRC-valid backup copy named by
+    // the metadata always exists.
+    auto meta = engine->backup()->ReadMeta();
+    MMDB_ASSERT_OK(meta);
+    std::string image;
+    for (SegmentId s = 0; s < engine->db().num_segments(); ++s) {
+      MMDB_ASSERT_OK(engine->backup()->ReadSegment(meta->copy, s, &image));
+    }
+
+    const Lsn durable = engine->DurableLsn();
+    MMDB_ASSERT_OK(engine->Crash());
+    MMDB_ASSERT_OK(engine->Recover());
+    ASSERT_NO_FATAL_FAILURE(Audit(*engine, oracle, durable));
+  }
+};
+
+TEST_P(FaultSweepTest, SingleFaultNeverLosesDurableData) {
+  // Dry run to size the sweep.
+  uint64_t total_ops = 0;
+  ASSERT_NO_FATAL_FAILURE(
+      RunFaultPoint(FaultKind::kWriteError, 0, /*inject=*/false, &total_ops));
+  ASSERT_GT(total_ops, 0u);
+
+  for (FaultKind kind :
+       {FaultKind::kWriteError, FaultKind::kShortWrite,
+        FaultKind::kSyncError}) {
+    // ~10 points per kind, offset per kind so the union covers more
+    // distinct operations.
+    uint64_t stride = std::max<uint64_t>(1, total_ops / 9);
+    uint64_t offset = static_cast<uint64_t>(kind) % stride;
+    for (uint64_t k = offset; k <= total_ops; k += stride) {
+      SCOPED_TRACE(testing::Message()
+                   << "fault kind " << static_cast<int>(kind) << " at op "
+                   << k << " of " << total_ops);
+      ASSERT_NO_FATAL_FAILURE(RunFaultPoint(kind, k, /*inject=*/true,
+                                            nullptr));
+    }
+  }
+}
+
+std::vector<FaultSweepCase> AllSweepCases() {
+  std::vector<FaultSweepCase> cases;
+  for (Algorithm a :
+       {Algorithm::kFuzzyCopy, Algorithm::kFastFuzzy,
+        Algorithm::kTwoColorFlush, Algorithm::kTwoColorCopy,
+        Algorithm::kCouFlush, Algorithm::kCouCopy}) {
+    for (CheckpointMode m : {CheckpointMode::kFull, CheckpointMode::kPartial}) {
+      cases.push_back(FaultSweepCase{a, m});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, FaultSweepTest,
+                         testing::ValuesIn(AllSweepCases()), SweepCaseName);
+
+// ---------------------------------------------------------------------------
+// Layer 2: targeted protocol tests.
+// ---------------------------------------------------------------------------
+
+class RecoveryFallbackTest : public testing::Test {
+ protected:
+  RecoveryFallbackTest() : base_(NewMemEnv()), fenv_(base_.get()) {}
+
+  void OpenEngine() {
+    auto engine_or = Engine::Open(
+        SweepOptions(Algorithm::kFuzzyCopy, CheckpointMode::kPartial), &fenv_);
+    MMDB_ASSERT_OK(engine_or);
+    engine_ = std::move(*engine_or);
+  }
+
+  void Commit(RecordId r, uint64_t marker) {
+    ASSERT_NO_FATAL_FAILURE(CommitTxn(engine_.get(), &oracle_, r, 1, marker));
+  }
+
+  void Settle() {
+    MMDB_ASSERT_OK(engine_->FlushLog());
+    MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  }
+
+  // Flips one byte inside segment `s`'s data slot of `path`, leaving the
+  // stored CRC stale.
+  void CorruptSegment(const std::string& path, SegmentId s) {
+    auto file = base_->NewRandomWriteFile(path);
+    MMDB_ASSERT_OK(file);
+    const uint64_t off =
+        BackupStore::SlotOffsetFor(engine_->params().db, s) + 17;
+    std::string byte;
+    MMDB_ASSERT_OK((*file)->Read(off, 1, &byte));
+    byte[0] = static_cast<char>(byte[0] ^ 0x40);
+    MMDB_ASSERT_OK((*file)->WriteAt(off, byte));
+    MMDB_ASSERT_OK((*file)->Close());
+  }
+
+  std::string BackupPath(uint32_t copy) {
+    return engine_->options().dir + "/backup_" + std::to_string(copy) + ".db";
+  }
+
+  std::unique_ptr<Env> base_;
+  FaultInjectionEnv fenv_;
+  std::unique_ptr<Engine> engine_;
+  Oracle oracle_;
+};
+
+TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnCrcMismatch) {
+  OpenEngine();
+  Commit(1, 1);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());  // id 1 -> copy 1
+  Commit(40, 2);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());  // id 2 -> copy 0
+  Commit(80, 3);
+  Settle();
+  const Lsn durable = engine_->DurableLsn();
+  MMDB_ASSERT_OK(engine_->Crash());
+
+  // Checkpoint 2's copy rots on disk; recovery must notice (CRC) and fall
+  // back to checkpoint 1's copy, replaying the longer log suffix.
+  CorruptSegment(BackupPath(0), 0);
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  EXPECT_TRUE(stats->fell_back_to_older_copy);
+  EXPECT_EQ(stats->checkpoint_id, 1u);
+  EXPECT_EQ(stats->copy, 1u);
+  ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
+
+  // The next checkpoint must skip past the stale end marker (id 2) so its
+  // completion record can never be paired with the half-overwritten copy:
+  // parity is preserved, so id 4 rewrites the bad copy 0.
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  auto meta = engine_->backup()->ReadMeta();
+  MMDB_ASSERT_OK(meta);
+  EXPECT_EQ(meta->checkpoint_id, 4u);
+  EXPECT_EQ(meta->copy, 0u);
+
+  // With the copy rewritten, the next crash recovers cleanly from it.
+  Settle();
+  const Lsn durable2 = engine_->DurableLsn();
+  MMDB_ASSERT_OK(engine_->Crash());
+  auto stats2 = engine_->Recover();
+  MMDB_ASSERT_OK(stats2);
+  EXPECT_FALSE(stats2->fell_back_to_older_copy);
+  EXPECT_EQ(stats2->checkpoint_id, 4u);
+  ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable2));
+}
+
+TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnReadError) {
+  OpenEngine();
+  Commit(1, 1);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());  // id 1 -> copy 1
+  Commit(40, 2);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());  // id 2 -> copy 0
+  Settle();
+  const Lsn durable = engine_->DurableLsn();
+  MMDB_ASSERT_OK(engine_->Crash());
+
+  // The device, not the data, fails: the first read of copy 0 errors.
+  fenv_.InjectFault(
+      {FaultKind::kReadError, "backup_0.db", fenv_.op_count(), 1});
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  EXPECT_TRUE(stats->fell_back_to_older_copy);
+  EXPECT_EQ(stats->checkpoint_id, 1u);
+  ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
+}
+
+TEST_F(RecoveryFallbackTest, FailsWhenNoOlderCompleteCheckpointExists) {
+  OpenEngine();
+  Commit(1, 1);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());  // id 1 -> copy 1
+  Settle();
+  MMDB_ASSERT_OK(engine_->Crash());
+
+  // The only complete checkpoint's copy is bad and there is no older one:
+  // recovery must fail loudly, not fabricate state.
+  CorruptSegment(BackupPath(1), 0);
+  auto stats = engine_->Recover();
+  EXPECT_TRUE(stats.status().IsCorruption()) << stats.status();
+}
+
+TEST_F(RecoveryFallbackTest, TornBackupWriteIsCaughtAtRecovery) {
+  OpenEngine();
+  Commit(1, 1);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());  // id 1 -> copy 1
+  Commit(40, 2);
+  // Record 20 lives in the SECOND half of segment 0's slot: the torn write
+  // below persists only the first half, so this record's bytes are what
+  // make the tear visible (a tear across untouched all-zero bytes would be
+  // indistinguishable from a complete write).
+  Commit(20, 3);
+
+  // Checkpoint 2 "succeeds" but one of its segment writes silently tore:
+  // the slot holds half new, half old bytes under a CRC of the full new
+  // image. Nothing notices until recovery reads it back.
+  fenv_.InjectFault(
+      {FaultKind::kTornWrite, "backup_0.db", fenv_.op_count(), 1});
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());  // id 2 -> copy 0
+  auto meta = engine_->backup()->ReadMeta();
+  MMDB_ASSERT_OK(meta);
+  EXPECT_EQ(meta->checkpoint_id, 2u);
+
+  Settle();
+  const Lsn durable = engine_->DurableLsn();
+  MMDB_ASSERT_OK(engine_->Crash());
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  EXPECT_TRUE(stats->fell_back_to_older_copy);
+  EXPECT_EQ(stats->checkpoint_id, 1u);
+  ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
+}
+
+TEST_F(RecoveryFallbackTest, TornLogAppendLosesOnlyTheTornSuffix) {
+  OpenEngine();
+  Commit(1, 1);
+  Settle();
+  const Lsn durable_before_tear = engine_->DurableLsn();
+
+  // A later flush tears silently: the device claims success but only half
+  // the batch landed. The engine believes the commit is durable; the torn
+  // half-frame must read as a torn tail (not mid-log corruption), so
+  // recovery still succeeds and every commit before the tear survives.
+  fenv_.InjectFault({FaultKind::kTornWrite, "wal.log", fenv_.op_count(), 1});
+  Commit(40, 2);
+  MMDB_ASSERT_OK(engine_->FlushLog());
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  MMDB_ASSERT_OK(engine_->Crash());
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  // Everything durable before the tear is intact; the torn transaction is
+  // gone (that is precisely the damage a silent tear does).
+  ASSERT_NO_FATAL_FAILURE(
+      Audit(*engine_, oracle_, durable_before_tear));
+  const std::string zeros(engine_->db().record_bytes(), '\0');
+  EXPECT_EQ(engine_->ReadRecordRaw(40), zeros);
+}
+
+// --- crashes and faults around post-checkpoint log truncation ------------
+
+class TruncationFaultTest : public testing::Test {
+ protected:
+  TruncationFaultTest() : base_(NewMemEnv()), fenv_(base_.get()) {}
+
+  void OpenEngine() {
+    EngineOptions opt =
+        SweepOptions(Algorithm::kFuzzyCopy, CheckpointMode::kPartial);
+    opt.truncate_log_at_checkpoint = true;
+    auto engine_or = Engine::Open(opt, &fenv_);
+    MMDB_ASSERT_OK(engine_or);
+    engine_ = std::move(*engine_or);
+  }
+
+  std::unique_ptr<Env> base_;
+  FaultInjectionEnv fenv_;
+  std::unique_ptr<Engine> engine_;
+  Oracle oracle_;
+};
+
+TEST_F(TruncationFaultTest, FailedTruncationRewriteDegradesToLongerLog) {
+  OpenEngine();
+  ASSERT_NO_FATAL_FAILURE(CommitTxn(engine_.get(), &oracle_, 1, 2, 1));
+
+  // The truncation rewrite targets wal.log.tmp; fail it. Truncation is an
+  // optimization, so the checkpoint itself must still report success and
+  // the log keeps its full history.
+  fenv_.InjectFault({FaultKind::kWriteError, "wal.log.tmp",
+                     fenv_.op_count(), 1});
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  EXPECT_EQ(engine_->log()->BaseOffset(), 0u);
+
+  // Crash now — mid-"truncation window" — and recover: the untruncated
+  // log still replays from the begin marker.
+  ASSERT_NO_FATAL_FAILURE(CommitTxn(engine_.get(), &oracle_, 40, 1, 2));
+  MMDB_ASSERT_OK(engine_->FlushLog());
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  const Lsn durable = engine_->DurableLsn();
+  MMDB_ASSERT_OK(engine_->Crash());
+  MMDB_ASSERT_OK(engine_->Recover());
+  ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
+
+  // The next checkpoint retries the truncation and succeeds.
+  ASSERT_NO_FATAL_FAILURE(CommitTxn(engine_.get(), &oracle_, 80, 1, 3));
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  EXPECT_GT(engine_->log()->BaseOffset(), 0u);
+}
+
+TEST_F(TruncationFaultTest, CrashRightAfterFailedTruncationWrite) {
+  OpenEngine();
+  ASSERT_NO_FATAL_FAILURE(CommitTxn(engine_.get(), &oracle_, 1, 1, 1));
+
+  // Half the rewritten file lands in wal.log.tmp, then the machine dies:
+  // the rename never happened, wal.log is untouched, and the stray tmp
+  // file must not confuse recovery.
+  fenv_.InjectFault({FaultKind::kShortWrite, "wal.log.tmp",
+                     fenv_.op_count(), 1});
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  EXPECT_EQ(engine_->log()->BaseOffset(), 0u);
+  const Lsn durable = engine_->DurableLsn();
+  MMDB_ASSERT_OK(engine_->Crash());
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  EXPECT_EQ(stats->checkpoint_id, 1u);
+  ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
+}
+
+TEST_F(TruncationFaultTest, RecoveryFindsMarkerAfterSuccessfulTruncation) {
+  OpenEngine();
+  ASSERT_NO_FATAL_FAILURE(CommitTxn(engine_.get(), &oracle_, 1, 2, 1));
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+  const uint64_t base = engine_->log()->BaseOffset();
+  EXPECT_GT(base, 0u);
+
+  // Commits after the truncation, then a crash: the begin marker now sits
+  // at a logical offset past the dropped prefix and must still be found.
+  ASSERT_NO_FATAL_FAILURE(CommitTxn(engine_.get(), &oracle_, 40, 1, 2));
+  MMDB_ASSERT_OK(engine_->FlushLog());
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  const Lsn durable = engine_->DurableLsn();
+  MMDB_ASSERT_OK(engine_->Crash());
+  auto stats = engine_->Recover();
+  MMDB_ASSERT_OK(stats);
+  EXPECT_EQ(stats->checkpoint_id, 1u);
+  ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
+}
+
+// --- log-manager damage/repair under flush faults -------------------------
+
+TEST(LogRepairTest, FailedFlushKeepsTailAndRepairsOnRetry) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv fenv(base.get());
+  CpuMeter meter;
+  LogManager log(&fenv, "wal.log", SystemParams::TestDefaults(), &meter,
+                 /*stable_log_tail=*/false);
+  MMDB_ASSERT_OK(log.Open());
+  LogRecord r1 = LogRecord::Commit(1);
+  LogRecord r2 = LogRecord::Commit(2);
+  log.Append(&r1);
+  log.Append(&r2);
+
+  // A short write deposits a partial frame; the flush reports the error,
+  // keeps the whole tail, and promises nothing.
+  fenv.InjectFault({FaultKind::kShortWrite, "wal.log", fenv.op_count(), 1});
+  auto failed = log.Flush(0.0);
+  ASSERT_TRUE(failed.status().IsIoError()) << failed.status();
+  EXPECT_EQ(log.DurableLsn(1000.0), kInvalidLsn);
+
+  // The retry repairs the file (cutting the partial frame) and lands the
+  // full tail; both records become durable.
+  auto done = log.Flush(1.0);
+  MMDB_ASSERT_OK(done);
+  EXPECT_EQ(log.DurableLsn(*done), 2u);
+  MMDB_ASSERT_OK(log.Crash(*done));
+  auto reader = LogReader::Open(&fenv, "wal.log");
+  MMDB_ASSERT_OK(reader);
+  EXPECT_EQ(reader->num_records(), 2u);
+  EXPECT_FALSE(reader->truncated_tail());
+}
+
+TEST(LogRepairTest, PersistentFlushFailureNeverFalselyAdvancesDurability) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv fenv(base.get());
+  CpuMeter meter;
+  LogManager log(&fenv, "wal.log", SystemParams::TestDefaults(), &meter,
+                 /*stable_log_tail=*/false);
+  MMDB_ASSERT_OK(log.Open());
+  LogRecord r1 = LogRecord::Commit(1);
+  log.Append(&r1);
+
+  fenv.InjectFault({FaultKind::kWriteError, "wal.log", fenv.op_count(),
+                    /*times=*/0});
+  for (double t = 0.0; t < 0.5; t += 0.1) {
+    EXPECT_TRUE(log.Flush(t).status().IsIoError());
+    EXPECT_EQ(log.DurableLsn(1000.0), kInvalidLsn);
+  }
+  fenv.ClearFaults();
+  auto done = log.Flush(1.0);
+  MMDB_ASSERT_OK(done);
+  EXPECT_EQ(log.DurableLsn(*done), 1u);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -8,6 +8,7 @@
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
 #include "tools/inspect.h"
+#include "wal/log_manager.h"
 
 namespace mmdb {
 namespace {
@@ -133,6 +134,55 @@ TEST_F(InspectTest, InspectBackupCountsTornSegments) {
 TEST_F(InspectTest, InspectMissingDirIsNotFound) {
   auto summary = InspectBackup(env_.get(), "nope");
   EXPECT_TRUE(summary.status().IsNotFound());
+}
+
+// The error paths the command-line tools ride on: a missing or unreadable
+// file must produce a clean NOT_FOUND / CORRUPTION status (which the mains
+// print to stderr with a non-zero exit), never a crash or a silently empty
+// summary.
+
+TEST_F(InspectTest, SummarizeMissingLogIsNotFound) {
+  auto summary = SummarizeLog(env_.get(), "no/such/wal.log");
+  EXPECT_TRUE(summary.status().IsNotFound());
+  EXPECT_FALSE(summary.status().ToString().empty());
+}
+
+TEST_F(InspectTest, DumpMissingLogIsNotFound) {
+  auto count = DumpLog(env_.get(), "no/such/wal.log", 0, stdout);
+  EXPECT_TRUE(count.status().IsNotFound());
+}
+
+TEST_F(InspectTest, SummarizeRejectsNonLogFile) {
+  MMDB_ASSERT_OK(env_->WriteStringToFile("junk.bin",
+                                         "this is not a log file at all",
+                                         /*sync=*/false));
+  auto summary = SummarizeLog(env_.get(), "junk.bin");
+  EXPECT_TRUE(summary.status().IsCorruption());
+}
+
+TEST_F(InspectTest, SummarizeSurfacesMidLogCorruption) {
+  MMDB_ASSERT_OK(engine_->Apply({{1, Image(1, 1)}}).status());
+  MMDB_ASSERT_OK(engine_->Apply({{2, Image(2, 2)}}).status());
+  MMDB_ASSERT_OK(engine_->Apply({{3, Image(3, 3)}}).status());
+  MMDB_ASSERT_OK(engine_->FlushLog());
+  // Let the flush complete on the virtual timeline, otherwise the crash
+  // legitimately discards the still-in-flight tail and leaves nothing on
+  // disk to corrupt.
+  MMDB_ASSERT_OK(engine_->AdvanceTime(1.0));
+  MMDB_ASSERT_OK(engine_->Crash());
+
+  // Flip a byte early in the file body: later frames stay intact, so this
+  // is mid-log damage, which both tools must refuse to summarize quietly.
+  std::string bytes;
+  MMDB_ASSERT_OK(env_->ReadFileToString(engine_->LogPath(), &bytes));
+  bytes[kLogFileHeaderBytes + 6] ^= 0x20;
+  MMDB_ASSERT_OK(
+      env_->WriteStringToFile(engine_->LogPath(), bytes, /*sync=*/false));
+
+  auto summary = SummarizeLog(env_.get(), engine_->LogPath());
+  EXPECT_TRUE(summary.status().IsCorruption()) << summary.status().ToString();
+  auto count = DumpLog(env_.get(), engine_->LogPath(), 0, stdout);
+  EXPECT_TRUE(count.status().IsCorruption()) << count.status().ToString();
 }
 
 }  // namespace

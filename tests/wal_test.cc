@@ -105,7 +105,7 @@ TEST_F(LogManagerTest, DurabilityTracksFlushCompletion) {
   Open();
   Append(1);
   EXPECT_EQ(log_->DurableLsn(0.0), kInvalidLsn);
-  double done = log_->Flush(0.0);
+  double done = *log_->Flush(0.0);
   EXPECT_GT(done, 0.0);
   EXPECT_EQ(log_->DurableLsn(done - 1e-9), kInvalidLsn);
   EXPECT_EQ(log_->DurableLsn(done), 1u);
@@ -113,7 +113,7 @@ TEST_F(LogManagerTest, DurabilityTracksFlushCompletion) {
   Append(2);
   EXPECT_EQ(log_->WhenDurable(1, done + 1.0), done + 1.0);
   EXPECT_TRUE(std::isinf(log_->WhenDurable(2, done + 1.0)));
-  double done2 = log_->Flush(done + 1.0);
+  double done2 = *log_->Flush(done + 1.0);
   EXPECT_EQ(log_->WhenDurable(2, done + 1.0), done2);
 }
 
@@ -127,9 +127,9 @@ TEST_F(LogManagerTest, StableTailDurableImmediately) {
 TEST_F(LogManagerTest, CrashDropsUnflushedAndUnlandedBytes) {
   Open();
   Append(1);
-  double done1 = log_->Flush(0.0);  // lands at done1
+  double done1 = *log_->Flush(0.0);  // lands at done1
   Append(2);
-  log_->Flush(done1);  // lands later
+  MMDB_ASSERT_OK(log_->Flush(done1));  // lands later
   Append(3);           // never flushed
   // Crash after the first flush landed but before the second.
   MMDB_ASSERT_OK(log_->Crash(done1));
@@ -141,7 +141,7 @@ TEST_F(LogManagerTest, CrashDropsUnflushedAndUnlandedBytes) {
 TEST_F(LogManagerTest, StableCrashKeepsEverything) {
   Open(/*stable=*/true);
   Append(1);
-  log_->Flush(0.0);
+  MMDB_ASSERT_OK(log_->Flush(0.0));
   Append(2);
   Append(3);
   MMDB_ASSERT_OK(log_->Crash(0.0));
@@ -154,7 +154,7 @@ TEST_F(LogManagerTest, OpenExistingContinuesLsnsAndOffsets) {
   Open();
   Append(1);
   Append(2);
-  log_->Flush(0.0);
+  MMDB_ASSERT_OK(log_->Flush(0.0));
   MMDB_ASSERT_OK(log_->Crash(100.0));  // everything landed
 
   auto reader = LogReader::Open(env_.get(), "wal.log");
@@ -172,7 +172,7 @@ TEST_F(LogManagerTest, OpenExistingContinuesLsnsAndOffsets) {
   // New appends work and survive their own flush.
   LogRecord r = LogRecord::Commit(9);
   EXPECT_EQ(reopened.Append(&r), 3u);
-  reopened.Flush(0.0);
+  MMDB_ASSERT_OK(reopened.Flush(0.0));
   MMDB_ASSERT_OK(reopened.Crash(1000.0));
   auto reader2 = LogReader::Open(env_.get(), "wal.log");
   MMDB_ASSERT_OK(reader2);
@@ -183,10 +183,10 @@ TEST_F(LogManagerTest, TruncateBeforeDropsPrefixKeepsOffsets) {
   Open();
   Lsn l1 = Append(1);
   (void)l1;
-  log_->Flush(0.0);
+  MMDB_ASSERT_OK(log_->Flush(0.0));
   uint64_t cut = log_->NextOffset();
   Lsn l2 = Append(2);
-  log_->Flush(10.0);
+  MMDB_ASSERT_OK(log_->Flush(10.0));
   MMDB_ASSERT_OK(log_->Crash(1000.0));  // settle everything into the file
 
   LogManager reopened(env_.get(), "wal.log", SystemParams::TestDefaults(),
@@ -217,11 +217,11 @@ TEST_F(LogManagerTest, TruncateBeforeDropsPrefixKeepsOffsets) {
 TEST_F(LogManagerTest, AppendsAfterTruncationSurvive) {
   Open();
   Append(1);
-  log_->Flush(0.0);
+  MMDB_ASSERT_OK(log_->Flush(0.0));
   uint64_t cut = log_->NextOffset();
   MMDB_ASSERT_OK(log_->TruncateBefore(cut).status());
   Lsn l2 = Append(2);
-  log_->Flush(100.0);
+  MMDB_ASSERT_OK(log_->Flush(100.0));
   MMDB_ASSERT_OK(log_->Crash(10000.0));
   auto reader = LogReader::Open(env_.get(), "wal.log");
   MMDB_ASSERT_OK(reader);
@@ -349,6 +349,112 @@ TEST_F(LogReaderTest, RecordAtExactOffsets) {
   MMDB_ASSERT_OK(rec);
   EXPECT_EQ(rec->txn_id, 2u);
   EXPECT_TRUE(reader.RecordAt(second + 1).status().IsNotFound());
+}
+
+// LogReader::Open against real, then deliberately damaged, engine-written
+// log files. The dividing line under test: damage at the END of the file
+// (a torn flush) is expected and survivable, while damage in the MIDDLE —
+// with intact frames after it — means committed transactions would be
+// silently dropped, and must surface as Corruption.
+class DamagedLogFileTest : public testing::Test {
+ protected:
+  // Writes a real log file with three identically-sized commit frames and
+  // returns its raw bytes (16-byte file header + 3 frames).
+  void WriteLog() {
+    env_ = NewMemEnv();
+    LogManager log(env_.get(), "wal.log", SystemParams::TestDefaults(),
+                   &meter_, /*stable_log_tail=*/false);
+    MMDB_ASSERT_OK(log.Open());
+    for (TxnId t = 1; t <= 3; ++t) {
+      LogRecord r = LogRecord::Commit(t);
+      log.Append(&r);
+    }
+    MMDB_ASSERT_OK(log.Flush(0.0));
+    MMDB_ASSERT_OK(env_->ReadFileToString("wal.log", &bytes_));
+    frame_bytes_ = (bytes_.size() - kLogFileHeaderBytes) / 3;
+    ASSERT_EQ(bytes_.size(), kLogFileHeaderBytes + 3 * frame_bytes_);
+  }
+
+  void Rewrite() {
+    MMDB_ASSERT_OK(env_->WriteStringToFile("wal.log", bytes_, /*sync=*/true));
+  }
+
+  std::unique_ptr<Env> env_;
+  CpuMeter meter_;
+  std::string bytes_;
+  uint64_t frame_bytes_ = 0;
+};
+
+TEST_F(DamagedLogFileTest, MissingFileIsNotFound) {
+  auto env = NewMemEnv();
+  auto reader = LogReader::Open(env.get(), "nope.log");
+  EXPECT_TRUE(reader.status().IsNotFound());
+}
+
+TEST_F(DamagedLogFileTest, FlippedHeaderBitIsCorruptionNotEmptyLog) {
+  WriteLog();
+  bytes_[1] ^= 0x08;  // damage the magic number
+  Rewrite();
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  EXPECT_TRUE(reader.status().IsCorruption());
+  EXPECT_NE(reader.status().ToString().find("not a log file"),
+            std::string::npos);
+}
+
+TEST_F(DamagedLogFileTest, UnsupportedVersionIsCorruption) {
+  WriteLog();
+  bytes_[4] = static_cast<char>(0x7f);  // version field
+  Rewrite();
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  EXPECT_TRUE(reader.status().IsCorruption());
+  EXPECT_NE(reader.status().ToString().find("version"), std::string::npos);
+}
+
+TEST_F(DamagedLogFileTest, MidLogBitFlipIsCorruptionNotATornTail) {
+  WriteLog();
+  // Flip one payload bit of the SECOND frame: the first and third frames
+  // are intact, so resuming at the last good frame would drop commit 3.
+  bytes_[kLogFileHeaderBytes + frame_bytes_ + 6] ^= 0x10;
+  Rewrite();
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST_F(DamagedLogFileTest, OverrunLengthFieldIsCorruption) {
+  WriteLog();
+  // An absurd length in the second frame's header makes the frame overrun
+  // the file; with frame 3 intact after it, this is mid-log damage, not a
+  // short final write.
+  bytes_[kLogFileHeaderBytes + frame_bytes_ + 0] = static_cast<char>(0xff);
+  bytes_[kLogFileHeaderBytes + frame_bytes_ + 1] = static_cast<char>(0xff);
+  bytes_[kLogFileHeaderBytes + frame_bytes_ + 2] = static_cast<char>(0xff);
+  Rewrite();
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  EXPECT_TRUE(reader.status().IsCorruption());
+}
+
+TEST_F(DamagedLogFileTest, TruncatedFinalFrameIsASurvivableTornTail) {
+  WriteLog();
+  bytes_.resize(bytes_.size() - 5);  // tear the last frame
+  Rewrite();
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  MMDB_ASSERT_OK(reader);
+  EXPECT_TRUE(reader->truncated_tail());
+  EXPECT_EQ(reader->num_records(), 2u);
+  EXPECT_EQ(reader->valid_bytes(), 2 * frame_bytes_);
+}
+
+TEST_F(DamagedLogFileTest, CorruptTailFrameIsAlsoSurvivable) {
+  WriteLog();
+  // Damage confined to the LAST frame reads as a torn tail even at full
+  // length: nothing valid follows it, so nothing committed is lost beyond
+  // the tail itself.
+  bytes_[kLogFileHeaderBytes + 2 * frame_bytes_ + 6] ^= 0x10;
+  Rewrite();
+  auto reader = LogReader::Open(env_.get(), "wal.log");
+  MMDB_ASSERT_OK(reader);
+  EXPECT_TRUE(reader->truncated_tail());
+  EXPECT_EQ(reader->num_records(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Builds and tests the plain configuration and the ASan+UBSan
+# configuration. This is the tree's pre-merge gate:
+#
+#   tools/check.sh            # both configurations
+#   tools/check.sh plain      # just the plain build
+#   tools/check.sh sanitize   # just the sanitized build
+#
+# Build trees live in build/ (plain) and build-sanitize/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+what=${1:-all}
+
+run_config() {
+  local dir=$1
+  shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+case "$what" in
+  plain)
+    run_config build
+    ;;
+  sanitize)
+    run_config build-sanitize -DMMDB_SANITIZE=address,undefined
+    ;;
+  all)
+    run_config build
+    run_config build-sanitize -DMMDB_SANITIZE=address,undefined
+    ;;
+  *)
+    echo "usage: $0 [plain|sanitize|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: all requested configurations passed"
