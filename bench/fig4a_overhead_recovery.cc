@@ -36,7 +36,7 @@ void AnalyticSeries() {
   }
 }
 
-void MeasuredSeries() {
+void MeasuredSeries(MetricsSidecar* sidecar) {
   PrintHeader("Figure 4a (measured, engine at 1 Mword scale)",
               "overhead & recovery from the executable engine");
   std::printf("%-10s %12s %10s %10s %9s %10s %12s %8s\n", "algorithm",
@@ -52,6 +52,8 @@ void MeasuredSeries() {
                   point.status().ToString().c_str());
       continue;
     }
+    sidecar->Add(std::string(AlgorithmName(a)),
+                 std::move(point->metrics_json));
     const WorkloadResult& w = point->workload;
     std::printf("%-10s %12.1f %10.1f %10.1f %9llu %10.3f %12.3f %8llu\n",
                 std::string(AlgorithmName(a)).c_str(), w.overhead_per_txn,
@@ -68,6 +70,8 @@ void MeasuredSeries() {
 
 int main() {
   mmdb::bench::AnalyticSeries();
-  mmdb::bench::MeasuredSeries();
+  mmdb::bench::MetricsSidecar sidecar("fig4a");
+  mmdb::bench::MeasuredSeries(&sidecar);
+  sidecar.Write();
   return 0;
 }

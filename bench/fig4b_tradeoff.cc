@@ -44,7 +44,7 @@ void AnalyticSeries() {
   }
 }
 
-void MeasuredSeries() {
+void MeasuredSeries(MetricsSidecar* sidecar) {
   PrintHeader("Figure 4b (measured, engine at 1 Mword scale)",
               "three duration points per algorithm, 20 disks");
   for (Algorithm a : {Algorithm::kTwoColorCopy, Algorithm::kCouCopy}) {
@@ -57,6 +57,9 @@ void MeasuredSeries() {
       opt.checkpoint_interval = interval;
       auto point = MeasureEngine(opt, /*seconds=*/4.0);
       if (!point.ok()) continue;
+      sidecar->Add(std::string(AlgorithmName(a)) + "/interval=" +
+                       std::to_string(interval),
+                   std::move(point->metrics_json));
       std::printf("  %12.2f %12.3f %12.1f %9llu\n",
                   point->workload.avg_checkpoint_interval,
                   point->recovery.total_seconds,
@@ -73,6 +76,8 @@ void MeasuredSeries() {
 
 int main() {
   mmdb::bench::AnalyticSeries();
-  mmdb::bench::MeasuredSeries();
+  mmdb::bench::MetricsSidecar sidecar("fig4b");
+  mmdb::bench::MeasuredSeries(&sidecar);
+  sidecar.Write();
   return 0;
 }

@@ -38,7 +38,7 @@ void AnalyticSeries() {
   }
 }
 
-void MeasuredSeries() {
+void MeasuredSeries(MetricsSidecar* sidecar) {
   PrintHeader("Figure 4c (measured, engine at 1 Mword scale)",
               "overhead per transaction vs arrival rate");
   const Algorithm algorithms[] = {Algorithm::kFuzzyCopy,
@@ -56,6 +56,11 @@ void MeasuredSeries() {
           MeasuredOptions(a, CheckpointMode::kPartial, false);
       opt.params.txn.arrival_rate = lambda;
       auto point = MeasureEngine(opt, /*seconds=*/2.0);
+      if (point.ok()) {
+        sidecar->Add(std::string(AlgorithmName(a)) + "/lambda=" +
+                         std::to_string(static_cast<int>(lambda)),
+                     std::move(point->metrics_json));
+      }
       std::printf(" %12.1f",
                   point.ok() ? point->workload.overhead_per_txn : -1.0);
     }
@@ -69,6 +74,8 @@ void MeasuredSeries() {
 
 int main() {
   mmdb::bench::AnalyticSeries();
-  mmdb::bench::MeasuredSeries();
+  mmdb::bench::MetricsSidecar sidecar("fig4c");
+  mmdb::bench::MeasuredSeries(&sidecar);
+  sidecar.Write();
   return 0;
 }

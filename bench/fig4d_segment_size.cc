@@ -48,7 +48,7 @@ void AnalyticSeries(double interval, const char* label) {
   }
 }
 
-void MeasuredSeries() {
+void MeasuredSeries(MetricsSidecar* sidecar) {
   PrintHeader("Figure 4d (measured, engine at 1 Mword scale)",
               "run-as-fast-as-possible, overhead vs segment size");
   const Algorithm algorithms[] = {Algorithm::kTwoColorFlush,
@@ -65,6 +65,11 @@ void MeasuredSeries() {
           MeasuredOptions(a, CheckpointMode::kPartial, false);
       opt.params.db.segment_words = seg;
       auto point = MeasureEngine(opt, /*seconds=*/2.0);
+      if (point.ok()) {
+        sidecar->Add(std::string(AlgorithmName(a)) + "/seg_words=" +
+                         std::to_string(seg),
+                     std::move(point->metrics_json));
+      }
       std::printf(" %12.1f",
                   point.ok() ? point->workload.overhead_per_txn : -1.0);
     }
@@ -81,6 +86,8 @@ int main() {
                               "minimum interval (solid curves), overhead");
   mmdb::bench::AnalyticSeries(
       300.0, "fixed 300 s interval (dotted curves), overhead");
-  mmdb::bench::MeasuredSeries();
+  mmdb::bench::MetricsSidecar sidecar("fig4d");
+  mmdb::bench::MeasuredSeries(&sidecar);
+  sidecar.Write();
   return 0;
 }

@@ -46,7 +46,7 @@ void AnalyticSeries() {
   }
 }
 
-void MeasuredSeries() {
+void MeasuredSeries(MetricsSidecar* sidecar) {
   PrintHeader("Figure 4e (measured, engine at 1 Mword scale)",
               "overhead with a stable log tail");
   std::printf("%-10s %14s %9s\n", "algorithm", "overhead/txn", "restarts");
@@ -60,6 +60,8 @@ void MeasuredSeries() {
                   point.status().ToString().c_str());
       continue;
     }
+    sidecar->Add(std::string(AlgorithmName(a)),
+                 std::move(point->metrics_json));
     std::printf("%-10s %14.1f %9llu\n",
                 std::string(AlgorithmName(a)).c_str(),
                 point->workload.overhead_per_txn,
@@ -74,6 +76,8 @@ void MeasuredSeries() {
 
 int main() {
   mmdb::bench::AnalyticSeries();
-  mmdb::bench::MeasuredSeries();
+  mmdb::bench::MetricsSidecar sidecar("fig4e");
+  mmdb::bench::MeasuredSeries(&sidecar);
+  sidecar.Write();
   return 0;
 }

@@ -7,14 +7,17 @@
 // a scaled-down database (the shapes must agree; see EXPERIMENTS.md).
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/workload.h"
 #include "env/env.h"
 #include "model/analytic_model.h"
+#include "util/json.h"
 
 namespace mmdb {
 namespace bench {
@@ -44,6 +47,9 @@ inline EngineOptions MeasuredOptions(Algorithm a, CheckpointMode mode,
 struct MeasuredPoint {
   WorkloadResult workload;
   RecoveryStats recovery;
+  // Full Engine::DumpMetricsJson() snapshot taken after recovery (registry
+  // counters/timers, trace ring, checkpoint history), for the sidecar.
+  std::string metrics_json;
 };
 
 // Runs `seconds` of the paper's workload against a fresh engine, then
@@ -62,8 +68,66 @@ inline StatusOr<MeasuredPoint> MeasureEngine(const EngineOptions& options,
   MMDB_ASSIGN_OR_RETURN(point.workload, driver.Run());
   MMDB_RETURN_IF_ERROR(engine->Crash());
   MMDB_ASSIGN_OR_RETURN(point.recovery, engine->Recover());
+  point.metrics_json = engine->DumpMetricsJson();
   return point;
 }
+
+// Collects one DumpMetricsJson snapshot per measured point and writes them
+// beside the bench's stdout tables as a single machine-readable document:
+//   {"bench":"fig4a","points":[{"label":"FUZZYCOPY","engine":{...}},...]}
+// The destination defaults to "<bench>_metrics.json" in the working
+// directory; the MMDB_METRICS_SIDECAR environment variable overrides the
+// path, and setting it to the empty string disables the sidecar entirely.
+class MetricsSidecar {
+ public:
+  explicit MetricsSidecar(const char* bench) : bench_(bench) {
+    const char* override_path = std::getenv("MMDB_METRICS_SIDECAR");
+    path_ = override_path != nullptr ? override_path
+                                     : bench_ + "_metrics.json";
+  }
+
+  void Add(std::string label, std::string engine_json) {
+    if (path_.empty() || engine_json.empty()) return;
+    points_.emplace_back(std::move(label), std::move(engine_json));
+  }
+
+  // Writes the collected points (call once, after the measured series).
+  void Write() const {
+    if (path_.empty()) return;
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String(bench_);
+    w.Key("points");
+    w.BeginArray();
+    for (const auto& [label, engine_json] : points_) {
+      w.BeginObject();
+      w.Key("label");
+      w.String(label);
+      w.Key("engine");
+      w.RawValue(engine_json);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "metrics sidecar: cannot open %s\n",
+                   path_.c_str());
+      return;
+    }
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("metrics sidecar: %s (%zu points)\n", path_.c_str(),
+                points_.size());
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> points_;
+};
 
 inline ModelOutputs Evaluate(const ModelInputs& in) {
   AnalyticModel model(in);

@@ -67,13 +67,19 @@ void BM_MakeRecordImage(benchmark::State& state) {
 }
 BENCHMARK(BM_MakeRecordImage);
 
+// Arg 0: updates per transaction. Arg 1: observability on (1) or off (0) —
+// the pairs quantify the registry/trace cost on the hottest path (the
+// acceptance bar is "no measurable difference").
 void BM_TxnCommit(benchmark::State& state) {
   auto env = NewMemEnv();
-  auto engine = Engine::Open(BenchOptions(), env.get());
+  EngineOptions opt = BenchOptions();
+  opt.enable_metrics = state.range(1) != 0;
+  auto engine = Engine::Open(opt, env.get());
   if (!engine.ok()) {
     state.SkipWithError(engine.status().ToString().c_str());
     return;
   }
+  state.SetLabel(opt.enable_metrics ? "metrics_on" : "metrics_off");
   Engine& e = **engine;
   Random rng(1);
   const uint32_t k = static_cast<uint32_t>(state.range(0));
@@ -88,7 +94,13 @@ void BM_TxnCommit(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_TxnCommit)->Arg(1)->Arg(5)->Arg(20);
+BENCHMARK(BM_TxnCommit)
+    ->Args({1, 1})
+    ->Args({5, 1})
+    ->Args({20, 1})
+    ->Args({1, 0})
+    ->Args({5, 0})
+    ->Args({20, 0});
 
 void BM_CheckpointFull(benchmark::State& state) {
   auto env = NewMemEnv();

@@ -178,7 +178,22 @@ StatusOr<double> BackupStore::WriteSegment(uint32_t copy, SegmentId segment,
   double done = disks_->Submit(now, params_.db.segment_words);
   in_flight_.push_back(InFlight{copy, segment, done});
   ++segments_written_;
+  if (m_segment_writes_ != nullptr) {
+    m_segment_writes_->Increment();
+    m_segment_write_bytes_->Increment(data.size());
+    m_write_service_seconds_->Record(done - now);
+  }
   return done;
+}
+
+void BackupStore::set_obs(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  m_segment_writes_ = registry->counter("backup.segment_writes");
+  m_segment_write_bytes_ = registry->counter("backup.segment_write_bytes");
+  m_segment_reads_ = registry->counter("backup.segment_reads");
+  m_read_errors_ = registry->counter("backup.read_errors");
+  m_meta_commits_ = registry->counter("backup.meta_commits");
+  m_write_service_seconds_ = registry->timer("backup.write_service_seconds");
 }
 
 Status BackupStore::ReadSegment(uint32_t copy, SegmentId segment,
@@ -187,6 +202,7 @@ Status BackupStore::ReadSegment(uint32_t copy, SegmentId segment,
   if (segment >= params_.db.num_segments()) {
     return InvalidArgumentError("segment out of range");
   }
+  if (m_segment_reads_ != nullptr) m_segment_reads_->Increment();
   MMDB_RETURN_IF_ERROR(copies_[copy]->Read(
       SlotOffset(segment), params_.db.segment_bytes(), out));
   if (out->size() != params_.db.segment_bytes()) {
@@ -197,6 +213,7 @@ Status BackupStore::ReadSegment(uint32_t copy, SegmentId segment,
   if (crc_bytes.size() != 4) return CorruptionError("short crc read");
   uint32_t stored = crc32c::Unmask(DecodeFixed32(crc_bytes.data()));
   if (stored != crc32c::Value(*out)) {
+    if (m_read_errors_ != nullptr) m_read_errors_->Increment();
     return CorruptionError(StringPrintf(
         "backup copy %u segment %llu checksum mismatch", copy,
         static_cast<unsigned long long>(segment)));
@@ -205,6 +222,7 @@ Status BackupStore::ReadSegment(uint32_t copy, SegmentId segment,
 }
 
 Status BackupStore::CommitCheckpoint(const CheckpointMeta& meta) {
+  if (m_meta_commits_ != nullptr) m_meta_commits_->Increment();
   std::string encoded;
   meta.EncodeTo(&encoded);
   const std::string tmp = MetaPath() + ".tmp";

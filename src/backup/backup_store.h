@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "env/env.h"
+#include "obs/metrics_registry.h"
 #include "sim/cost_model.h"
 #include "sim/disk_model.h"
 #include "util/status.h"
@@ -79,6 +80,9 @@ class BackupStore {
 
   uint64_t segments_written() const { return segments_written_; }
 
+  // Optional metrics sink (may be null).
+  void set_obs(MetricsRegistry* registry);
+
   // The shared backup-disk array model (for pacing and recovery timing).
   DiskArrayModel* disks() const { return disks_; }
 
@@ -111,6 +115,13 @@ class BackupStore {
   std::unique_ptr<RandomWriteFile> copies_[2];
   std::vector<InFlight> in_flight_;
   uint64_t segments_written_ = 0;
+
+  Counter* m_segment_writes_ = nullptr;
+  Counter* m_segment_write_bytes_ = nullptr;
+  Counter* m_segment_reads_ = nullptr;
+  Counter* m_read_errors_ = nullptr;
+  Counter* m_meta_commits_ = nullptr;
+  Timer* m_write_service_seconds_ = nullptr;
 };
 
 }  // namespace mmdb

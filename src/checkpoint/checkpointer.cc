@@ -10,24 +10,6 @@
 
 namespace mmdb {
 
-std::string_view AlgorithmName(Algorithm a) {
-  switch (a) {
-    case Algorithm::kFuzzyCopy:
-      return "FUZZYCOPY";
-    case Algorithm::kFastFuzzy:
-      return "FASTFUZZY";
-    case Algorithm::kTwoColorFlush:
-      return "2CFLUSH";
-    case Algorithm::kTwoColorCopy:
-      return "2CCOPY";
-    case Algorithm::kCouFlush:
-      return "COUFLUSH";
-    case Algorithm::kCouCopy:
-      return "COUCOPY";
-  }
-  return "UNKNOWN";
-}
-
 StatusOr<Algorithm> AlgorithmFromName(std::string_view name) {
   for (Algorithm a :
        {Algorithm::kFuzzyCopy, Algorithm::kFastFuzzy,
@@ -80,7 +62,24 @@ StatusOr<std::unique_ptr<Checkpointer>> Checkpointer::Create(
 }
 
 Checkpointer::Checkpointer(const Context& ctx, CheckpointMode mode)
-    : ctx_(ctx), mode_(mode) {}
+    : ctx_(ctx), mode_(mode) {
+  if (ctx_.metrics != nullptr) {
+    MetricsRegistry* r = ctx_.metrics;
+    m_completed_ = r->counter("ckpt.completed");
+    m_aborted_ = r->counter("ckpt.aborted");
+    m_segments_flushed_ = r->counter("ckpt.segments_flushed");
+    m_segments_skipped_ = r->counter("ckpt.segments_skipped");
+    m_history_dropped_ = r->counter("ckpt.history_dropped");
+    m_duration_seconds_ = r->timer("ckpt.duration_seconds");
+    m_lock_held_seconds_ = r->timer("ckpt.lock_held_seconds");
+    m_flush_io_seconds_ = r->timer("ckpt.flush_io_seconds");
+    m_log_wait_seconds_ = r->timer("ckpt.log_wait_seconds");
+    m_copy_seconds_ = r->timer("ckpt.copy_seconds");
+    m_quiesce_seconds_ = r->timer("ckpt.quiesce_seconds");
+    r->gauge("ckpt.history_cap")
+        ->Set(static_cast<double>(ctx_.history_cap));
+  }
+}
 
 Status Checkpointer::Begin(CheckpointId id, double now) {
   if (InProgress()) {
@@ -90,6 +89,14 @@ Status Checkpointer::Begin(CheckpointId id, double now) {
   stats_ = CheckpointStats{};
   stats_.id = id;
   stats_.begin_time = now;
+  copy_instr_at_begin_ = ctx_.meter->Count(CpuCategory::kCkptCopy) +
+                         ctx_.meter->Count(CpuCategory::kSyncCopy);
+  if (ctx_.tracer != nullptr) {
+    ctx_.tracer->Record(TraceEventType::kCheckpointBegin, now, 0.0,
+                        static_cast<int64_t>(id),
+                        static_cast<int64_t>(algorithm()),
+                        static_cast<int64_t>(mode_));
+  }
   cur_seg_ = 0;
   next_due_ = now;
   last_write_done_ = now;
@@ -102,7 +109,7 @@ Status Checkpointer::Begin(CheckpointId id, double now) {
   begin_marker_offset_ = ctx_.log->NextOffset();
   LogRecord marker = LogRecord::BeginCheckpoint(
       id_, tau_ch_, ctx_.txns->ActiveTxnList());
-  begin_marker_lsn_ = ctx_.log->Append(&marker);
+  begin_marker_lsn_ = ctx_.log->Append(&marker, now);
 
   // The marker (and everything before it) must be durable before the first
   // segment image can land in the backup; gating the whole sweep on the
@@ -131,17 +138,26 @@ StatusOr<double> Checkpointer::SubmitWrite(SegmentId s, std::string_view data,
                                            double now, double earliest,
                                            bool lock_through_io) {
   double issue = std::max(now, earliest);
+  stats_.log_wait_seconds += issue - now;
   ctx_.meter->Charge(CpuCategory::kCkptIo,
                      static_cast<double>(ctx_.params.costs.io));
   MMDB_ASSIGN_OR_RETURN(double done,
                         ctx_.backup->WriteSegment(copy(), s, data, issue));
+  stats_.flush_io_seconds += done - issue;
   last_write_done_ = std::max(last_write_done_, done);
   ctx_.segments->ClearDirty(s, copy());
   cleared_dirty_.push_back(s);
   ++stats_.segments_flushed;
   if (lock_through_io) {
+    stats_.lock_held_seconds += done - now;
     locked_until_[s] = done;
     ctx_.segments->set_ckpt_locked(s, true);
+  }
+  if (ctx_.tracer != nullptr) {
+    ctx_.tracer->Record(TraceEventType::kCheckpointSegmentWrite, now, done,
+                        static_cast<int64_t>(s),
+                        static_cast<int64_t>(copy()),
+                        static_cast<int64_t>(data.size()));
   }
   return done;
 }
@@ -208,7 +224,7 @@ StatusOr<double> Checkpointer::Step(double now) {
       }
       locked_until_.clear();
       LogRecord end = LogRecord::EndCheckpoint(id_);
-      ctx_.log->Append(&end);
+      ctx_.log->Append(&end, now);
       MMDB_ASSIGN_OR_RETURN(end_marker_durable_, ctx_.log->Flush(now));
       state_ = State::kFinalizing;
       return end_marker_durable_;
@@ -225,8 +241,33 @@ StatusOr<double> Checkpointer::Step(double now) {
       // end marker, and the stale pair could certify the half-rewritten
       // copy the retry leaves behind at a crash.
       stats_.end_time = now;
+      stats_.copy_seconds = ctx_.params.InstructionsToSeconds(
+          ctx_.meter->Count(CpuCategory::kCkptCopy) +
+          ctx_.meter->Count(CpuCategory::kSyncCopy) - copy_instr_at_begin_);
       last_stats_ = stats_;
       history_.push_back(stats_);
+      while (ctx_.history_cap > 0 && history_.size() > ctx_.history_cap) {
+        history_.pop_front();
+        ++history_dropped_;
+        if (m_history_dropped_ != nullptr) m_history_dropped_->Increment();
+      }
+      if (m_completed_ != nullptr) {
+        m_completed_->Increment();
+        m_segments_flushed_->Increment(stats_.segments_flushed);
+        m_segments_skipped_->Increment(stats_.segments_skipped);
+        m_duration_seconds_->Record(stats_.duration());
+        m_lock_held_seconds_->Record(stats_.lock_held_seconds);
+        m_flush_io_seconds_->Record(stats_.flush_io_seconds);
+        m_log_wait_seconds_->Record(stats_.log_wait_seconds);
+        m_copy_seconds_->Record(stats_.copy_seconds);
+        m_quiesce_seconds_->Record(stats_.quiesce_seconds);
+      }
+      if (ctx_.tracer != nullptr) {
+        ctx_.tracer->Record(TraceEventType::kCheckpointEnd, now, 0.0,
+                            static_cast<int64_t>(id_),
+                            static_cast<int64_t>(stats_.segments_flushed),
+                            static_cast<int64_t>(stats_.segments_skipped));
+      }
       state_ = State::kIdle;
       MMDB_RETURN_IF_ERROR(OnComplete(now));
       CheckpointMeta meta;
@@ -265,7 +306,7 @@ void Checkpointer::Reset() {
   state_ = State::kIdle;
 }
 
-void Checkpointer::Abort() {
+void Checkpointer::Abort(double now) {
   if (!InProgress()) return;
   // Re-dirty everything this attempt flushed: the copy now holds a mix of
   // this attempt's and stale images, and the retry (same id, same copy)
@@ -274,6 +315,14 @@ void Checkpointer::Abort() {
     ctx_.segments->MarkDirtyCopy(s, copy());
   }
   ++aborted_count_;
+  if (m_aborted_ != nullptr) m_aborted_->Increment();
+  if (ctx_.tracer != nullptr) {
+    ctx_.tracer->Record(TraceEventType::kCheckpointAbort,
+                        now >= 0.0 ? now : stats_.begin_time, 0.0,
+                        static_cast<int64_t>(id_),
+                        static_cast<int64_t>(stats_.segments_flushed),
+                        static_cast<int64_t>(stats_.segments_skipped));
+  }
   Reset();
 }
 

@@ -2,6 +2,7 @@
 #define MMDB_CHECKPOINT_CHECKPOINTER_H_
 
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <string>
@@ -10,6 +11,8 @@
 #include <vector>
 
 #include "backup/backup_store.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/cpu_meter.h"
 #include "sim/disk_model.h"
@@ -36,7 +39,27 @@ enum class Algorithm : uint8_t {
   kCouCopy,        // COUCOPY: copy-on-update snapshot, copy then flush
 };
 
-std::string_view AlgorithmName(Algorithm a);
+// Canonical algorithm names (the paper's spellings). Inline so header-only
+// users (the obs layer's trace formatter) need no link-time dependency on
+// mmdb_checkpoint.
+inline std::string_view AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kFuzzyCopy:
+      return "FUZZYCOPY";
+    case Algorithm::kFastFuzzy:
+      return "FASTFUZZY";
+    case Algorithm::kTwoColorFlush:
+      return "2CFLUSH";
+    case Algorithm::kTwoColorCopy:
+      return "2CCOPY";
+    case Algorithm::kCouFlush:
+      return "COUFLUSH";
+    case Algorithm::kCouCopy:
+      return "COUCOPY";
+  }
+  return "UNKNOWN";
+}
+
 StatusOr<Algorithm> AlgorithmFromName(std::string_view name);
 
 // True for the algorithms whose backup is an exact snapshot of the
@@ -62,6 +85,11 @@ struct CheckpointStats {
   uint64_t checkpointer_copies = 0;  // *COPY staging copies
   uint64_t cou_copies = 0;           // transaction-side old-image copies
   double quiesce_seconds = 0.0;      // COU admission stall window
+  // Per-phase breakdown (all in simulated seconds):
+  double lock_held_seconds = 0.0;  // segment-seconds held through backup I/O
+  double flush_io_seconds = 0.0;   // backup-device service time, summed
+  double log_wait_seconds = 0.0;   // write-ahead gate stalls before issuing
+  double copy_seconds = 0.0;       // CPU time spent copying (ckpt + COU side)
   double duration() const { return end_time - begin_time; }
 };
 
@@ -88,6 +116,12 @@ class Checkpointer : public CheckpointHooks {
     TimestampOracle* timestamps = nullptr;
     CpuMeter* meter = nullptr;
     SystemParams params;
+    // Optional observability sinks (either may stay null).
+    MetricsRegistry* metrics = nullptr;
+    Tracer* tracer = nullptr;
+    // Completed-checkpoint stats retained by history(); older entries are
+    // discarded once the cap is exceeded (0 = unbounded).
+    size_t history_cap = 256;
   };
 
   // Builds the requested algorithm. Fails (FAILED_PRECONDITION) for
@@ -123,7 +157,14 @@ class Checkpointer : public CheckpointHooks {
   SegmentId SweepPosition() const { return cur_seg_; }
 
   const CheckpointStats& last_stats() const { return last_stats_; }
-  const std::vector<CheckpointStats>& history() const { return history_; }
+  // Most recent completed checkpoints, oldest first, bounded by
+  // Context::history_cap. Callers that index relative to a remembered
+  // position must use history_dropped() to translate absolute checkpoint
+  // ordinals (dropped + index) back into deque positions.
+  const std::deque<CheckpointStats>& history() const { return history_; }
+  // Entries discarded from the front of history() to honor the cap.
+  uint64_t history_dropped() const { return history_dropped_; }
+  size_t history_cap() const { return ctx_.history_cap; }
 
   // Abandons any in-progress checkpoint and volatile state (crash path).
   virtual void Reset();
@@ -133,8 +174,10 @@ class Checkpointer : public CheckpointHooks {
   // segment this attempt had cleared, so the next attempt — which reuses
   // the same id and therefore the same ping-pong copy — rewrites them.
   // The previous complete copy is never touched by a failed attempt, so a
-  // readable backup exists throughout. No-op when idle.
-  void Abort();
+  // readable backup exists throughout. No-op when idle. `now` is only for
+  // the trace timeline; callers without a clock may omit it (the event is
+  // then stamped with the checkpoint's begin time).
+  void Abort(double now = -1.0);
   // Checkpoints abandoned via Abort() since construction.
   uint64_t aborted_count() const { return aborted_count_; }
 
@@ -221,7 +264,24 @@ class Checkpointer : public CheckpointHooks {
 
   CheckpointStats stats_;       // in-progress
   CheckpointStats last_stats_;  // most recently completed
-  std::vector<CheckpointStats> history_;
+  std::deque<CheckpointStats> history_;
+  uint64_t history_dropped_ = 0;
+
+  // CPU-copy instruction counts at Begin, for stats_.copy_seconds.
+  double copy_instr_at_begin_ = 0.0;
+
+  // Cached registry instruments (all null when Context::metrics is null).
+  Counter* m_completed_ = nullptr;
+  Counter* m_aborted_ = nullptr;
+  Counter* m_segments_flushed_ = nullptr;
+  Counter* m_segments_skipped_ = nullptr;
+  Counter* m_history_dropped_ = nullptr;
+  Timer* m_duration_seconds_ = nullptr;
+  Timer* m_lock_held_seconds_ = nullptr;
+  Timer* m_flush_io_seconds_ = nullptr;
+  Timer* m_log_wait_seconds_ = nullptr;
+  Timer* m_copy_seconds_ = nullptr;
+  Timer* m_quiesce_seconds_ = nullptr;
 
   static constexpr double kNever = std::numeric_limits<double>::infinity();
 };

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "env/fault_injection_env.h"
+#include "util/json.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -40,14 +42,52 @@ StatusOr<std::unique_ptr<Engine>> Engine::OpenExisting(
   // Restart is recovery: rebuild the primary copy from the backup and log
   // exactly as after a power failure, then resume numbering.
   engine->crashed_ = true;
+  engine->restarting_ = true;
   // Recover() also restores the checkpoint numbering.
   MMDB_RETURN_IF_ERROR(engine->Recover().status());
   return engine;
 }
 
+Engine::~Engine() {
+  // fault_env_ was probed at Init; when it is null the destructor must not
+  // touch env_ at all — callers may legitimately destroy a plain Env before
+  // an engine they have finished with.
+  if (fault_env_ != nullptr) {
+    fault_env_->RemoveFaultListeners(this);
+  }
+}
+
 Status Engine::Init(bool fresh) {
   const SystemParams& p = options_.params;
   MMDB_RETURN_IF_ERROR(env_->CreateDirIfMissing(options_.dir));
+
+  if (options_.enable_metrics) {
+    if (options_.shared_metrics != nullptr) {
+      metrics_ = options_.shared_metrics;
+    } else {
+      owned_metrics_ = std::make_unique<MetricsRegistry>();
+      metrics_ = owned_metrics_.get();
+    }
+    tracer_ = std::make_unique<Tracer>(options_.trace_capacity);
+    m_admission_wait_ = metrics_->timer("engine.admission_wait_seconds");
+    // If the caller wrapped the Env in fault injection, mirror every rule
+    // firing into the trace so a failure's cause appears on the same
+    // timeline as its effects (aborted checkpoints, flush errors).
+    fault_env_ = dynamic_cast<FaultInjectionEnv*>(env_);
+    if (fault_env_ != nullptr) {
+      Counter* fired = metrics_->counter("faults.injected");
+      Tracer* tracer = tracer_.get();
+      const VirtualClock* clock = &clock_;
+      fault_env_->AddFaultListener(
+          this, [fired, tracer, clock](FaultKind kind, const std::string&,
+                                       uint64_t op) {
+            fired->Increment();
+            tracer->Record(TraceEventType::kFaultInjected, clock->now(), 0.0,
+                           static_cast<int64_t>(kind),
+                           static_cast<int64_t>(op));
+          });
+    }
+  }
 
   db_ = std::make_unique<Database>(p.db);
   segments_ = std::make_unique<SegmentTable>(p.db.num_segments());
@@ -56,14 +96,17 @@ Status Engine::Init(bool fresh) {
   log_ = std::make_unique<LogManager>(env_, LogPath(), p, &meter_,
                                       options_.stable_log_tail,
                                       options_.log_flush_interval);
+  log_->set_obs(metrics_, tracer_.get());
   if (fresh) {
     MMDB_RETURN_IF_ERROR(log_->Open());
   }  // else: Recover() reads the existing file, then reopens it.
   backup_ = std::make_unique<BackupStore>(env_, options_.dir, p,
                                           &backup_disks_);
+  backup_->set_obs(metrics_);
   MMDB_RETURN_IF_ERROR(backup_->Open());
   txns_ = std::make_unique<TxnManager>(db_.get(), segments_.get(), log_.get(),
                                        &timestamps_, &meter_, p);
+  txns_->set_obs(metrics_, tracer_.get());
 
   Checkpointer::Context ctx;
   ctx.db = db_.get();
@@ -75,6 +118,9 @@ Status Engine::Init(bool fresh) {
   ctx.timestamps = &timestamps_;
   ctx.meter = &meter_;
   ctx.params = p;
+  ctx.metrics = metrics_;
+  ctx.tracer = tracer_.get();
+  ctx.history_cap = options_.checkpoint_history_cap;
   MMDB_ASSIGN_OR_RETURN(
       checkpointer_,
       Checkpointer::Create(options_.algorithm, ctx, options_.checkpoint_mode));
@@ -94,6 +140,10 @@ Status Engine::WaitForAdmission(const std::vector<SegmentId>& segs) {
   while (true) {
     double t = checkpointer_->EarliestExecutionTime(segs, clock_.now());
     if (t <= clock_.now()) return Status::OK();
+    if (tracer_) {
+      tracer_->Record(TraceEventType::kLockWait, clock_.now(), t);
+    }
+    if (m_admission_wait_) m_admission_wait_->Record(t - clock_.now());
     MMDB_RETURN_IF_ERROR(AdvanceTime(t - clock_.now()));
   }
 }
@@ -237,7 +287,7 @@ Status Engine::FailCheckpoint(Status error) {
   // untouched, so a readable backup still exists. The scheduler's
   // completed count is unchanged, so the next StartCheckpoint reuses the
   // same id and rewrites the same torn ping-pong copy.
-  checkpointer_->Abort();
+  checkpointer_->Abort(clock_.now());
   last_checkpoint_error_ = error;
   if (logical_deltas_logged_) {
     // Retrying is only sound because replaying full-image REDO records is
@@ -382,7 +432,12 @@ StatusOr<RecoveryStats> Engine::Recover() {
   if (!crashed_) {
     return FailedPreconditionError("Recover() is only valid after Crash()");
   }
-  RecoveryManager rm(env_, options_.params, &meter_);
+  if (tracer_) {
+    tracer_->Record(TraceEventType::kRecoveryBegin, clock_.now(), 0.0,
+                    restarting_ ? 1 : 0);
+  }
+  restarting_ = false;
+  RecoveryManager rm(env_, options_.params, &meter_, metrics_, tracer_.get());
   MMDB_ASSIGN_OR_RETURN(
       RecoveryResult result,
       rm.Recover(backup_.get(), LogPath(), db_.get(), segments_.get(),
@@ -403,6 +458,70 @@ StatusOr<RecoveryStats> Engine::Recover() {
   while (next <= result.newest_end_id) next += 2;
   scheduler_.Restore(next - 1, clock_.now());
   return result.stats;
+}
+
+std::string Engine::DumpMetricsJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("algorithm");
+  w.String(AlgorithmName(options_.algorithm));
+  w.Key("mode");
+  w.String(options_.checkpoint_mode == CheckpointMode::kFull ? "full"
+                                                             : "partial");
+  w.Key("now");
+  w.Double(clock_.now());
+  w.Key("metrics");
+  if (metrics_ != nullptr) {
+    metrics_->ToJson(&w);
+  } else {
+    w.Null();
+  }
+  w.Key("trace");
+  if (tracer_ != nullptr) {
+    tracer_->ToJson(&w);
+  } else {
+    w.Null();
+  }
+  w.Key("checkpoints");
+  w.BeginObject();
+  w.Key("history_cap");
+  w.Uint(checkpointer_->history_cap());
+  w.Key("history_dropped");
+  w.Uint(checkpointer_->history_dropped());
+  w.Key("history");
+  w.BeginArray();
+  for (const CheckpointStats& s : checkpointer_->history()) {
+    w.BeginObject();
+    w.Key("id");
+    w.Uint(s.id);
+    w.Key("begin");
+    w.Double(s.begin_time);
+    w.Key("end");
+    w.Double(s.end_time);
+    w.Key("segments_flushed");
+    w.Uint(s.segments_flushed);
+    w.Key("segments_skipped");
+    w.Uint(s.segments_skipped);
+    w.Key("checkpointer_copies");
+    w.Uint(s.checkpointer_copies);
+    w.Key("cou_copies");
+    w.Uint(s.cou_copies);
+    w.Key("quiesce_seconds");
+    w.Double(s.quiesce_seconds);
+    w.Key("lock_held_seconds");
+    w.Double(s.lock_held_seconds);
+    w.Key("flush_io_seconds");
+    w.Double(s.flush_io_seconds);
+    w.Key("log_wait_seconds");
+    w.Double(s.log_wait_seconds);
+    w.Key("copy_seconds");
+    w.Double(s.copy_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
 }
 
 }  // namespace mmdb

@@ -12,6 +12,8 @@
 #include "checkpoint/scheduler.h"
 #include "core/options.h"
 #include "env/env.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "recovery/recovery_manager.h"
 #include "sim/cpu_meter.h"
 #include "sim/disk_model.h"
@@ -25,6 +27,8 @@
 #include "wal/log_manager.h"
 
 namespace mmdb {
+
+class FaultInjectionEnv;
 
 // The memory-resident database engine: ties together the primary database,
 // transaction manager, REDO log, ping-pong backup store, the selected
@@ -66,7 +70,7 @@ class Engine {
   static StatusOr<std::unique_ptr<Engine>> OpenExisting(
       const EngineOptions& options, Env* env);
 
-  ~Engine() = default;
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -168,6 +172,19 @@ class Engine {
   BackupStore* backup() { return backup_.get(); }
   Env* env() { return env_; }
 
+  // --- observability -------------------------------------------------------
+  // Null when options.enable_metrics is false.
+  MetricsRegistry* metrics() { return metrics_; }
+  const MetricsRegistry* metrics() const { return metrics_; }
+  Tracer* tracer() { return tracer_.get(); }
+  const Tracer* tracer() const { return tracer_.get(); }
+  // One self-describing JSON object: configuration, the metrics registry
+  // snapshot (per-phase checkpoint timers, log flush stats, recovery phase
+  // split, device accounting), the trace ring, and the retained checkpoint
+  // history. Always valid JSON; the metrics/trace members are null when
+  // observability is disabled.
+  std::string DumpMetricsJson() const;
+
   // Paths within the Env.
   std::string LogPath() const { return options_.dir + "/wal.log"; }
 
@@ -189,6 +206,18 @@ class Engine {
   EngineOptions options_;
   Env* env_;
 
+  // Observability sinks, built before every other subsystem so their
+  // pointers can be threaded through. `metrics_` aliases either
+  // `owned_metrics_` or options_.shared_metrics; both stay null with
+  // enable_metrics off (every sink call site null-checks).
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<Tracer> tracer_;
+  Timer* m_admission_wait_ = nullptr;
+  // Set at Init when env_ is (or wraps into) a FaultInjectionEnv; the
+  // engine's fault listener is registered on it and removed on destruction.
+  FaultInjectionEnv* fault_env_ = nullptr;
+
   VirtualClock clock_;
   CpuMeter meter_;
   DiskArrayModel backup_disks_;
@@ -205,6 +234,9 @@ class Engine {
 
   uint64_t apply_seed_ = 0x6d6d6462;  // backoff jitter for Apply retries
   bool crashed_ = false;
+  // True only while OpenExisting's implicit recovery runs (tags the
+  // kRecoveryBegin trace event as a restart rather than a crash).
+  bool restarting_ = false;
   Status last_checkpoint_error_;
   // Whether any logical delta has been staged: checkpoint failures then
   // halt the engine instead of retrying (delta replay is not idempotent).

@@ -1,10 +1,13 @@
 #ifndef MMDB_CORE_OPTIONS_H_
 #define MMDB_CORE_OPTIONS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "checkpoint/checkpointer.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "util/status.h"
 
@@ -54,6 +57,27 @@ struct EngineOptions {
   // published offsets stay valid). Off by default so diagnostic scans of
   // the full history keep working.
   bool truncate_log_at_checkpoint = false;
+
+  // --- observability -----------------------------------------------------
+  // Keep the metrics registry and trace ring on. Per-event cost is a
+  // cached-pointer atomic add (counters) or a few stores under an
+  // uncontended mutex (trace), cheap enough for the default. Off, the
+  // engine threads null sinks everywhere and Engine::DumpMetricsJson
+  // emits null metric/trace sections.
+  bool enable_metrics = true;
+
+  // Trace ring size in events; the oldest events are overwritten (and
+  // counted as dropped) beyond this.
+  size_t trace_capacity = Tracer::kDefaultCapacity;
+
+  // Completed-checkpoint stats retained by Checkpointer::history().
+  // 0 = unbounded (the historical behaviour, for long diagnostic runs).
+  size_t checkpoint_history_cap = 256;
+
+  // Optional externally owned registry, e.g. shared by every engine of a
+  // bench sweep so their counters aggregate. Must outlive the engine.
+  // When null (and enable_metrics is set) the engine owns a private one.
+  MetricsRegistry* shared_metrics = nullptr;
 
   // Directory (within the Env) holding the backup copies, checkpoint
   // metadata and log.

@@ -78,7 +78,10 @@ StatusOr<WorkloadResult> WorkloadDriver::Run() {
   const double sync0 = engine_->meter().SynchronousOverhead();
   const double async0 = engine_->meter().AsynchronousOverhead();
   const uint64_t ckpts0 = engine_->scheduler().completed();
-  const size_t hist0 = engine_->checkpointer().history().size();
+  // Absolute checkpoint ordinal at start: the history deque is capped, so
+  // positions must be recovered via the dropped count at read time.
+  const uint64_t hist0_abs = engine_->checkpointer().history_dropped() +
+                             engine_->checkpointer().history().size();
 
   uint64_t marker = 1;
   std::vector<RecordId> records(p.txn.updates_per_txn);
@@ -190,6 +193,11 @@ StatusOr<WorkloadResult> WorkloadDriver::Run() {
   result.checkpoints_completed = engine_->scheduler().completed() - ckpts0;
 
   const auto& history = engine_->checkpointer().history();
+  const uint64_t dropped = engine_->checkpointer().history_dropped();
+  // First retained entry belonging to this run (0 if the cap already
+  // discarded some of this run's checkpoints).
+  const size_t hist0 =
+      hist0_abs > dropped ? static_cast<size_t>(hist0_abs - dropped) : 0;
   double dur = 0.0, flushed = 0.0, cou = 0.0, quiesce = 0.0;
   for (size_t i = hist0; i < history.size(); ++i) {
     dur += history[i].duration();

@@ -1,5 +1,6 @@
 #include "env/fault_injection_env.h"
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <utility>
@@ -40,6 +41,8 @@ struct FaultInjectionEnv::State {
   uint64_t op_count = 0;
   uint64_t faults_fired = 0;
   std::vector<ActiveRule> rules;
+  std::vector<std::pair<const void*, FaultInjectionEnv::FaultListener>>
+      listeners;
 
   // Numbers this operation and returns the fault to apply, if any.
   std::optional<FaultKind> NextOp(OpClass cls, const std::string& path) {
@@ -51,6 +54,7 @@ struct FaultInjectionEnv::State {
       if (path.find(ar.rule.path_substring) == std::string::npos) continue;
       if (!ar.unlimited) --ar.remaining;
       ++faults_fired;
+      for (auto& [owner, listener] : listeners) listener(ar.rule.kind, path, op);
       return ar.rule.kind;
     }
     return std::nullopt;
@@ -206,6 +210,18 @@ uint64_t FaultInjectionEnv::op_count() const { return state_->op_count; }
 
 uint64_t FaultInjectionEnv::faults_fired() const {
   return state_->faults_fired;
+}
+
+void FaultInjectionEnv::AddFaultListener(const void* owner,
+                                         FaultListener listener) {
+  state_->listeners.emplace_back(owner, std::move(listener));
+}
+
+void FaultInjectionEnv::RemoveFaultListeners(const void* owner) {
+  auto& ls = state_->listeners;
+  ls.erase(std::remove_if(ls.begin(), ls.end(),
+                          [owner](const auto& e) { return e.first == owner; }),
+           ls.end());
 }
 
 StatusOr<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(

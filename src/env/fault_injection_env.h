@@ -2,8 +2,10 @@
 #define MMDB_ENV_FAULT_INJECTION_ENV_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "env/env.h"
@@ -21,6 +23,24 @@ enum class FaultKind : uint8_t {
   kReadError,    // Read fails
   kCorruptRead,  // Read succeeds with one bit flipped in the middle byte
 };
+
+inline std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWriteError:
+      return "write_error";
+    case FaultKind::kShortWrite:
+      return "short_write";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kSyncError:
+      return "sync_error";
+    case FaultKind::kReadError:
+      return "read_error";
+    case FaultKind::kCorruptRead:
+      return "corrupt_read";
+  }
+  return "unknown";
+}
 
 // One scheduled fault. Matching is deterministic: every data-path
 // operation (Append, WriteAt, Sync, Read) on any file of the wrapped Env
@@ -62,6 +82,16 @@ class FaultInjectionEnv : public Env {
   uint64_t op_count() const;
   // Rule firings so far.
   uint64_t faults_fired() const;
+
+  // Observer called on every rule firing with the fault kind, the faulted
+  // file's path, and the data-path operation number. Keyed by `owner` so a
+  // subscriber can unregister without knowing about other subscribers
+  // (e.g. an Engine tracing faults removes only its own listener when it
+  // is destroyed). Listeners must not call back into this Env.
+  using FaultListener =
+      std::function<void(FaultKind, const std::string& path, uint64_t op)>;
+  void AddFaultListener(const void* owner, FaultListener listener);
+  void RemoveFaultListeners(const void* owner);
 
   StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
       const std::string& path) override;

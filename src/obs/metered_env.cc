@@ -1,0 +1,237 @@
+#include "obs/metered_env.h"
+
+#include <chrono>
+#include <utility>
+
+namespace mmdb {
+
+std::string_view DeviceClassName(DeviceClass dc) {
+  switch (dc) {
+    case DeviceClass::kLog:
+      return "log";
+    case DeviceClass::kBackup:
+      return "backup";
+    case DeviceClass::kMeta:
+      return "meta";
+  }
+  return "unknown";
+}
+
+DeviceClass ClassifyPath(std::string_view path) {
+  if (path.find("wal") != std::string_view::npos) return DeviceClass::kLog;
+  if (path.find("backup") != std::string_view::npos) {
+    return DeviceClass::kBackup;
+  }
+  return DeviceClass::kMeta;
+}
+
+namespace {
+
+using DeviceMetrics = MeteredEnv::DeviceMetrics;
+
+// Seconds of host time spent in a delegate call (distinct from the
+// engine's virtual clock: this is what the storage stack actually cost).
+class OpTimer {
+ public:
+  explicit OpTimer(Timer* timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  ~OpTimer() {
+    if (timer_ == nullptr) return;
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    timer_->Record(elapsed.count());
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+Status CountErrors(DeviceMetrics* m, Status s) {
+  if (!s.ok()) m->errors->Increment();
+  return s;
+}
+
+class MeteredWritableFile : public WritableFile {
+ public:
+  MeteredWritableFile(std::unique_ptr<WritableFile> base, DeviceMetrics* m)
+      : base_(std::move(base)), m_(m) {}
+
+  Status Append(std::string_view data) override {
+    m_->write_ops->Increment();
+    m_->write_bytes->Increment(data.size());
+    OpTimer t(m_->write_seconds);
+    return CountErrors(m_, base_->Append(data));
+  }
+
+  Status Sync() override {
+    m_->sync_ops->Increment();
+    OpTimer t(m_->sync_seconds);
+    return CountErrors(m_, base_->Sync());
+  }
+
+  Status Close() override { return CountErrors(m_, base_->Close()); }
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  DeviceMetrics* m_;
+};
+
+class MeteredRandomAccessFile : public RandomAccessFile {
+ public:
+  MeteredRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                          DeviceMetrics* m)
+      : base_(std::move(base)), m_(m) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    m_->read_ops->Increment();
+    Status s;
+    {
+      OpTimer t(m_->read_seconds);
+      s = base_->Read(offset, n, out);
+    }
+    if (s.ok()) m_->read_bytes->Increment(out->size());
+    return CountErrors(m_, std::move(s));
+  }
+
+  StatusOr<uint64_t> Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  DeviceMetrics* m_;
+};
+
+class MeteredRandomWriteFile : public RandomWriteFile {
+ public:
+  MeteredRandomWriteFile(std::unique_ptr<RandomWriteFile> base,
+                         DeviceMetrics* m)
+      : base_(std::move(base)), m_(m) {}
+
+  Status WriteAt(uint64_t offset, std::string_view data) override {
+    m_->write_ops->Increment();
+    m_->write_bytes->Increment(data.size());
+    OpTimer t(m_->write_seconds);
+    return CountErrors(m_, base_->WriteAt(offset, data));
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* out) const override {
+    m_->read_ops->Increment();
+    Status s;
+    {
+      OpTimer t(m_->read_seconds);
+      s = base_->Read(offset, n, out);
+    }
+    if (s.ok()) m_->read_bytes->Increment(out->size());
+    return CountErrors(m_, std::move(s));
+  }
+
+  Status Truncate(uint64_t size) override {
+    return CountErrors(m_, base_->Truncate(size));
+  }
+
+  Status Sync() override {
+    m_->sync_ops->Increment();
+    OpTimer t(m_->sync_seconds);
+    return CountErrors(m_, base_->Sync());
+  }
+
+  Status Close() override { return CountErrors(m_, base_->Close()); }
+
+ private:
+  std::unique_ptr<RandomWriteFile> base_;
+  DeviceMetrics* m_;
+};
+
+}  // namespace
+
+MeteredEnv::MeteredEnv(Env* base, MetricsRegistry* registry) : base_(base) {
+  for (DeviceClass dc :
+       {DeviceClass::kLog, DeviceClass::kBackup, DeviceClass::kMeta}) {
+    DeviceMetrics& m = devices_[static_cast<size_t>(dc)];
+    std::string prefix = "env." + std::string(DeviceClassName(dc)) + ".";
+    m.read_ops = registry->counter(prefix + "read_ops");
+    m.read_bytes = registry->counter(prefix + "read_bytes");
+    m.write_ops = registry->counter(prefix + "write_ops");
+    m.write_bytes = registry->counter(prefix + "write_bytes");
+    m.sync_ops = registry->counter(prefix + "sync_ops");
+    m.errors = registry->counter(prefix + "errors");
+    m.read_seconds = registry->timer(prefix + "read_seconds");
+    m.write_seconds = registry->timer(prefix + "write_seconds");
+    m.sync_seconds = registry->timer(prefix + "sync_seconds");
+  }
+}
+
+StatusOr<std::unique_ptr<WritableFile>> MeteredEnv::NewWritableFile(
+    const std::string& path) {
+  StatusOr<std::unique_ptr<WritableFile>> file = base_->NewWritableFile(path);
+  if (!file.ok()) {
+    metrics_for(path)->errors->Increment();
+    return file.status();
+  }
+  return {std::make_unique<MeteredWritableFile>(std::move(*file),
+                                                metrics_for(path))};
+}
+
+StatusOr<std::unique_ptr<WritableFile>> MeteredEnv::NewAppendableFile(
+    const std::string& path) {
+  StatusOr<std::unique_ptr<WritableFile>> file =
+      base_->NewAppendableFile(path);
+  if (!file.ok()) {
+    metrics_for(path)->errors->Increment();
+    return file.status();
+  }
+  return {std::make_unique<MeteredWritableFile>(std::move(*file),
+                                                metrics_for(path))};
+}
+
+StatusOr<std::unique_ptr<RandomAccessFile>> MeteredEnv::NewRandomAccessFile(
+    const std::string& path) {
+  StatusOr<std::unique_ptr<RandomAccessFile>> file =
+      base_->NewRandomAccessFile(path);
+  if (!file.ok()) {
+    metrics_for(path)->errors->Increment();
+    return file.status();
+  }
+  return {std::make_unique<MeteredRandomAccessFile>(std::move(*file),
+                                                    metrics_for(path))};
+}
+
+StatusOr<std::unique_ptr<RandomWriteFile>> MeteredEnv::NewRandomWriteFile(
+    const std::string& path) {
+  StatusOr<std::unique_ptr<RandomWriteFile>> file =
+      base_->NewRandomWriteFile(path);
+  if (!file.ok()) {
+    metrics_for(path)->errors->Increment();
+    return file.status();
+  }
+  return {std::make_unique<MeteredRandomWriteFile>(std::move(*file),
+                                                   metrics_for(path))};
+}
+
+bool MeteredEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+StatusOr<uint64_t> MeteredEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Status MeteredEnv::DeleteFile(const std::string& path) {
+  return base_->DeleteFile(path);
+}
+
+Status MeteredEnv::RenameFile(const std::string& from, const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+Status MeteredEnv::CreateDirIfMissing(const std::string& path) {
+  return base_->CreateDirIfMissing(path);
+}
+
+Status MeteredEnv::ListDir(const std::string& path,
+                           std::vector<std::string>* children) {
+  return base_->ListDir(path, children);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,84 @@
+#ifndef MMDB_OBS_METERED_ENV_H_
+#define MMDB_OBS_METERED_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "env/env.h"
+#include "obs/metrics_registry.h"
+
+namespace mmdb {
+
+// Storage device classes an engine directory contains. Classification is
+// by path: the write-ahead log ("wal"), the ping-pong backup copies
+// ("backup"), and everything else (checkpoint metadata, manifests).
+enum class DeviceClass : uint8_t { kLog = 0, kBackup = 1, kMeta = 2 };
+
+std::string_view DeviceClassName(DeviceClass dc);
+DeviceClass ClassifyPath(std::string_view path);
+
+// Env decorator that accounts every data-path operation — op counts, bytes
+// moved, and real (host) latency — per device class into a MetricsRegistry,
+// under names like `env.log.write_bytes` and `env.backup.read_seconds`.
+//
+// Composition with FaultInjectionEnv: wrap the *base* Env
+// (`FaultInjectionEnv(MeteredEnv(base))`) so the meter sees only
+// operations that reach the device — injected write errors are counted by
+// the fault env, not double-charged here — and so the engine can still
+// locate the FaultInjectionEnv as the outermost decorator.
+//
+// The registry must outlive this Env and every file handle opened through
+// it. Like the other Env decorators, thread-compatible rather than
+// thread-safe (the registry instruments themselves are thread-safe).
+class MeteredEnv : public Env {
+ public:
+  // Instruments for one device class; hot paths use these cached pointers.
+  struct DeviceMetrics {
+    Counter* read_ops = nullptr;
+    Counter* read_bytes = nullptr;
+    Counter* write_ops = nullptr;
+    Counter* write_bytes = nullptr;
+    Counter* sync_ops = nullptr;
+    Counter* errors = nullptr;
+    Timer* read_seconds = nullptr;
+    Timer* write_seconds = nullptr;
+    Timer* sync_seconds = nullptr;
+  };
+
+  // `base` and `registry` must outlive this Env.
+  MeteredEnv(Env* base, MetricsRegistry* registry);
+
+  Env* base() const { return base_; }
+
+  [[nodiscard]] StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  [[nodiscard]] StatusOr<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  [[nodiscard]] StatusOr<std::unique_ptr<RandomAccessFile>>
+  NewRandomAccessFile(const std::string& path) override;
+  [[nodiscard]] StatusOr<std::unique_ptr<RandomWriteFile>> NewRandomWriteFile(
+      const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  [[nodiscard]] StatusOr<uint64_t> FileSize(const std::string& path) override;
+  [[nodiscard]] Status DeleteFile(const std::string& path) override;
+  [[nodiscard]] Status RenameFile(const std::string& from,
+                                  const std::string& to) override;
+  [[nodiscard]] Status CreateDirIfMissing(const std::string& path) override;
+  [[nodiscard]] Status ListDir(const std::string& path,
+                               std::vector<std::string>* children) override;
+
+ private:
+  DeviceMetrics* metrics_for(const std::string& path) {
+    return &devices_[static_cast<size_t>(ClassifyPath(path))];
+  }
+
+  Env* base_;
+  DeviceMetrics devices_[3];
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_OBS_METERED_ENV_H_

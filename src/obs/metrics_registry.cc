@@ -1,0 +1,97 @@
+#include "obs/metrics_registry.h"
+
+#include "util/string_util.h"
+
+namespace mmdb {
+
+namespace {
+
+template <typename Map, typename T>
+T* FindOrCreate(std::mutex& mu, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  return FindOrCreate<decltype(counters_), Counter>(mu_, counters_, name);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  return FindOrCreate<decltype(gauges_), Gauge>(mu_, gauges_, name);
+}
+
+Timer* MetricsRegistry::timer(std::string_view name) {
+  return FindOrCreate<decltype(timers_), Timer>(mu_, timers_, name);
+}
+
+void MetricsRegistry::ToJson(JsonWriter* writer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer->BeginObject();
+  writer->Key("counters");
+  writer->BeginObject();
+  for (const auto& [name, c] : counters_) {
+    writer->Key(name);
+    writer->Uint(c->value());
+  }
+  writer->EndObject();
+  writer->Key("gauges");
+  writer->BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    writer->Key(name);
+    writer->Double(g->value());
+  }
+  writer->EndObject();
+  writer->Key("timers");
+  writer->BeginObject();
+  for (const auto& [name, t] : timers_) {
+    Histogram h = t->Snapshot();
+    writer->Key(name);
+    writer->BeginObject();
+    writer->Key("count");
+    writer->Uint(h.count());
+    writer->Key("mean");
+    writer->Double(h.Mean());
+    writer->Key("min");
+    writer->Double(h.min());
+    writer->Key("max");
+    writer->Double(h.max());
+    writer->Key("p50");
+    writer->Double(h.Percentile(50.0));
+    writer->Key("p99");
+    writer->Double(h.Percentile(99.0));
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+std::string MetricsRegistry::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StringPrintf("%-40s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StringPrintf("%-40s %g\n", name.c_str(), g->value());
+  }
+  for (const auto& [name, t] : timers_) {
+    out += StringPrintf("%-40s %s\n", name.c_str(),
+                        t->Snapshot().ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace mmdb

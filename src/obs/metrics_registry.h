@@ -1,0 +1,108 @@
+#ifndef MMDB_OBS_METRICS_REGISTRY_H_
+#define MMDB_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/histogram.h"
+#include "util/json.h"
+
+namespace mmdb {
+
+// Named engine metrics: monotonic counters, point-in-time gauges, and
+// Histogram-backed timers. Instruments are created on first use and live
+// for the registry's lifetime, so hot paths cache the returned pointer
+// once and then pay a single relaxed atomic add per event — cheap enough
+// for the registry to stay on by default.
+//
+// Thread-safety: instrument updates are lock-free (counters, gauges) or
+// take a per-instrument mutex (timers); instrument creation and snapshot
+// export take the registry mutex. The engine itself is single-threaded,
+// but tools and future multi-threaded frontends may read concurrently.
+
+// Monotonically increasing count of events.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins scalar (e.g. a configured cap, a current queue depth).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Distribution of durations (or any non-negative samples).
+class Timer {
+ public:
+  void Record(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Add(value);
+  }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_.count();
+  }
+  // Consistent copy for percentile queries and export.
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. The returned pointer is stable for the registry's
+  // lifetime; cache it rather than looking it up per event.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Timer* timer(std::string_view name);
+
+  // {"counters":{name:n}, "gauges":{name:x},
+  //  "timers":{name:{count,mean,min,max,p50,p99}}}. Names are emitted in
+  // sorted order so output is stable across runs.
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+
+  // One "name value" line per instrument, for terminals.
+  std::string ToString() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,238 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+// Header-only uses (inline name tables); no link dependency on the
+// owning libraries.
+#include "checkpoint/checkpointer.h"
+#include "env/fault_injection_env.h"
+#include "wal/log_record.h"
+
+namespace mmdb {
+
+std::string_view TraceEventTypeName(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kCheckpointBegin:
+      return "checkpoint.begin";
+    case TraceEventType::kCheckpointSegmentWrite:
+      return "checkpoint.segment_write";
+    case TraceEventType::kCheckpointEnd:
+      return "checkpoint.end";
+    case TraceEventType::kCheckpointAbort:
+      return "checkpoint.abort";
+    case TraceEventType::kLogAppend:
+      return "log.append";
+    case TraceEventType::kLogFlush:
+      return "log.flush";
+    case TraceEventType::kLogFlushError:
+      return "log.flush_error";
+    case TraceEventType::kLockWait:
+      return "lock.wait";
+    case TraceEventType::kLockConflict:
+      return "lock.conflict";
+    case TraceEventType::kFaultInjected:
+      return "fault.injected";
+    case TraceEventType::kRecoveryBegin:
+      return "recovery.begin";
+    case TraceEventType::kRecoveryPhase:
+      return "recovery.phase";
+    case TraceEventType::kRecoveryEnd:
+      return "recovery.end";
+  }
+  return "unknown";
+}
+
+std::string_view RecoveryPhaseName(RecoveryPhase phase) {
+  switch (phase) {
+    case RecoveryPhase::kBackupLoad:
+      return "backup_load";
+    case RecoveryPhase::kLogRead:
+      return "log_read";
+    case RecoveryPhase::kReplay:
+      return "replay";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[recorded_ % capacity_] = event;
+  }
+  ++recorded_;
+}
+
+uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  recorded_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (recorded_ <= capacity_) {
+    out = ring_;
+  } else {
+    size_t head = recorded_ % capacity_;  // oldest retained event
+    out.insert(out.end(), ring_.begin() + head, ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + head);
+  }
+  return out;
+}
+
+namespace {
+
+void EmitFields(const TraceEvent& e, JsonWriter* w) {
+  switch (e.type) {
+    case TraceEventType::kCheckpointBegin:
+      w->Key("checkpoint");
+      w->Int(e.a);
+      w->Key("algorithm");
+      w->String(AlgorithmName(static_cast<Algorithm>(e.b)));
+      w->Key("mode");
+      w->String(static_cast<CheckpointMode>(e.c) == CheckpointMode::kFull
+                    ? "full"
+                    : "partial");
+      break;
+    case TraceEventType::kCheckpointSegmentWrite:
+      w->Key("done");
+      w->Double(e.t2);
+      w->Key("segment");
+      w->Int(e.a);
+      w->Key("copy");
+      w->Int(e.b);
+      w->Key("bytes");
+      w->Int(e.c);
+      break;
+    case TraceEventType::kCheckpointEnd:
+    case TraceEventType::kCheckpointAbort:
+      w->Key("checkpoint");
+      w->Int(e.a);
+      w->Key("segments_flushed");
+      w->Int(e.b);
+      w->Key("segments_skipped");
+      w->Int(e.c);
+      break;
+    case TraceEventType::kLogAppend:
+      w->Key("lsn");
+      w->Int(e.a);
+      // Shared with LogRecord::AppendJsonTo so the spellings cannot drift.
+      w->Key("record_type");
+      w->String(LogRecordTypeName(static_cast<LogRecordType>(e.b)));
+      w->Key("bytes");
+      w->Int(e.c);
+      break;
+    case TraceEventType::kLogFlush:
+      w->Key("durable_at");
+      w->Double(e.t2);
+      w->Key("durable_lsn");
+      w->Int(e.a);
+      w->Key("bytes");
+      w->Int(e.b);
+      break;
+    case TraceEventType::kLogFlushError:
+      w->Key("tail_lsn");
+      w->Int(e.a);
+      break;
+    case TraceEventType::kLockWait:
+      w->Key("until");
+      w->Double(e.t2);
+      break;
+    case TraceEventType::kLockConflict:
+      w->Key("txn");
+      w->Int(e.a);
+      w->Key("record");
+      w->Int(e.b);
+      break;
+    case TraceEventType::kFaultInjected:
+      w->Key("fault");
+      w->String(FaultKindName(static_cast<FaultKind>(e.a)));
+      w->Key("op");
+      w->Int(e.b);
+      break;
+    case TraceEventType::kRecoveryBegin:
+      w->Key("restart");
+      w->Bool(e.a != 0);
+      break;
+    case TraceEventType::kRecoveryPhase:
+      w->Key("seconds");
+      w->Double(e.t2);
+      w->Key("phase");
+      w->String(RecoveryPhaseName(static_cast<RecoveryPhase>(e.a)));
+      w->Key("n1");
+      w->Int(e.b);
+      w->Key("n2");
+      w->Int(e.c);
+      break;
+    case TraceEventType::kRecoveryEnd:
+      w->Key("seconds");
+      w->Double(e.t2);
+      w->Key("checkpoint");
+      w->Int(e.a);
+      break;
+  }
+}
+
+}  // namespace
+
+void TraceEventToJson(const TraceEvent& event, uint64_t seq,
+                      JsonWriter* writer) {
+  writer->BeginObject();
+  writer->Key("seq");
+  writer->Uint(seq);
+  writer->Key("kind");
+  writer->String(TraceEventTypeName(event.type));
+  writer->Key("t");
+  writer->Double(event.time);
+  EmitFields(event, writer);
+  writer->EndObject();
+}
+
+void Tracer::ToJson(JsonWriter* writer) const {
+  std::vector<TraceEvent> events = Snapshot();
+  uint64_t recorded, first_seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recorded = recorded_;
+    first_seq = recorded_ - events.size();
+  }
+  writer->BeginObject();
+  writer->Key("recorded");
+  writer->Uint(recorded);
+  writer->Key("dropped");
+  writer->Uint(first_seq);
+  writer->Key("events");
+  writer->BeginArray();
+  for (size_t i = 0; i < events.size(); ++i) {
+    TraceEventToJson(events[i], first_seq + i, writer);
+  }
+  writer->EndArray();
+  writer->EndObject();
+}
+
+std::string Tracer::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+}  // namespace mmdb

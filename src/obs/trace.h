@@ -1,0 +1,103 @@
+#ifndef MMDB_OBS_TRACE_H_
+#define MMDB_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace mmdb {
+
+// Structured engine events. Each event is a small POD: a type, the virtual
+// time it happened at, an optional second time (completion / release), and
+// up to three integer payload fields whose meaning depends on the type
+// (the JSON emitter names them; see trace.cc's field tables).
+enum class TraceEventType : uint8_t {
+  kCheckpointBegin,         // a=id, b=algorithm, c=mode (0 full, 1 partial)
+  kCheckpointSegmentWrite,  // t2=done, a=segment, b=copy, c=bytes
+  kCheckpointEnd,           // a=id, b=segments_flushed, c=segments_skipped
+  kCheckpointAbort,         // a=id, b=segments_flushed so far
+  kLogAppend,               // a=lsn, b=record type, c=frame bytes
+  kLogFlush,                // t2=durable at, a=durable lsn, b=bytes
+  kLogFlushError,           // a=last lsn still volatile
+  kLockWait,                // t2=resume time (checkpoint lock / quiesce)
+  kLockConflict,            // a=txn, b=record (no-wait lock abort)
+  kFaultInjected,           // a=fault kind, b=op index
+  kRecoveryBegin,           // a=1 if restart (OpenExisting), else 0
+  kRecoveryPhase,           // t2=seconds, a=phase, b/c=phase counts
+  kRecoveryEnd,             // t2=total seconds, a=checkpoint id restored
+};
+
+std::string_view TraceEventTypeName(TraceEventType type);
+
+// Recovery phases reported via kRecoveryPhase (field `a`).
+enum class RecoveryPhase : uint8_t {
+  kBackupLoad = 0,  // b=segments loaded, c=copy index
+  kLogRead = 1,     // b=log bytes read
+  kReplay = 2,      // b=updates applied, c=transactions redone
+};
+
+std::string_view RecoveryPhaseName(RecoveryPhase phase);
+
+struct TraceEvent {
+  TraceEventType type = TraceEventType::kLogAppend;
+  double time = 0.0;
+  double t2 = 0.0;
+  int64_t a = 0;
+  int64_t b = 0;
+  int64_t c = 0;
+};
+
+// Bounded ring buffer of TraceEvents. When full, the oldest events are
+// overwritten and counted as dropped — tracing never blocks or grows
+// memory. Record() is a couple of stores under a mutex, cheap enough to
+// stay on by default.
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;
+
+  explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  void Record(const TraceEvent& event);
+  // Convenience for call sites building events inline.
+  void Record(TraceEventType type, double time, double t2 = 0.0,
+              int64_t a = 0, int64_t b = 0, int64_t c = 0) {
+    Record(TraceEvent{type, time, t2, a, b, c});
+  }
+
+  size_t capacity() const { return capacity_; }
+  // Events recorded since construction (including overwritten ones).
+  uint64_t recorded() const;
+  // Events lost to ring overwrite.
+  uint64_t dropped() const;
+
+  void Clear();
+
+  // Oldest-first copy of the retained events.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // {"events":[{"seq":..,"kind":..,"t":..,...}],"recorded":N,"dropped":N}.
+  // `seq` is the global record index, so consumers can detect the gap left
+  // by dropped events.
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  uint64_t recorded_ = 0;  // next global sequence number
+};
+
+// Emits one trace event as a JSON object with type-specific field names.
+// Exposed so alternate exporters (the mmdb_stats tool's tests, future
+// sinks) format events identically to Tracer::ToJson.
+void TraceEventToJson(const TraceEvent& event, uint64_t seq,
+                      JsonWriter* writer);
+
+}  // namespace mmdb
+
+#endif  // MMDB_OBS_TRACE_H_

@@ -12,8 +12,54 @@
 namespace mmdb {
 
 RecoveryManager::RecoveryManager(Env* env, const SystemParams& params,
-                                 CpuMeter* meter)
-    : env_(env), params_(params), meter_(meter) {}
+                                 CpuMeter* meter, MetricsRegistry* metrics,
+                                 Tracer* tracer)
+    : env_(env),
+      params_(params),
+      meter_(meter),
+      metrics_(metrics),
+      tracer_(tracer) {}
+
+void RecoveryManager::Publish(const RecoveryStats& stats, double now) {
+  if (metrics_ != nullptr) {
+    metrics_->counter("recovery.runs")->Increment();
+    metrics_->counter("recovery.segments_loaded")
+        ->Increment(stats.segments_loaded);
+    metrics_->counter("recovery.log_bytes_read")
+        ->Increment(stats.log_bytes_read);
+    metrics_->counter("recovery.updates_applied")
+        ->Increment(stats.updates_applied);
+    metrics_->counter("recovery.txns_redone")->Increment(stats.txns_redone);
+    if (stats.fell_back_to_older_copy) {
+      metrics_->counter("recovery.copy_fallbacks")->Increment();
+    }
+    metrics_->timer("recovery.backup_read_seconds")
+        ->Record(stats.backup_read_seconds);
+    metrics_->timer("recovery.log_read_seconds")
+        ->Record(stats.log_read_seconds);
+    metrics_->timer("recovery.replay_cpu_seconds")
+        ->Record(stats.replay_cpu_seconds);
+    metrics_->timer("recovery.total_seconds")->Record(stats.total_seconds);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(
+        TraceEventType::kRecoveryPhase, now, stats.backup_read_seconds,
+        static_cast<int64_t>(RecoveryPhase::kBackupLoad),
+        static_cast<int64_t>(stats.segments_loaded),
+        static_cast<int64_t>(stats.copy));
+    tracer_->Record(TraceEventType::kRecoveryPhase, now,
+                    stats.log_read_seconds,
+                    static_cast<int64_t>(RecoveryPhase::kLogRead),
+                    static_cast<int64_t>(stats.log_bytes_read));
+    tracer_->Record(TraceEventType::kRecoveryPhase, now,
+                    stats.replay_cpu_seconds,
+                    static_cast<int64_t>(RecoveryPhase::kReplay),
+                    static_cast<int64_t>(stats.updates_applied),
+                    static_cast<int64_t>(stats.txns_redone));
+    tracer_->Record(TraceEventType::kRecoveryEnd, now, stats.total_seconds,
+                    static_cast<int64_t>(stats.checkpoint_id));
+  }
+}
 
 StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
                                                   const std::string& log_path,
@@ -268,6 +314,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
   segments->MarkAllDirty();
 
   stats.total_seconds = (log_done - now) + stats.replay_cpu_seconds;
+  Publish(stats, now);
   return result;
 }
 

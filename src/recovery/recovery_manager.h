@@ -5,6 +5,8 @@
 
 #include "backup/backup_store.h"
 #include "env/env.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/cpu_meter.h"
 #include "storage/database.h"
@@ -64,7 +66,11 @@ struct RecoveryResult {
 // from an empty image by replaying the entire log.
 class RecoveryManager {
  public:
-  RecoveryManager(Env* env, const SystemParams& params, CpuMeter* meter);
+  // `metrics` and `tracer` are optional sinks for the phase breakdown
+  // (backup reload vs log read vs replay); either may be null.
+  RecoveryManager(Env* env, const SystemParams& params, CpuMeter* meter,
+                  MetricsRegistry* metrics = nullptr,
+                  Tracer* tracer = nullptr);
 
   // `backup` must be Open()ed; `db`/`segments` are overwritten. `now` is
   // the virtual time at which recovery starts (the crash instant).
@@ -73,9 +79,13 @@ class RecoveryManager {
                                    SegmentTable* segments, double now);
 
  private:
+  void Publish(const RecoveryStats& stats, double now);
+
   Env* env_;
   SystemParams params_;
   CpuMeter* meter_;
+  MetricsRegistry* metrics_;
+  Tracer* tracer_;
 };
 
 }  // namespace mmdb

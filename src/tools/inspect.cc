@@ -5,6 +5,7 @@
 
 #include "util/coding.h"
 #include "util/crc32c.h"
+#include "util/json.h"
 #include "util/string_util.h"
 #include "wal/log_reader.h"
 
@@ -95,6 +96,38 @@ StatusOr<uint64_t> DumpLog(Env* env, const std::string& log_path,
                  static_cast<unsigned long long>(reader.valid_bytes()));
   }
   return printed;
+}
+
+StatusOr<uint64_t> DumpLogJson(Env* env, const std::string& log_path,
+                               uint64_t from_offset, std::string* out) {
+  MMDB_ASSIGN_OR_RETURN(LogReader reader, LogReader::Open(env, log_path));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("base_offset");
+  w.Uint(reader.base_offset());
+  w.Key("valid_bytes");
+  w.Uint(reader.valid_bytes());
+  w.Key("torn_tail");
+  w.Bool(reader.truncated_tail());
+  w.Key("records");
+  w.BeginArray();
+  uint64_t emitted = 0;
+  uint64_t start = std::max(from_offset, reader.base_offset());
+  MMDB_RETURN_IF_ERROR(reader.ScanForward(
+      start, [&](const LogRecord& r, uint64_t offset) {
+        w.BeginObject();
+        w.Key("offset");
+        w.Uint(offset);
+        w.Key("record");
+        r.AppendJsonTo(&w);
+        w.EndObject();
+        ++emitted;
+        return true;
+      }));
+  w.EndArray();
+  w.EndObject();
+  out->append(w.TakeString());
+  return emitted;
 }
 
 std::string BackupSummary::ToString() const {

@@ -53,6 +53,17 @@ StatusOr<LogSummary> SummarizeLog(Env* env, const std::string& log_path);
 StatusOr<uint64_t> DumpLog(Env* env, const std::string& log_path,
                            uint64_t from_offset, std::FILE* out);
 
+// JSON form of DumpLog, appended to `*out` as a single document:
+//   {"base_offset":N,"valid_bytes":N,"torn_tail":b,
+//    "records":[{"offset":N,"record":{...}},...]}
+// The per-record objects come from LogRecord::AppendJsonTo — the same
+// formatter the trace layer's log events reference — so offline dumps and
+// live traces name fields identically. Returns the record count.
+[[nodiscard]] StatusOr<uint64_t> DumpLogJson(Env* env,
+                                             const std::string& log_path,
+                                             uint64_t from_offset,
+                                             std::string* out);
+
 // Verification result for one ping-pong copy.
 struct CopySummary {
   bool present = false;

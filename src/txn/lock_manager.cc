@@ -7,6 +7,18 @@
 namespace mmdb {
 
 Status LockManager::Acquire(TxnId txn, RecordId record, Mode mode) {
+  Status s = AcquireImpl(txn, record, mode);
+  if (m_acquires_ != nullptr) {
+    if (s.ok()) {
+      m_acquires_->Increment();
+    } else {
+      m_conflicts_->Increment();
+    }
+  }
+  return s;
+}
+
+Status LockManager::AcquireImpl(TxnId txn, RecordId record, Mode mode) {
   Entry& e = table_[record];
   const bool held_shared =
       std::find(e.shared.begin(), e.shared.end(), txn) != e.shared.end();

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -43,7 +44,17 @@ class LockManager {
 
   void Clear() { table_.clear(); }
 
+  // Optional metrics sink (may be null): counts grants and no-wait
+  // conflicts.
+  void set_obs(MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    m_acquires_ = registry->counter("lock.acquires");
+    m_conflicts_ = registry->counter("lock.conflicts");
+  }
+
  private:
+  Status AcquireImpl(TxnId txn, RecordId record, Mode mode);
+
   struct Entry {
     // Exclusive holder, or kInvalidTxnId if the lock is shared/free.
     TxnId exclusive = kInvalidTxnId;
@@ -51,6 +62,8 @@ class LockManager {
   };
 
   std::unordered_map<RecordId, Entry> table_;
+  Counter* m_acquires_ = nullptr;
+  Counter* m_conflicts_ = nullptr;
 };
 
 }  // namespace mmdb

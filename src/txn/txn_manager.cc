@@ -23,6 +23,27 @@ void TxnManager::set_hooks(CheckpointHooks* hooks) {
   hooks_ = hooks != nullptr ? hooks : &null_hooks_;
 }
 
+void TxnManager::set_obs(MetricsRegistry* registry, Tracer* tracer) {
+  tracer_ = tracer;
+  locks_.set_obs(registry);
+  if (registry == nullptr) return;
+  m_commits_ = registry->counter("txn.commits");
+  m_user_aborts_ = registry->counter("txn.user_aborts");
+  m_lock_aborts_ = registry->counter("txn.lock_aborts");
+  m_color_aborts_ = registry->counter("txn.color_aborts");
+}
+
+Status TxnManager::AcquireLock(Transaction* txn, RecordId record,
+                               LockManager::Mode mode, double now) {
+  Status lock = locks_.Acquire(txn->id, record, mode);
+  if (!lock.ok() && tracer_ != nullptr) {
+    tracer_->Record(TraceEventType::kLockConflict, now, 0.0,
+                    static_cast<int64_t>(txn->id),
+                    static_cast<int64_t>(record));
+  }
+  return lock;
+}
+
 Transaction* TxnManager::Begin(double now) {
   auto txn = std::make_unique<Transaction>();
   txn->id = next_txn_id_++;
@@ -53,7 +74,7 @@ Status TxnManager::Read(Transaction* txn, RecordId record, std::string* out,
   if (record >= db_->num_records()) {
     return OutOfRangeError("record id out of range");
   }
-  Status lock = locks_.Acquire(txn->id, record, LockManager::Mode::kShared);
+  Status lock = AcquireLock(txn, record, LockManager::Mode::kShared, now);
   if (!lock.ok()) return lock;
   txn->locked_records.push_back(record);
   MMDB_RETURN_IF_ERROR(CheckColors(txn, db_->SegmentOf(record), now));
@@ -92,7 +113,7 @@ Status TxnManager::Write(Transaction* txn, RecordId record,
           "record already has delta operations in this transaction");
     }
   }
-  Status lock = locks_.Acquire(txn->id, record, LockManager::Mode::kExclusive);
+  Status lock = AcquireLock(txn, record, LockManager::Mode::kExclusive, now);
   if (!lock.ok()) return lock;
   txn->locked_records.push_back(record);
   MMDB_RETURN_IF_ERROR(CheckColors(txn, db_->SegmentOf(record), now));
@@ -116,7 +137,7 @@ Status TxnManager::WriteDelta(Transaction* txn, RecordId record,
     return FailedPreconditionError(
         "record already has a full-image write in this transaction");
   }
-  Status lock = locks_.Acquire(txn->id, record, LockManager::Mode::kExclusive);
+  Status lock = AcquireLock(txn, record, LockManager::Mode::kExclusive, now);
   if (!lock.ok()) return lock;
   txn->locked_records.push_back(record);
   MMDB_RETURN_IF_ERROR(CheckColors(txn, db_->SegmentOf(record), now));
@@ -133,14 +154,14 @@ StatusOr<Lsn> TxnManager::Commit(Transaction* txn, double now) {
   // scheme).
   for (const auto& [record, image] : txn->pending) {
     LogRecord update = LogRecord::Update(txn->id, record, image);
-    log_->Append(&update);
+    log_->Append(&update, now);
   }
   for (const auto& [key, delta] : txn->pending_deltas) {
     LogRecord op = LogRecord::Delta(txn->id, key.first, key.second, delta);
-    log_->Append(&op);
+    log_->Append(&op, now);
   }
   LogRecord commit = LogRecord::Commit(txn->id);
-  Lsn commit_lsn = log_->Append(&commit);
+  Lsn commit_lsn = log_->Append(&commit, now);
 
   // Install the shadow copies. BeforeSegmentUpdate lets a running COU
   // checkpoint preserve the pre-update image (Figure 3.2). The write-ahead
@@ -194,26 +215,28 @@ StatusOr<Lsn> TxnManager::Commit(Transaction* txn, double now) {
   locks_.ReleaseAll(txn->id, txn->locked_records);
   txn->state = TxnState::kCommitted;
   ++commits_;
+  if (m_commits_ != nullptr) m_commits_->Increment();
   active_.erase(txn->id);
   return commit_lsn;
 }
 
 void TxnManager::Abort(Transaction* txn, AbortReason reason, double now) {
-  (void)now;
   assert(txn->state == TxnState::kActive);
   LogRecord abort = LogRecord::Abort(txn->id);
-  log_->Append(&abort);
+  log_->Append(&abort, now);
 
   switch (reason) {
     case AbortReason::kUser:
       meter_->Charge(CpuCategory::kTxnLogic,
                      static_cast<double>(params_.txn.instructions));
       ++user_aborts_;
+      if (m_user_aborts_ != nullptr) m_user_aborts_->Increment();
       break;
     case AbortReason::kLockConflict:
       meter_->Charge(CpuCategory::kTxnLogic,
                      static_cast<double>(params_.txn.instructions));
       ++lock_aborts_;
+      if (m_lock_aborts_ != nullptr) m_lock_aborts_->Increment();
       break;
     case AbortReason::kColorViolation:
       // The paper's dominant two-color cost: the attempt's work is wasted
@@ -221,6 +244,7 @@ void TxnManager::Abort(Transaction* txn, AbortReason reason, double now) {
       meter_->Charge(CpuCategory::kTxnRerun,
                      static_cast<double>(params_.txn.instructions));
       ++color_aborts_;
+      if (m_color_aborts_ != nullptr) m_color_aborts_->Increment();
       break;
   }
 

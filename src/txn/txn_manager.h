@@ -102,12 +102,20 @@ class TxnManager {
   uint64_t lock_aborts() const { return lock_aborts_; }
   uint64_t color_aborts() const { return color_aborts_; }
 
+  // Optional observability sinks (either may be null); also wires the
+  // embedded LockManager's counters.
+  void set_obs(MetricsRegistry* registry, Tracer* tracer);
+
   // Forgets all volatile transaction state (crash).
   void Reset();
 
  private:
   // Incremental two-color admission for `txn` after touching `record`.
   Status CheckColors(Transaction* txn, SegmentId segment, double now);
+
+  // Acquire + conflict tracing.
+  Status AcquireLock(Transaction* txn, RecordId record, LockManager::Mode mode,
+                     double now);
 
   Database* db_;
   SegmentTable* segments_;
@@ -126,6 +134,12 @@ class TxnManager {
   uint64_t user_aborts_ = 0;
   uint64_t lock_aborts_ = 0;
   uint64_t color_aborts_ = 0;
+
+  Tracer* tracer_ = nullptr;
+  Counter* m_commits_ = nullptr;
+  Counter* m_user_aborts_ = nullptr;
+  Counter* m_lock_aborts_ = nullptr;
+  Counter* m_color_aborts_ = nullptr;
 };
 
 }  // namespace mmdb

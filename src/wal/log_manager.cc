@@ -107,7 +107,19 @@ Status LogManager::OpenExisting(uint64_t existing_bytes, Lsn next_lsn) {
   return Status::OK();
 }
 
-Lsn LogManager::Append(LogRecord* record) {
+void LogManager::set_obs(MetricsRegistry* registry, Tracer* tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) return;
+  m_appends_ = registry->counter("log.appends");
+  m_append_bytes_ = registry->counter("log.append_bytes");
+  m_flush_batches_ = registry->counter("log.flush_batches");
+  m_flush_bytes_ = registry->counter("log.flush_bytes");
+  m_flush_errors_ = registry->counter("log.flush_errors");
+  m_group_merges_ = registry->counter("log.group_commit_merges");
+  m_flush_seconds_ = registry->timer("log.flush_seconds");
+}
+
+Lsn LogManager::Append(LogRecord* record, double now) {
   record->lsn = next_lsn_++;
   size_t before = tail_.size();
   EncodeLogFrame(*record, &tail_);
@@ -119,6 +131,16 @@ Lsn LogManager::Append(LogRecord* record) {
   meter_->Charge(CpuCategory::kLogging,
                  params_.costs.move_per_word *
                      (static_cast<double>(frame_bytes) / kWordBytes));
+  if (m_appends_ != nullptr) {
+    m_appends_->Increment();
+    m_append_bytes_->Increment(frame_bytes);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventType::kLogAppend, now, 0.0,
+                    static_cast<int64_t>(record->lsn),
+                    static_cast<int64_t>(record->type),
+                    static_cast<int64_t>(frame_bytes));
+  }
   return record->lsn;
 }
 
@@ -126,6 +148,7 @@ StatusOr<double> LogManager::Flush(double now) {
   if (tail_.empty()) return now;
   if (damaged_) MMDB_RETURN_IF_ERROR(Repair());
   uint64_t words = (tail_.size() + kWordBytes - 1) / kWordBytes;
+  uint64_t batch_bytes = tail_.size();
 
   // The bytes go to the Env file immediately; Crash() rolls back anything
   // whose modeled completion hadn't been reached.
@@ -136,10 +159,16 @@ StatusOr<double> LogManager::Flush(double now) {
     // promise has been made for it — and the partial frame is cut off by
     // Repair() before the next attempt.
     damaged_ = true;
+    if (m_flush_errors_ != nullptr) m_flush_errors_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventType::kLogFlushError, now, 0.0,
+                      static_cast<int64_t>(tail_last_lsn_));
+    }
     return s;
   }
   written_bytes_ += tail_.size();
   flushed_lsn_ = tail_last_lsn_;
+  if (m_flush_bytes_ != nullptr) m_flush_bytes_->Increment(batch_bytes);
 
   if (!pending_.empty() && pending_.back().start_time > now) {
     // Group commit: the previous batch has not started writing yet; this
@@ -156,6 +185,12 @@ StatusOr<double> LogManager::Flush(double now) {
     pending_.push_back(PendingFlush{tail_last_lsn_, written_bytes_,
                                     batch_words, batch.start_time, done});
     tail_.clear();
+    if (m_group_merges_ != nullptr) m_group_merges_->Increment();
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventType::kLogFlush, now, done,
+                      static_cast<int64_t>(flushed_lsn_),
+                      static_cast<int64_t>(batch_bytes));
+    }
     return done;
   }
 
@@ -173,6 +208,15 @@ StatusOr<double> LogManager::Flush(double now) {
   pending_.push_back(
       PendingFlush{tail_last_lsn_, written_bytes_, words, start, done});
   tail_.clear();
+  if (m_flush_batches_ != nullptr) {
+    m_flush_batches_->Increment();
+    m_flush_seconds_->Record(done - start);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Record(TraceEventType::kLogFlush, now, done,
+                    static_cast<int64_t>(flushed_lsn_),
+                    static_cast<int64_t>(batch_bytes));
+  }
   return done;
 }
 

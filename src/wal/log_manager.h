@@ -6,6 +6,8 @@
 #include <string>
 
 #include "env/env.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/cpu_meter.h"
 #include "sim/disk_model.h"
@@ -69,8 +71,9 @@ class LogManager {
   uint64_t BaseOffset() const { return base_offset_; }
 
   // Appends a record to the tail; assigns and returns its LSN (also stored
-  // into record->lsn). Charges log data movement to the CPU meter.
-  Lsn Append(LogRecord* record);
+  // into record->lsn). Charges log data movement to the CPU meter. `now` is
+  // only for the trace timeline (callers without a clock may omit it).
+  Lsn Append(LogRecord* record, double now = 0.0);
 
   // Starts writing all buffered tail bytes to the log disks at time `now`.
   // Returns immediately; the bytes count as durable at the returned
@@ -118,6 +121,10 @@ class LogManager {
   double FlushBusySeconds() const { return flush_busy_seconds_; }
 
   bool stable_log_tail() const { return stable_log_tail_; }
+
+  // Optional observability sinks (either may be null). Instrument pointers
+  // are cached here once; the hot paths then pay one atomic add per event.
+  void set_obs(MetricsRegistry* registry, Tracer* tracer);
 
  private:
   // Rewrites the log file atomically (temp file + rename), so a fault
@@ -170,6 +177,15 @@ class LogManager {
   // A failed append may have left a partial frame in the file; set until
   // Repair() restores the known-good prefix.
   bool damaged_ = false;
+
+  Tracer* tracer_ = nullptr;
+  Counter* m_appends_ = nullptr;
+  Counter* m_append_bytes_ = nullptr;
+  Counter* m_flush_batches_ = nullptr;
+  Counter* m_flush_bytes_ = nullptr;
+  Counter* m_flush_errors_ = nullptr;
+  Counter* m_group_merges_ = nullptr;
+  Timer* m_flush_seconds_ = nullptr;
 };
 
 // Framing shared with LogReader: [u32 len][payload][u32 masked-crc][u32 len].

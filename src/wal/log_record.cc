@@ -1,6 +1,7 @@
 #include "wal/log_record.h"
 
 #include "util/coding.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace mmdb {
@@ -196,6 +197,56 @@ std::string LogRecord::DebugString() const {
                           field_offset, static_cast<long long>(delta));
   }
   return "INVALID";
+}
+
+void LogRecord::AppendJsonTo(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("type");
+  writer->String(LogRecordTypeName(type));
+  writer->Key("lsn");
+  writer->Uint(lsn);
+  switch (type) {
+    case LogRecordType::kUpdate:
+      writer->Key("txn");
+      writer->Uint(txn_id);
+      writer->Key("record");
+      writer->Uint(record_id);
+      writer->Key("image_bytes");
+      writer->Uint(image.size());
+      break;
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+      writer->Key("txn");
+      writer->Uint(txn_id);
+      break;
+    case LogRecordType::kBeginCheckpoint:
+      writer->Key("checkpoint");
+      writer->Uint(checkpoint_id);
+      writer->Key("tau");
+      writer->Uint(timestamp);
+      writer->Key("active_txns");
+      writer->BeginArray();
+      for (const ActiveTxnEntry& e : active_txns) {
+        writer->Uint(e.txn_id);
+      }
+      writer->EndArray();
+      break;
+    case LogRecordType::kEndCheckpoint:
+      writer->Key("checkpoint");
+      writer->Uint(checkpoint_id);
+      break;
+    case LogRecordType::kDelta:
+      writer->Key("txn");
+      writer->Uint(txn_id);
+      writer->Key("record");
+      writer->Uint(record_id);
+      writer->Key("field_offset");
+      writer->Uint(field_offset);
+      writer->Key("delta");
+      writer->Int(delta);
+      break;
+  }
+  writer->EndObject();
 }
 
 }  // namespace mmdb

@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/status.h"
 #include "util/types.h"
 
 namespace mmdb {
+
+class JsonWriter;
 
 // REDO-only log record kinds (Section 2.6: shadow-copy updates make UNDO
 // logging unnecessary — old versions are never overwritten before commit).
@@ -26,6 +29,28 @@ enum class LogRecordType : uint8_t {
   // (Section 3.2).
   kDelta = 6,
 };
+
+// Canonical record-type names, shared by every formatter that renders log
+// records (DebugString, `mmdb_log_dump --json`, and the tracer's JSON
+// emitter) so the spellings cannot drift apart. Inline so header-only
+// users (the obs layer) need no link-time dependency on mmdb_wal.
+inline std::string_view LogRecordTypeName(LogRecordType type) {
+  switch (type) {
+    case LogRecordType::kUpdate:
+      return "UPDATE";
+    case LogRecordType::kCommit:
+      return "COMMIT";
+    case LogRecordType::kAbort:
+      return "ABORT";
+    case LogRecordType::kBeginCheckpoint:
+      return "BEGIN_CKPT";
+    case LogRecordType::kEndCheckpoint:
+      return "END_CKPT";
+    case LogRecordType::kDelta:
+      return "DELTA";
+  }
+  return "INVALID";
+}
 
 // One entry in a begin-checkpoint marker's active-transaction list. For
 // fuzzy checkpoints, recovery must scan back to the earliest active
@@ -79,6 +104,10 @@ struct LogRecord {
   size_t EncodedSize() const;
 
   std::string DebugString() const;
+
+  // Emits this record as one JSON object (type name, lsn, and the fields
+  // meaningful for `type`) — the formatter behind `mmdb_log_dump --json`.
+  void AppendJsonTo(JsonWriter* writer) const;
 
   friend bool operator==(const LogRecord&, const LogRecord&) = default;
 };

@@ -1,0 +1,172 @@
+// Unit tests for the observability layer: MetricsRegistry instruments
+// (including concurrent updates), the bounded Tracer ring, the MeteredEnv
+// device accounting, and the JSON round-trips that mmdb_stats and the
+// bench sidecars rely on.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "env/env.h"
+#include "gtest/gtest.h"
+#include "obs/metered_env.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
+#include "util/json.h"
+
+namespace mmdb {
+namespace {
+
+TEST(MetricsRegistryTest, InstrumentPointersAreStable) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("a");
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("pad." + std::to_string(i));
+  }
+  EXPECT_EQ(c, reg.counter("a"));
+  EXPECT_NE(c, reg.counter("b"));
+  // One namespace per instrument kind: a counter and a gauge may share a
+  // name without clashing.
+  EXPECT_NE(static_cast<void*>(reg.counter("x")),
+            static_cast<void*>(reg.gauge("x")));
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsSum) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Find-or-create races with the other threads on purpose.
+      Counter* c = reg.counter("shared");
+      Gauge* g = reg.gauge("level");
+      Timer* h = reg.timer("lat");
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->Add(1.0);
+        if (i % 100 == 0) h->Record(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared")->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(reg.gauge("level")->value(),
+                   static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.timer("lat")->count(),
+            static_cast<uint64_t>(kThreads) * (kPerThread / 100));
+}
+
+TEST(MetricsRegistryTest, JsonRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("ops")->Increment(7);
+  reg.gauge("cap")->Set(256.0);
+  Timer* t = reg.timer("dur");
+  t->Record(1.0);
+  t->Record(3.0);
+  StatusOr<JsonValue> doc = JsonValue::Parse(reg.ToJsonString());
+  MMDB_ASSERT_OK(doc);
+  EXPECT_EQ(doc->FindPath({"counters", "ops"})->number_value(), 7.0);
+  EXPECT_EQ(doc->FindPath({"gauges", "cap"})->number_value(), 256.0);
+  EXPECT_EQ(doc->FindPath({"timers", "dur", "count"})->number_value(), 2.0);
+  EXPECT_DOUBLE_EQ(doc->FindPath({"timers", "dur", "mean"})->number_value(),
+                   2.0);
+}
+
+TEST(TracerTest, RingOverwritesOldestAndCountsDrops) {
+  Tracer tracer(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.Record(TraceEventType::kLogAppend, /*time=*/i, 0.0, /*a=*/i);
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  std::vector<TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, static_cast<int64_t>(6 + i));
+  }
+  tracer.Clear();
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.Snapshot().empty());
+}
+
+TEST(TracerTest, JsonCarriesSequenceAcrossDrops) {
+  Tracer tracer(/*capacity=*/2);
+  tracer.Record(TraceEventType::kLogAppend, 0.0, 0.0, 1);
+  tracer.Record(TraceEventType::kLogAppend, 1.0, 0.0, 2);
+  tracer.Record(TraceEventType::kLogAppend, 2.0, 0.0, 3);
+  StatusOr<JsonValue> doc = JsonValue::Parse(tracer.ToJsonString());
+  MMDB_ASSERT_OK(doc);
+  EXPECT_EQ(doc->Find("recorded")->number_value(), 3.0);
+  EXPECT_EQ(doc->Find("dropped")->number_value(), 1.0);
+  const auto& events = doc->Find("events")->array_items();
+  ASSERT_EQ(events.size(), 2u);
+  // The seq of the first retained event exposes the gap.
+  EXPECT_EQ(events[0].Find("seq")->number_value(), 1.0);
+  EXPECT_EQ(events[1].Find("seq")->number_value(), 2.0);
+}
+
+TEST(TracerTest, EventFormatterNamesTypedFields) {
+  JsonWriter w;
+  TraceEventToJson(
+      TraceEvent{TraceEventType::kCheckpointBegin, 1.5, 0.0, /*id=*/3,
+                 /*algorithm=*/0, /*mode=*/1},
+      /*seq=*/0, &w);
+  StatusOr<JsonValue> doc = JsonValue::Parse(w.str());
+  MMDB_ASSERT_OK(doc);
+  EXPECT_EQ(doc->Find("kind")->string_value(), "checkpoint.begin");
+  EXPECT_EQ(doc->Find("algorithm")->string_value(), "FUZZYCOPY");
+  EXPECT_EQ(doc->Find("mode")->string_value(), "partial");
+  EXPECT_EQ(doc->Find("checkpoint")->number_value(), 3.0);
+}
+
+TEST(MeteredEnvTest, ClassifiesPathsByDevice) {
+  EXPECT_EQ(ClassifyPath("mmdb_data/wal.log"), DeviceClass::kLog);
+  EXPECT_EQ(ClassifyPath("mmdb_data/backup_0.db"), DeviceClass::kBackup);
+  EXPECT_EQ(ClassifyPath("mmdb_data/CHECKPOINT"), DeviceClass::kMeta);
+  EXPECT_EQ(std::string(DeviceClassName(DeviceClass::kLog)), "log");
+}
+
+TEST(MeteredEnvTest, AccountsOpsBytesPerDeviceClass) {
+  std::unique_ptr<Env> base = NewMemEnv();
+  MetricsRegistry reg;
+  MeteredEnv env(base.get(), &reg);
+
+  auto log = env.NewWritableFile("dir/wal.log");
+  MMDB_ASSERT_OK(log);
+  MMDB_EXPECT_OK((*log)->Append("0123456789"));
+  MMDB_EXPECT_OK((*log)->Sync());
+
+  auto backup = env.NewRandomWriteFile("dir/backup_1.db");
+  MMDB_ASSERT_OK(backup);
+  MMDB_EXPECT_OK((*backup)->WriteAt(0, "abcd"));
+  std::string out;
+  MMDB_EXPECT_OK((*backup)->Read(0, 4, &out));
+  EXPECT_EQ(out, "abcd");
+
+  EXPECT_EQ(reg.counter("env.log.write_ops")->value(), 1u);
+  EXPECT_EQ(reg.counter("env.log.write_bytes")->value(), 10u);
+  EXPECT_EQ(reg.counter("env.log.sync_ops")->value(), 1u);
+  EXPECT_EQ(reg.counter("env.backup.write_ops")->value(), 1u);
+  EXPECT_EQ(reg.counter("env.backup.write_bytes")->value(), 4u);
+  EXPECT_EQ(reg.counter("env.backup.read_ops")->value(), 1u);
+  EXPECT_EQ(reg.counter("env.backup.read_bytes")->value(), 4u);
+  // No cross-charging: the log's ops never land on the backup class.
+  EXPECT_EQ(reg.counter("env.backup.sync_ops")->value(), 0u);
+  EXPECT_EQ(reg.counter("env.log.read_ops")->value(), 0u);
+}
+
+TEST(MeteredEnvTest, CountsErrors) {
+  std::unique_ptr<Env> base = NewMemEnv();
+  MetricsRegistry reg;
+  MeteredEnv env(base.get(), &reg);
+  auto missing = env.NewRandomAccessFile("dir/backup_0.db");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(reg.counter("env.backup.errors")->value(), 1u);
+}
+
+}  // namespace
+}  // namespace mmdb

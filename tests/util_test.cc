@@ -2,13 +2,17 @@
 // Histogram, string helpers.
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <string>
+
+#include "tests/test_util.h"
 
 #include "gtest/gtest.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
 #include "util/histogram.h"
+#include "util/json.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -225,6 +229,124 @@ TEST(HistogramTest, EmptyIsZero) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.Mean(), 0.0);
   EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram h;
+  h.Add(42.0);
+  // A single sample is every percentile, and out-of-range p clamps to the
+  // exact extremes rather than extrapolating.
+  for (double p : {-5.0, 0.0, 1.0, 50.0, 99.9, 100.0, 250.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 42.0) << "p=" << p;
+  }
+  Histogram two;
+  two.Add(1.0);
+  two.Add(1000.0);
+  EXPECT_DOUBLE_EQ(two.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(two.Percentile(100), 1000.0);
+  double p50 = two.Percentile(50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 1000.0);
+  // Negative samples clamp to zero (the underflow bucket) and stay the
+  // minimum at every percentile below the next sample.
+  Histogram neg;
+  neg.Add(-3.0);
+  neg.Add(5.0);
+  EXPECT_DOUBLE_EQ(neg.min(), 0.0);
+  EXPECT_DOUBLE_EQ(neg.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(neg.Percentile(100), 5.0);
+}
+
+TEST(HistogramTest, MergeEdgeCases) {
+  // Merging an empty histogram is a no-op, in both directions: the empty
+  // side's sentinel min must not leak through.
+  Histogram a, empty;
+  a.Add(2.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+
+  Histogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.Percentile(50), 2.0);
+
+  // Merge must equal adding the same samples to one histogram, including
+  // the bucketed percentile state.
+  Histogram left, right, combined;
+  Random rng(7);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.NextDouble() * 100.0;
+    left.Add(v);
+    combined.Add(v);
+  }
+  for (int i = 0; i < 500; ++i) {
+    double v = 100.0 + rng.NextDouble() * 900.0;
+    right.Add(v);
+    combined.Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_DOUBLE_EQ(left.sum(), combined.sum());
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(left.Percentile(p), combined.Percentile(p)) << p;
+  }
+}
+
+TEST(JsonTest, WriterEscapesAndHandlesNonFinite) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("a\"b\\c\n\t\x01");
+  w.Key("inf");
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Key("nan");
+  w.Double(std::nan(""));
+  w.Key("n");
+  w.Int(-42);
+  w.Key("b");
+  w.Bool(true);
+  w.EndObject();
+  StatusOr<JsonValue> doc = JsonValue::Parse(w.str());
+  MMDB_ASSERT_OK(doc);
+  EXPECT_EQ(doc->Find("s")->string_value(), "a\"b\\c\n\t\x01");
+  // The simulator's +infinity sentinels have no JSON representation.
+  EXPECT_TRUE(doc->Find("inf")->is_null());
+  EXPECT_TRUE(doc->Find("nan")->is_null());
+  EXPECT_EQ(doc->Find("n")->number_value(), -42.0);
+  EXPECT_TRUE(doc->Find("b")->bool_value());
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  // Note the parser is deliberately lenient about number spellings
+  // ("01", "+1" parse via strtod); structural damage must still be
+  // CORRUPTION.
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated", "{\"a\":1} x",
+        "1e", "{'a':1}"}) {
+    StatusOr<JsonValue> doc = JsonValue::Parse(bad);
+    EXPECT_FALSE(doc.ok()) << "accepted: " << bad;
+    if (!doc.ok()) EXPECT_TRUE(doc.status().IsCorruption()) << bad;
+  }
+}
+
+TEST(JsonTest, DumpRoundTrips) {
+  const char* text =
+      "{\"a\":[1,2.5,null,true,\"x\"],\"b\":{\"c\":-3e2},\"d\":false}";
+  StatusOr<JsonValue> doc = JsonValue::Parse(text);
+  MMDB_ASSERT_OK(doc);
+  StatusOr<JsonValue> again = JsonValue::Parse(doc->Dump());
+  MMDB_ASSERT_OK(again);
+  EXPECT_EQ(again->Dump(), doc->Dump());
+  EXPECT_EQ(again->FindPath({"b", "c"})->number_value(), -300.0);
+  EXPECT_EQ(again->Find("a")->array_items().size(), 5u);
+  // FindPath degrades to nullptr on a miss anywhere along the chain.
+  EXPECT_EQ(again->FindPath({"b", "missing"}), nullptr);
+  EXPECT_EQ(again->FindPath({"d", "c"}), nullptr);
 }
 
 TEST(StringUtilTest, StringPrintfHandlesLongOutput) {

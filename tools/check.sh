@@ -27,11 +27,13 @@ case "$what" in
     run_config build
     ;;
   sanitize)
-    run_config build-sanitize -DMMDB_SANITIZE=address,undefined
+    run_config build-sanitize -DMMDB_SANITIZE=address,undefined \
+        -DMMDB_WERROR_UNUSED_RESULT=ON
     ;;
   all)
     run_config build
-    run_config build-sanitize -DMMDB_SANITIZE=address,undefined
+    run_config build-sanitize -DMMDB_SANITIZE=address,undefined \
+        -DMMDB_WERROR_UNUSED_RESULT=ON
     ;;
   *)
     echo "usage: $0 [plain|sanitize|all]" >&2

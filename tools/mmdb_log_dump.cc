@@ -3,6 +3,7 @@
 //   mmdb_log_dump <wal.log>             one line per record
 //   mmdb_log_dump <wal.log> --summary   counts, checkpoints, torn-tail flag
 //   mmdb_log_dump <wal.log> --from=N    dump from logical offset N
+//   mmdb_log_dump <wal.log> --json      one JSON document (machine-readable)
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,10 +21,13 @@ int main(int argc, char** argv) {
   }
   std::string path = argv[1];
   bool summary = false;
+  bool json = false;
   uint64_t from = 0;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--summary") == 0) {
       summary = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strncmp(argv[i], "--from=", 7) == 0) {
       from = std::strtoull(argv[i] + 7, nullptr, 10);
     } else {
@@ -32,6 +36,22 @@ int main(int argc, char** argv) {
     }
   }
   mmdb::Env* env = mmdb::Env::Posix();
+  if (json) {
+    if (summary) {
+      std::fprintf(stderr, "--json and --summary are mutually exclusive\n");
+      return 2;
+    }
+    std::string out;
+    auto emitted = mmdb::DumpLogJson(env, path, from, &out);
+    if (!emitted.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   emitted.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(out.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
   if (summary) {
     auto result = mmdb::SummarizeLog(env, path);
     if (!result.ok()) {

@@ -1,0 +1,186 @@
+// mmdb_stats: summarize an engine metrics document for a terminal.
+//
+// Input is JSON produced by Engine::DumpMetricsJson() — directly, or
+// wrapped per measured point inside a bench metrics sidecar
+// ({"bench":...,"points":[{"label":...,"engine":{...}}]}); both shapes are
+// detected automatically.
+//
+//   mmdb_stats <metrics.json>            counters, timers, checkpoint phases
+//   mmdb_stats <metrics.json> --trace    also print every retained trace event
+//   mmdb_stats <metrics.json> --raw      re-emit the parsed document compactly
+//
+// Exits non-zero (with a diagnostic) on malformed JSON, so it doubles as a
+// validator for the sidecar files.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "env/env.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace mmdb {
+namespace {
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return v != nullptr && v->is_number() ? v->number_value() : fallback;
+}
+
+void PrintSection(const JsonValue& doc, const char* key) {
+  const JsonValue* section = doc.Find(key);
+  if (section == nullptr || !section->is_object()) return;
+  std::printf("%s:\n", key);
+  for (const auto& [name, value] : section->object_items()) {
+    if (value.is_number()) {
+      double n = value.number_value();
+      // Counters are integers; keep them out of scientific notation.
+      if (n == static_cast<double>(static_cast<long long>(n))) {
+        std::printf("  %-32s %lld\n", name.c_str(),
+                    static_cast<long long>(n));
+      } else {
+        std::printf("  %-32s %.6g\n", name.c_str(), n);
+      }
+    } else if (value.is_object()) {
+      // Timer: {count,mean,min,max,p50,p99}.
+      std::printf("  %-32s count=%-8.0f mean=%-10.4g p50=%-10.4g "
+                  "p99=%-10.4g max=%.4g\n",
+                  name.c_str(), NumberOr(value.Find("count"), 0),
+                  NumberOr(value.Find("mean"), 0),
+                  NumberOr(value.Find("p50"), 0),
+                  NumberOr(value.Find("p99"), 0),
+                  NumberOr(value.Find("max"), 0));
+    }
+  }
+}
+
+void PrintCheckpoints(const JsonValue& engine) {
+  const JsonValue* ckpts = engine.Find("checkpoints");
+  if (ckpts == nullptr || !ckpts->is_object()) return;
+  const JsonValue* history = ckpts->Find("history");
+  std::printf("checkpoints: cap=%.0f dropped=%.0f retained=%zu\n",
+              NumberOr(ckpts->Find("history_cap"), 0),
+              NumberOr(ckpts->Find("history_dropped"), 0),
+              history != nullptr && history->is_array()
+                  ? history->array_items().size()
+                  : 0);
+  if (history == nullptr || !history->is_array()) return;
+  for (const JsonValue& c : history->array_items()) {
+    std::printf("  ckpt %-4.0f [%0.3f..%0.3f] flushed=%-5.0f skipped=%-5.0f "
+                "lock=%.4fs io=%.4fs log_wait=%.4fs copy=%.4fs\n",
+                NumberOr(c.Find("id"), 0), NumberOr(c.Find("begin"), 0),
+                NumberOr(c.Find("end"), 0),
+                NumberOr(c.Find("segments_flushed"), 0),
+                NumberOr(c.Find("segments_skipped"), 0),
+                NumberOr(c.Find("lock_held_seconds"), 0),
+                NumberOr(c.Find("flush_io_seconds"), 0),
+                NumberOr(c.Find("log_wait_seconds"), 0),
+                NumberOr(c.Find("copy_seconds"), 0));
+  }
+}
+
+void PrintTrace(const JsonValue& engine, bool events) {
+  const JsonValue* trace = engine.Find("trace");
+  if (trace == nullptr || !trace->is_object()) return;
+  std::printf("trace: recorded=%.0f dropped=%.0f\n",
+              NumberOr(trace->Find("recorded"), 0),
+              NumberOr(trace->Find("dropped"), 0));
+  if (!events) return;
+  const JsonValue* list = trace->Find("events");
+  if (list == nullptr || !list->is_array()) return;
+  for (const JsonValue& e : list->array_items()) {
+    const JsonValue* kind = e.Find("kind");
+    std::printf("  #%-8.0f t=%-12.6f %-24s %s\n",
+                NumberOr(e.Find("seq"), 0), NumberOr(e.Find("t"), 0),
+                kind != nullptr && kind->is_string()
+                    ? kind->string_value().c_str()
+                    : "?",
+                e.Dump().c_str());
+  }
+}
+
+void PrintEngineDoc(const JsonValue& engine, bool events) {
+  const JsonValue* algorithm = engine.Find("algorithm");
+  const JsonValue* mode = engine.Find("mode");
+  if (algorithm != nullptr && algorithm->is_string()) {
+    std::printf("engine: %s/%s at t=%.6f\n",
+                algorithm->string_value().c_str(),
+                mode != nullptr && mode->is_string()
+                    ? mode->string_value().c_str()
+                    : "?",
+                NumberOr(engine.Find("now"), 0));
+  }
+  const JsonValue* metrics = engine.Find("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    PrintSection(*metrics, "counters");
+    PrintSection(*metrics, "gauges");
+    PrintSection(*metrics, "timers");
+  }
+  PrintCheckpoints(engine);
+  PrintTrace(engine, events);
+}
+
+int Run(const std::string& path, bool events, bool raw) {
+  std::string contents;
+  Status read = Env::Posix()->ReadFileToString(path, &contents);
+  if (!read.ok()) {
+    std::fprintf(stderr, "error: %s\n", read.ToString().c_str());
+    return 1;
+  }
+  StatusOr<JsonValue> doc = JsonValue::Parse(contents);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+  if (raw) {
+    std::printf("%s\n", doc->Dump().c_str());
+    return 0;
+  }
+  const JsonValue* points = doc->Find("points");
+  if (points != nullptr && points->is_array()) {
+    // Bench sidecar: one engine document per measured point.
+    const JsonValue* bench = doc->Find("bench");
+    std::printf("sidecar: %s, %zu points\n",
+                bench != nullptr && bench->is_string()
+                    ? bench->string_value().c_str()
+                    : "?",
+                points->array_items().size());
+    for (const JsonValue& point : points->array_items()) {
+      const JsonValue* label = point.Find("label");
+      std::printf("\n--- %s ---\n",
+                  label != nullptr && label->is_string()
+                      ? label->string_value().c_str()
+                      : "?");
+      const JsonValue* engine = point.Find("engine");
+      if (engine != nullptr) PrintEngineDoc(*engine, events);
+    }
+    return 0;
+  }
+  PrintEngineDoc(*doc, events);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <metrics.json> [--trace] [--raw]\n",
+                 argv[0]);
+    return 2;
+  }
+  bool events = false;
+  bool raw = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      events = true;
+    } else if (std::strcmp(argv[i], "--raw") == 0) {
+      raw = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  return mmdb::Run(argv[1], events, raw);
+}
