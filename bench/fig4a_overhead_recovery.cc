@@ -36,30 +36,35 @@ void AnalyticSeries() {
   }
 }
 
-void MeasuredSeries(MetricsSidecar* sidecar) {
+void MeasuredSeries(SweepRunner* runner, MetricsSidecar* sidecar) {
   PrintHeader("Figure 4a (measured, engine at 1 Mword scale)",
               "overhead & recovery from the executable engine");
   std::printf("%-10s %12s %10s %10s %9s %10s %12s %8s\n", "algorithm",
               "overhead/txn", "sync", "async", "restarts", "recovery_s",
               "ckpt_dur_s", "commits");
+  std::vector<SweepPoint> points;
   for (Algorithm a : MainAlgorithms()) {
-    EngineOptions opt =
-        MeasuredOptions(a, CheckpointMode::kPartial, /*stable=*/false);
-    auto point = MeasureEngine(opt, /*seconds=*/2.0);
-    if (!point.ok()) {
-      std::printf("%-10s measurement failed: %s\n",
-                  std::string(AlgorithmName(a)).c_str(),
-                  point.status().ToString().c_str());
+    points.push_back(SweepPoint{
+        std::string(AlgorithmName(a)), [a] {
+          EngineOptions opt =
+              MeasuredOptions(a, CheckpointMode::kPartial, /*stable=*/false);
+          return MeasureEngine(opt, /*seconds=*/2.0);
+        }});
+  }
+  std::vector<StatusOr<MeasuredPoint>> results =
+      runner->Run(points, sidecar);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::printf("%-10s %12s\n", points[i].label.c_str(), "ERR");
       continue;
     }
-    sidecar->Add(std::string(AlgorithmName(a)),
-                 std::move(point->metrics_json));
-    const WorkloadResult& w = point->workload;
+    const MeasuredPoint& point = *results[i];
+    const WorkloadResult& w = point.workload;
     std::printf("%-10s %12.1f %10.1f %10.1f %9llu %10.3f %12.3f %8llu\n",
-                std::string(AlgorithmName(a)).c_str(), w.overhead_per_txn,
-                w.sync_per_txn, w.async_per_txn,
+                points[i].label.c_str(), w.overhead_per_txn, w.sync_per_txn,
+                w.async_per_txn,
                 static_cast<unsigned long long>(w.color_restarts),
-                point->recovery.total_seconds, w.avg_checkpoint_duration,
+                point.recovery.total_seconds, w.avg_checkpoint_duration,
                 static_cast<unsigned long long>(w.committed));
   }
 }
@@ -68,10 +73,14 @@ void MeasuredSeries(MetricsSidecar* sidecar) {
 }  // namespace bench
 }  // namespace mmdb
 
-int main() {
+int main(int argc, char** argv) {
+  mmdb::bench::BenchWallClock wall;
+  std::size_t jobs = mmdb::bench::ParseJobs(argc, argv);
   mmdb::bench::AnalyticSeries();
-  mmdb::bench::MetricsSidecar sidecar("fig4a");
-  mmdb::bench::MeasuredSeries(&sidecar);
+  mmdb::MetricsSidecar sidecar("fig4a");
+  mmdb::bench::SweepRunner runner(jobs);
+  mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  wall.Report("fig4a", jobs, &sidecar);
   sidecar.Write();
-  return 0;
+  return runner.AnyFailed() ? 1 : 0;
 }

@@ -44,22 +44,40 @@ void AnalyticSeries() {
   }
 }
 
-void MeasuredSeries(MetricsSidecar* sidecar) {
+void MeasuredSeries(SweepRunner* runner, MetricsSidecar* sidecar) {
   PrintHeader("Figure 4b (measured, engine at 1 Mword scale)",
               "three duration points per algorithm, 20 disks");
-  for (Algorithm a : {Algorithm::kTwoColorCopy, Algorithm::kCouCopy}) {
+  const Algorithm algorithms[] = {Algorithm::kTwoColorCopy,
+                                  Algorithm::kCouCopy};
+  const double intervals[] = {0.0, 1.0, 2.0};
+  std::vector<SweepPoint> points;
+  for (Algorithm a : algorithms) {
+    for (double interval : intervals) {
+      points.push_back(SweepPoint{
+          std::string(AlgorithmName(a)) + "/interval=" +
+              std::to_string(interval),
+          [a, interval] {
+            EngineOptions opt =
+                MeasuredOptions(a, CheckpointMode::kPartial, false);
+            opt.checkpoint_interval = interval;
+            return MeasureEngine(opt, /*seconds=*/4.0);
+          }});
+    }
+  }
+  std::vector<StatusOr<MeasuredPoint>> results =
+      runner->Run(points, sidecar);
+  std::size_t i = 0;
+  for (Algorithm a : algorithms) {
     std::printf("\n%s\n", std::string(AlgorithmName(a)).c_str());
     std::printf("  %12s %12s %12s %9s\n", "interval_s", "recovery_s",
                 "overhead/txn", "restarts");
-    for (double interval : {0.0, 1.0, 2.0}) {
-      EngineOptions opt =
-          MeasuredOptions(a, CheckpointMode::kPartial, false);
-      opt.checkpoint_interval = interval;
-      auto point = MeasureEngine(opt, /*seconds=*/4.0);
-      if (!point.ok()) continue;
-      sidecar->Add(std::string(AlgorithmName(a)) + "/interval=" +
-                       std::to_string(interval),
-                   std::move(point->metrics_json));
+    for (double interval : intervals) {
+      (void)interval;
+      const StatusOr<MeasuredPoint>& point = results[i++];
+      if (!point.ok()) {
+        std::printf("  %12s\n", "ERR");
+        continue;
+      }
       std::printf("  %12.2f %12.3f %12.1f %9llu\n",
                   point->workload.avg_checkpoint_interval,
                   point->recovery.total_seconds,
@@ -74,10 +92,14 @@ void MeasuredSeries(MetricsSidecar* sidecar) {
 }  // namespace bench
 }  // namespace mmdb
 
-int main() {
+int main(int argc, char** argv) {
+  mmdb::bench::BenchWallClock wall;
+  std::size_t jobs = mmdb::bench::ParseJobs(argc, argv);
   mmdb::bench::AnalyticSeries();
-  mmdb::bench::MetricsSidecar sidecar("fig4b");
-  mmdb::bench::MeasuredSeries(&sidecar);
+  mmdb::MetricsSidecar sidecar("fig4b");
+  mmdb::bench::SweepRunner runner(jobs);
+  mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  wall.Report("fig4b", jobs, &sidecar);
   sidecar.Write();
-  return 0;
+  return runner.AnyFailed() ? 1 : 0;
 }

@@ -38,31 +38,45 @@ void AnalyticSeries() {
   }
 }
 
-void MeasuredSeries(MetricsSidecar* sidecar) {
+void MeasuredSeries(SweepRunner* runner, MetricsSidecar* sidecar) {
   PrintHeader("Figure 4c (measured, engine at 1 Mword scale)",
               "overhead per transaction vs arrival rate");
   const Algorithm algorithms[] = {Algorithm::kFuzzyCopy,
                                   Algorithm::kTwoColorFlush,
                                   Algorithm::kCouCopy};
+  const double loads[] = {250.0, 1000.0, 3000.0};
   std::printf("%-10s", "lambda");
   for (Algorithm a : algorithms) {
     std::printf(" %12s", std::string(AlgorithmName(a)).c_str());
   }
   std::printf("\n");
-  for (double lambda : {250.0, 1000.0, 3000.0}) {
+  std::vector<SweepPoint> points;
+  for (double lambda : loads) {
+    for (Algorithm a : algorithms) {
+      points.push_back(SweepPoint{
+          std::string(AlgorithmName(a)) + "/lambda=" +
+              std::to_string(static_cast<int>(lambda)),
+          [a, lambda] {
+            EngineOptions opt =
+                MeasuredOptions(a, CheckpointMode::kPartial, false);
+            opt.params.txn.arrival_rate = lambda;
+            return MeasureEngine(opt, /*seconds=*/2.0);
+          }});
+    }
+  }
+  std::vector<StatusOr<MeasuredPoint>> results =
+      runner->Run(points, sidecar);
+  std::size_t i = 0;
+  for (double lambda : loads) {
     std::printf("%-10.0f", lambda);
     for (Algorithm a : algorithms) {
-      EngineOptions opt =
-          MeasuredOptions(a, CheckpointMode::kPartial, false);
-      opt.params.txn.arrival_rate = lambda;
-      auto point = MeasureEngine(opt, /*seconds=*/2.0);
+      (void)a;
+      const StatusOr<MeasuredPoint>& point = results[i++];
       if (point.ok()) {
-        sidecar->Add(std::string(AlgorithmName(a)) + "/lambda=" +
-                         std::to_string(static_cast<int>(lambda)),
-                     std::move(point->metrics_json));
+        std::printf(" %12.1f", point->workload.overhead_per_txn);
+      } else {
+        std::printf(" %12s", "ERR");
       }
-      std::printf(" %12.1f",
-                  point.ok() ? point->workload.overhead_per_txn : -1.0);
     }
     std::printf("\n");
   }
@@ -72,10 +86,14 @@ void MeasuredSeries(MetricsSidecar* sidecar) {
 }  // namespace bench
 }  // namespace mmdb
 
-int main() {
+int main(int argc, char** argv) {
+  mmdb::bench::BenchWallClock wall;
+  std::size_t jobs = mmdb::bench::ParseJobs(argc, argv);
   mmdb::bench::AnalyticSeries();
-  mmdb::bench::MetricsSidecar sidecar("fig4c");
-  mmdb::bench::MeasuredSeries(&sidecar);
+  mmdb::MetricsSidecar sidecar("fig4c");
+  mmdb::bench::SweepRunner runner(jobs);
+  mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  wall.Report("fig4c", jobs, &sidecar);
   sidecar.Write();
-  return 0;
+  return runner.AnyFailed() ? 1 : 0;
 }

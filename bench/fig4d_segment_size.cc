@@ -48,30 +48,44 @@ void AnalyticSeries(double interval, const char* label) {
   }
 }
 
-void MeasuredSeries(MetricsSidecar* sidecar) {
+void MeasuredSeries(SweepRunner* runner, MetricsSidecar* sidecar) {
   PrintHeader("Figure 4d (measured, engine at 1 Mword scale)",
               "run-as-fast-as-possible, overhead vs segment size");
   const Algorithm algorithms[] = {Algorithm::kTwoColorFlush,
                                   Algorithm::kCouCopy};
+  const uint32_t segments[] = {2048u, 8192u, 32768u};
   std::printf("%-10s", "seg_words");
   for (Algorithm a : algorithms) {
     std::printf(" %12s", std::string(AlgorithmName(a)).c_str());
   }
   std::printf("\n");
-  for (uint32_t seg : {2048u, 8192u, 32768u}) {
+  std::vector<SweepPoint> points;
+  for (uint32_t seg : segments) {
+    for (Algorithm a : algorithms) {
+      points.push_back(SweepPoint{
+          std::string(AlgorithmName(a)) + "/seg_words=" +
+              std::to_string(seg),
+          [a, seg] {
+            EngineOptions opt =
+                MeasuredOptions(a, CheckpointMode::kPartial, false);
+            opt.params.db.segment_words = seg;
+            return MeasureEngine(opt, /*seconds=*/2.0);
+          }});
+    }
+  }
+  std::vector<StatusOr<MeasuredPoint>> results =
+      runner->Run(points, sidecar);
+  std::size_t i = 0;
+  for (uint32_t seg : segments) {
     std::printf("%-10u", seg);
     for (Algorithm a : algorithms) {
-      EngineOptions opt =
-          MeasuredOptions(a, CheckpointMode::kPartial, false);
-      opt.params.db.segment_words = seg;
-      auto point = MeasureEngine(opt, /*seconds=*/2.0);
+      (void)a;
+      const StatusOr<MeasuredPoint>& point = results[i++];
       if (point.ok()) {
-        sidecar->Add(std::string(AlgorithmName(a)) + "/seg_words=" +
-                         std::to_string(seg),
-                     std::move(point->metrics_json));
+        std::printf(" %12.1f", point->workload.overhead_per_txn);
+      } else {
+        std::printf(" %12s", "ERR");
       }
-      std::printf(" %12.1f",
-                  point.ok() ? point->workload.overhead_per_txn : -1.0);
     }
     std::printf("\n");
   }
@@ -81,13 +95,17 @@ void MeasuredSeries(MetricsSidecar* sidecar) {
 }  // namespace bench
 }  // namespace mmdb
 
-int main() {
+int main(int argc, char** argv) {
+  mmdb::bench::BenchWallClock wall;
+  std::size_t jobs = mmdb::bench::ParseJobs(argc, argv);
   mmdb::bench::AnalyticSeries(0.0,
                               "minimum interval (solid curves), overhead");
   mmdb::bench::AnalyticSeries(
       300.0, "fixed 300 s interval (dotted curves), overhead");
-  mmdb::bench::MetricsSidecar sidecar("fig4d");
-  mmdb::bench::MeasuredSeries(&sidecar);
+  mmdb::MetricsSidecar sidecar("fig4d");
+  mmdb::bench::SweepRunner runner(jobs);
+  mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  wall.Report("fig4d", jobs, &sidecar);
   sidecar.Write();
-  return 0;
+  return runner.AnyFailed() ? 1 : 0;
 }

@@ -46,27 +46,30 @@ void AnalyticSeries() {
   }
 }
 
-void MeasuredSeries(MetricsSidecar* sidecar) {
+void MeasuredSeries(SweepRunner* runner, MetricsSidecar* sidecar) {
   PrintHeader("Figure 4e (measured, engine at 1 Mword scale)",
               "overhead with a stable log tail");
   std::printf("%-10s %14s %9s\n", "algorithm", "overhead/txn", "restarts");
+  std::vector<SweepPoint> points;
   for (Algorithm a : WithFastFuzzy()) {
-    EngineOptions opt =
-        MeasuredOptions(a, CheckpointMode::kPartial, /*stable=*/true);
-    auto point = MeasureEngine(opt, /*seconds=*/2.0);
-    if (!point.ok()) {
-      std::printf("%-10s failed: %s\n",
-                  std::string(AlgorithmName(a)).c_str(),
-                  point.status().ToString().c_str());
+    points.push_back(SweepPoint{
+        std::string(AlgorithmName(a)), [a] {
+          EngineOptions opt =
+              MeasuredOptions(a, CheckpointMode::kPartial, /*stable=*/true);
+          return MeasureEngine(opt, /*seconds=*/2.0);
+        }});
+  }
+  std::vector<StatusOr<MeasuredPoint>> results =
+      runner->Run(points, sidecar);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      std::printf("%-10s %14s\n", points[i].label.c_str(), "ERR");
       continue;
     }
-    sidecar->Add(std::string(AlgorithmName(a)),
-                 std::move(point->metrics_json));
-    std::printf("%-10s %14.1f %9llu\n",
-                std::string(AlgorithmName(a)).c_str(),
-                point->workload.overhead_per_txn,
+    std::printf("%-10s %14.1f %9llu\n", points[i].label.c_str(),
+                results[i]->workload.overhead_per_txn,
                 static_cast<unsigned long long>(
-                    point->workload.color_restarts));
+                    results[i]->workload.color_restarts));
   }
 }
 
@@ -74,10 +77,14 @@ void MeasuredSeries(MetricsSidecar* sidecar) {
 }  // namespace bench
 }  // namespace mmdb
 
-int main() {
+int main(int argc, char** argv) {
+  mmdb::bench::BenchWallClock wall;
+  std::size_t jobs = mmdb::bench::ParseJobs(argc, argv);
   mmdb::bench::AnalyticSeries();
-  mmdb::bench::MetricsSidecar sidecar("fig4e");
-  mmdb::bench::MeasuredSeries(&sidecar);
+  mmdb::MetricsSidecar sidecar("fig4e");
+  mmdb::bench::SweepRunner runner(jobs);
+  mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  wall.Report("fig4e", jobs, &sidecar);
   sidecar.Write();
-  return 0;
+  return runner.AnyFailed() ? 1 : 0;
 }

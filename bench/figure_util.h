@@ -5,9 +5,18 @@
 // paper's series twice — from the reconstructed analytic model at the
 // paper's full 256 Mword scale, and measured from the executable engine at
 // a scaled-down database (the shapes must agree; see EXPERIMENTS.md).
+//
+// The measured series run through SweepRunner: every point is an
+// independent deterministic engine in its own MemEnv, so the sweep fans
+// out across a ThreadPool (--jobs=N / MMDB_BENCH_JOBS; 1 = the old serial
+// loop) while results, stdout rows, and sidecar entries are merged in
+// declared point order — the tables are byte-identical at any width.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -17,7 +26,8 @@
 #include "core/workload.h"
 #include "env/env.h"
 #include "model/analytic_model.h"
-#include "util/json.h"
+#include "obs/sidecar.h"
+#include "parallel/parallel.h"
 
 namespace mmdb {
 namespace bench {
@@ -72,61 +82,103 @@ inline StatusOr<MeasuredPoint> MeasureEngine(const EngineOptions& options,
   return point;
 }
 
-// Collects one DumpMetricsJson snapshot per measured point and writes them
-// beside the bench's stdout tables as a single machine-readable document:
-//   {"bench":"fig4a","points":[{"label":"FUZZYCOPY","engine":{...}},...]}
-// The destination defaults to "<bench>_metrics.json" in the working
-// directory; the MMDB_METRICS_SIDECAR environment variable overrides the
-// path, and setting it to the empty string disables the sidecar entirely.
-class MetricsSidecar {
+// Sweep width for this bench process: --jobs=N beats MMDB_BENCH_JOBS beats
+// min(points, hardware_concurrency). 1 selects the serial path (no worker
+// threads at all).
+inline std::size_t ParseJobs(int argc, char** argv) {
+  long parsed = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      parsed = std::strtol(argv[i] + 7, nullptr, 10);
+    }
+  }
+  if (parsed < 0) {
+    const char* env_jobs = std::getenv("MMDB_BENCH_JOBS");
+    if (env_jobs != nullptr && *env_jobs != '\0') {
+      parsed = std::strtol(env_jobs, nullptr, 10);
+    }
+  }
+  if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  return DefaultSweepWidth(~std::size_t{0});
+}
+
+// One declarative sweep point: a sidecar label plus the closure producing
+// its measurement. The closure must be self-contained (it builds its own
+// MemEnv + Engine) — workers share nothing but the pool queue.
+struct SweepPoint {
+  std::string label;
+  std::function<StatusOr<MeasuredPoint>()> work;
+};
+
+// Executes the declared points across `jobs` workers and merges the ok
+// results into `sidecar` in declared order. Results come back indexed like
+// `points`; the caller formats its table rows from them (printing ERR for
+// failed cells) and must exit nonzero if AnyFailed().
+class SweepRunner {
  public:
-  explicit MetricsSidecar(const char* bench) : bench_(bench) {
-    const char* override_path = std::getenv("MMDB_METRICS_SIDECAR");
-    path_ = override_path != nullptr ? override_path
-                                     : bench_ + "_metrics.json";
+  explicit SweepRunner(std::size_t jobs) : jobs_(jobs) {}
+
+  std::vector<StatusOr<MeasuredPoint>> Run(
+      const std::vector<SweepPoint>& points, MetricsSidecar* sidecar) {
+    std::vector<std::function<StatusOr<MeasuredPoint>()>> tasks;
+    tasks.reserve(points.size());
+    for (const SweepPoint& p : points) tasks.push_back(p.work);
+    std::vector<StatusOr<MeasuredPoint>> results =
+        RunSweep<MeasuredPoint>(jobs_, tasks);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        any_failed_ = true;
+        std::fprintf(stderr, "sweep point %s failed: %s\n",
+                     points[i].label.c_str(),
+                     results[i].status().ToString().c_str());
+        continue;
+      }
+      if (sidecar != nullptr) {
+        sidecar->Add(points[i].label, std::move(results[i]->metrics_json));
+      }
+    }
+    return results;
   }
 
-  void Add(std::string label, std::string engine_json) {
-    if (path_.empty() || engine_json.empty()) return;
-    points_.emplace_back(std::move(label), std::move(engine_json));
-  }
+  std::size_t jobs() const { return jobs_; }
+  bool AnyFailed() const { return any_failed_; }
 
-  // Writes the collected points (call once, after the measured series).
-  void Write() const {
-    if (path_.empty()) return;
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("bench");
-    w.String(bench_);
-    w.Key("points");
-    w.BeginArray();
-    for (const auto& [label, engine_json] : points_) {
-      w.BeginObject();
-      w.Key("label");
-      w.String(label);
-      w.Key("engine");
-      w.RawValue(engine_json);
-      w.EndObject();
-    }
-    w.EndArray();
-    w.EndObject();
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "metrics sidecar: cannot open %s\n",
-                   path_.c_str());
-      return;
-    }
-    std::fputs(w.str().c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-    std::printf("metrics sidecar: %s (%zu points)\n", path_.c_str(),
-                points_.size());
+  // For sweeps a bench runs through RunSweep() directly (custom result
+  // types): fold their failures into this runner's exit status.
+  void NoteFailure(const char* what, const Status& status) {
+    any_failed_ = true;
+    std::fprintf(stderr, "sweep point %s failed: %s\n", what,
+                 status.ToString().c_str());
   }
 
  private:
-  std::string bench_;
-  std::string path_;
-  std::vector<std::pair<std::string, std::string>> points_;
+  std::size_t jobs_;
+  bool any_failed_ = false;
+};
+
+// Wall-clock scope for a whole bench run; reports on stderr (stdout tables
+// must stay byte-identical across --jobs widths) and into the sidecar.
+class BenchWallClock {
+ public:
+  BenchWallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedSeconds() const {
+    std::chrono::duration<double> d =
+        std::chrono::steady_clock::now() - start_;
+    return d.count();
+  }
+
+  // Prints "<bench>: wall_seconds=W jobs=N" and records both in `sidecar`.
+  void Report(const char* bench, std::size_t jobs,
+              MetricsSidecar* sidecar) const {
+    double wall = ElapsedSeconds();
+    std::fprintf(stderr, "%s: wall_seconds=%.3f jobs=%zu\n", bench, wall,
+                 jobs);
+    if (sidecar != nullptr) sidecar->SetRun(jobs, wall);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
 };
 
 inline ModelOutputs Evaluate(const ModelInputs& in) {

@@ -1,0 +1,80 @@
+#include "obs/sidecar.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/json.h"
+
+namespace mmdb {
+
+MetricsSidecar::MetricsSidecar(const char* bench) : bench_(bench) {
+  const char* override_path = std::getenv("MMDB_METRICS_SIDECAR");
+  path_ = override_path != nullptr ? override_path : bench_ + "_metrics.json";
+}
+
+void MetricsSidecar::Add(std::string label, std::string engine_json) {
+  if (path_.empty() || engine_json.empty()) return;
+  points_.emplace_back(std::move(label), std::move(engine_json));
+}
+
+void MetricsSidecar::SetRun(std::size_t jobs, double wall_seconds) {
+  jobs_ = jobs;
+  wall_seconds_ = wall_seconds;
+}
+
+void MetricsSidecar::Write() const {
+  if (path_.empty()) return;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench");
+  w.String(bench_);
+  w.Key("points");
+  w.BeginArray();
+  for (const auto& [label, engine_json] : points_) {
+    w.BeginObject();
+    w.Key("label");
+    w.String(label);
+    w.Key("engine");
+    w.RawValue(engine_json);
+    w.EndObject();
+  }
+  w.EndArray();
+  if (jobs_ != 0) {
+    w.Key("run");
+    w.BeginObject();
+    w.Key("jobs");
+    w.Uint(jobs_);
+    w.Key("wall_seconds");
+    w.Double(wall_seconds_);
+    w.EndObject();
+  }
+  w.EndObject();
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics sidecar: cannot open %s\n", path_.c_str());
+    return;
+  }
+  std::fputs(w.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  // stderr, like the wall_seconds report: stdout carries only the tables,
+  // which must be byte-identical across --jobs widths (DESIGN.md §12).
+  std::fprintf(stderr, "metrics sidecar: %s (%zu points)\n", path_.c_str(),
+               points_.size());
+}
+
+StatusOr<std::string> MetricsSidecar::DeterministicView(
+    std::string_view sidecar_json) {
+  MMDB_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(sidecar_json));
+  JsonWriter w;
+  w.BeginObject();
+  for (const auto& [key, value] : doc.object_items()) {
+    if (key == "run") continue;
+    w.Key(key);
+    w.RawValue(value.Dump());
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace mmdb

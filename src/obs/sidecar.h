@@ -1,0 +1,64 @@
+#ifndef MMDB_OBS_SIDECAR_H_
+#define MMDB_OBS_SIDECAR_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace mmdb {
+
+// Machine-readable companion file a bench writes beside its stdout tables:
+//   {"bench":"fig4a",
+//    "points":[{"label":"FUZZYCOPY","engine":{...}},...],
+//    "run":{"jobs":4,"wall_seconds":1.23}}
+//
+// The destination defaults to "<bench>_metrics.json" in the working
+// directory; the MMDB_METRICS_SIDECAR environment variable overrides the
+// path, and setting it to the empty string disables the sidecar entirely.
+//
+// Determinism contract (DESIGN.md §12): "points" is merged in declared
+// point order by the sweep runner, never in completion order, so its bytes
+// are identical no matter how many workers produced the entries. Only the
+// trailing "run" member — the sweep width and the real wall-clock spend,
+// kept so BENCH_*.json captures the speedup trajectory — may differ
+// between runs; DeterministicView() strips it for byte comparisons.
+class MetricsSidecar {
+ public:
+  // `bench` names the document and the default output file.
+  explicit MetricsSidecar(const char* bench);
+
+  // Appends one measured point. Dropped when the sidecar is disabled or
+  // `engine_json` is empty. Not thread-safe: the sweep runner merges
+  // results on the coordinating thread after the workers are done.
+  void Add(std::string label, std::string engine_json);
+
+  // Records the sweep width and wall-clock seconds for the "run" member.
+  void SetRun(std::size_t jobs, double wall_seconds);
+
+  // Writes the collected document (call once, after the measured series).
+  void Write() const;
+
+  const std::string& path() const { return path_; }
+  std::size_t num_points() const { return points_.size(); }
+
+  // Returns `sidecar_json` re-serialized with the "run" member removed —
+  // the portion of the document that must be byte-identical across
+  // --jobs widths. CORRUPTION if the input is not valid JSON.
+  [[nodiscard]] static StatusOr<std::string> DeterministicView(
+      std::string_view sidecar_json);
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> points_;
+  std::size_t jobs_ = 0;  // 0 = SetRun never called; "run" omitted
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_OBS_SIDECAR_H_

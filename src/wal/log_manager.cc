@@ -10,13 +10,22 @@
 namespace mmdb {
 
 void EncodeLogFrame(const LogRecord& record, std::string* dst) {
-  std::string payload;
-  record.EncodeTo(&payload);
-  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
-  uint32_t crc = crc32c::Mask(crc32c::Value(payload));
-  dst->append(payload);
+  // Encode the payload straight into *dst (the caller's long-lived tail
+  // buffer) behind a length placeholder — no per-record scratch string.
+  // EncodedSize() is a cheap arithmetic walk, so the reserve costs nothing
+  // and the appends below never re-grow.
+  dst->reserve(dst->size() + record.EncodedSize() + kLogFrameOverhead);
+  const size_t len_pos = dst->size();
+  PutFixed32(dst, 0);  // backfilled once the payload size is known
+  const size_t payload_pos = dst->size();
+  record.EncodeTo(dst);
+  const uint32_t payload_size =
+      static_cast<uint32_t>(dst->size() - payload_pos);
+  EncodeFixed32(dst->data() + len_pos, payload_size);
+  uint32_t crc =
+      crc32c::Mask(crc32c::Value(dst->data() + payload_pos, payload_size));
   PutFixed32(dst, crc);
-  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, payload_size);
 }
 
 LogManager::LogManager(Env* env, std::string path, const SystemParams& params,

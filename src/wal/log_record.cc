@@ -158,9 +158,32 @@ Status LogRecord::DecodeFrom(std::string_view payload, LogRecord* out) {
 }
 
 size_t LogRecord::EncodedSize() const {
-  std::string tmp;
-  EncodeTo(&tmp);
-  return tmp.size();
+  // Mirrors EncodeTo arithmetically — exact, without materializing the
+  // bytes (this runs per Append to pre-reserve the frame).
+  size_t size = 1 + VarintLength(lsn) + VarintLength(txn_id);
+  switch (type) {
+    case LogRecordType::kUpdate:
+      size += VarintLength(record_id) + VarintLength(image.size()) +
+              image.size();
+      break;
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+      break;
+    case LogRecordType::kBeginCheckpoint:
+      size += VarintLength(checkpoint_id) + VarintLength(timestamp) +
+              VarintLength(active_txns.size());
+      for (const ActiveTxnEntry& e : active_txns) {
+        size += VarintLength(e.txn_id) + VarintLength(e.first_lsn);
+      }
+      break;
+    case LogRecordType::kEndCheckpoint:
+      size += VarintLength(checkpoint_id);
+      break;
+    case LogRecordType::kDelta:
+      size += VarintLength(record_id) + VarintLength(field_offset) + 8;
+      break;
+  }
+  return size;
 }
 
 std::string LogRecord::DebugString() const {

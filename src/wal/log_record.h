@@ -100,7 +100,9 @@ struct LogRecord {
   // input.
   static Status DecodeFrom(std::string_view payload, LogRecord* out);
 
-  // Payload size in bytes once encoded.
+  // Payload size in bytes once encoded. Computed arithmetically (no
+  // encoding pass), so it is cheap enough for the append hot path to
+  // pre-reserve frames with.
   size_t EncodedSize() const;
 
   std::string DebugString() const;

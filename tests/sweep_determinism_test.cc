@@ -1,0 +1,151 @@
+// The sweep runner's central promise (DESIGN.md §12): a measured sweep
+// produces byte-identical results and sidecar documents no matter how many
+// workers execute it, because every point owns a private deterministic
+// MemEnv + Engine and the merge happens in declared point order. Only the
+// sidecar's trailing "run" member (jobs, wall_seconds) may differ;
+// MetricsSidecar::DeterministicView strips it for comparison.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/figure_util.h"
+#include "gtest/gtest.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+// Small, fast engine points: 64 Kword database, 0.3 virtual seconds.
+EngineOptions SmallOptions(Algorithm a, uint64_t /*seed*/) {
+  EngineOptions opt;
+  opt.params.db.db_words = 64 * 1024;
+  opt.algorithm = a;
+  opt.checkpoint_mode = CheckpointMode::kPartial;
+  return opt;
+}
+
+std::vector<SweepPoint> TestPoints() {
+  std::vector<SweepPoint> points;
+  int idx = 0;
+  for (Algorithm a : {Algorithm::kFuzzyCopy, Algorithm::kCouCopy,
+                      Algorithm::kTwoColorFlush}) {
+    for (uint64_t seed : {1u, 2u}) {
+      points.push_back(SweepPoint{
+          std::string(AlgorithmName(a)) + "/seed=" + std::to_string(seed) +
+              "/" + std::to_string(idx++),
+          [a, seed] {
+            return MeasureEngine(SmallOptions(a, seed), /*seconds=*/0.3,
+                                 seed);
+          }});
+    }
+  }
+  // A deterministically failing point: must print/merge identically at any
+  // width (skipped by the sidecar, reported via AnyFailed) in both runs.
+  points.push_back(SweepPoint{"always_fails", []() -> StatusOr<MeasuredPoint> {
+                                return InternalError("deterministic failure");
+                              }});
+  return points;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+// Runs the point list at the given width, returns the raw sidecar bytes.
+std::string RunAtWidth(std::size_t jobs, const std::string& sidecar_path,
+                       std::vector<StatusOr<MeasuredPoint>>* results_out,
+                       bool* any_failed_out) {
+  EXPECT_EQ(setenv("MMDB_METRICS_SIDECAR", sidecar_path.c_str(), 1), 0);
+  MetricsSidecar sidecar("sweep_determinism");
+  SweepRunner runner(jobs);
+  std::vector<SweepPoint> points = TestPoints();
+  *results_out = runner.Run(points, &sidecar);
+  *any_failed_out = runner.AnyFailed();
+  sidecar.SetRun(jobs, 0.125);  // arbitrary; stripped by DeterministicView
+  sidecar.Write();
+  return ReadFileOrDie(sidecar_path);
+}
+
+TEST(SweepDeterminismTest, Jobs4SidecarEqualsJobs1) {
+  std::string dir = ::testing::TempDir();
+  std::vector<StatusOr<MeasuredPoint>> serial_results, parallel_results;
+  bool serial_failed = false, parallel_failed = false;
+  std::string serial = RunAtWidth(1, dir + "/sweep_jobs1.json",
+                                  &serial_results, &serial_failed);
+  std::string parallel = RunAtWidth(4, dir + "/sweep_jobs4.json",
+                                    &parallel_results, &parallel_failed);
+  ASSERT_FALSE(serial.empty());
+  ASSERT_FALSE(parallel.empty());
+
+  // Same per-point outcomes, in the same order.
+  ASSERT_EQ(serial_results.size(), parallel_results.size());
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    ASSERT_EQ(serial_results[i].ok(), parallel_results[i].ok()) << i;
+    if (serial_results[i].ok()) {
+      EXPECT_EQ(serial_results[i]->workload.committed,
+                parallel_results[i]->workload.committed)
+          << i;
+      EXPECT_EQ(serial_results[i]->workload.overhead_per_txn,
+                parallel_results[i]->workload.overhead_per_txn)
+          << i;
+      EXPECT_EQ(serial_results[i]->recovery.total_seconds,
+                parallel_results[i]->recovery.total_seconds)
+          << i;
+    }
+  }
+  EXPECT_TRUE(serial_failed);  // the always_fails point
+  EXPECT_TRUE(parallel_failed);
+
+  // Sidecar documents: byte-identical once the "run" member (jobs +
+  // wall_seconds — the only sanctioned difference) is stripped.
+  auto serial_view = MetricsSidecar::DeterministicView(serial);
+  auto parallel_view = MetricsSidecar::DeterministicView(parallel);
+  ASSERT_TRUE(serial_view.ok()) << serial_view.status().ToString();
+  ASSERT_TRUE(parallel_view.ok()) << parallel_view.status().ToString();
+  EXPECT_FALSE(serial_view->empty());
+  EXPECT_EQ(*serial_view, *parallel_view);
+  // And the stripped portion is substantial: all six ok points present.
+  EXPECT_NE(serial_view->find("\"points\""), std::string::npos);
+  EXPECT_NE(serial_view->find("FUZZYCOPY/seed=1"), std::string::npos);
+  EXPECT_EQ(serial_view->find("always_fails"), std::string::npos);
+}
+
+TEST(SweepDeterminismTest, DeterministicViewStripsOnlyRun) {
+  std::string doc =
+      R"({"bench":"x","points":[{"label":"a","engine":{"v":1}}],)"
+      R"("run":{"jobs":8,"wall_seconds":0.5}})";
+  auto view = MetricsSidecar::DeterministicView(doc);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->find("run"), std::string::npos);
+  EXPECT_NE(view->find("\"bench\""), std::string::npos);
+  EXPECT_NE(view->find("\"points\""), std::string::npos);
+  auto bad = MetricsSidecar::DeterministicView("{not json");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(SweepDeterminismTest, ParseJobsPrecedence) {
+  // --jobs beats the environment beats the hardware default.
+  ASSERT_EQ(setenv("MMDB_BENCH_JOBS", "2", 1), 0);
+  char prog[] = "bench";
+  char flag[] = "--jobs=3";
+  char* argv_flag[] = {prog, flag};
+  EXPECT_EQ(ParseJobs(2, argv_flag), 3u);
+  char* argv_plain[] = {prog};
+  EXPECT_EQ(ParseJobs(1, argv_plain), 2u);
+  ASSERT_EQ(unsetenv("MMDB_BENCH_JOBS"), 0);
+  EXPECT_GE(ParseJobs(1, argv_plain), 1u);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb

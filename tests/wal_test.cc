@@ -9,6 +9,8 @@
 #include "env/env.h"
 #include "gtest/gtest.h"
 #include "sim/cpu_meter.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
 #include "tests/test_util.h"
 #include "wal/log_manager.h"
 #include "wal/log_reader.h"
@@ -59,6 +61,54 @@ TEST(LogRecordTest, EndCheckpointRoundTrip) {
   LogRecord out;
   MMDB_ASSERT_OK(LogRecord::DecodeFrom(payload, &out));
   EXPECT_EQ(out, r);
+}
+
+std::vector<LogRecord> AllRecordShapes() {
+  std::vector<LogRecord> records = {
+      LogRecord::Update(7, 123, std::string(128, 'q')),
+      LogRecord::Update(1, 0, ""),
+      LogRecord::Delta(9, 456, 24, -17),
+      LogRecord::Commit(5),
+      LogRecord::Abort(6),
+      LogRecord::BeginCheckpoint(4, 1000, {{10, kInvalidLsn}, {11, 55}}),
+      LogRecord::BeginCheckpoint(2, 0, {}),
+      LogRecord::EndCheckpoint(9),
+  };
+  Lsn lsn = 1;
+  for (LogRecord& r : records) r.lsn = (lsn += 1000000);  // multi-byte varints
+  return records;
+}
+
+TEST(LogRecordTest, EncodedSizeMatchesEncodeToForEveryShape) {
+  // EncodedSize is computed arithmetically (the append path pre-reserves
+  // with it); it must agree exactly with the bytes EncodeTo produces.
+  for (const LogRecord& r : AllRecordShapes()) {
+    std::string payload;
+    r.EncodeTo(&payload);
+    EXPECT_EQ(r.EncodedSize(), payload.size()) << r.DebugString();
+  }
+}
+
+TEST(LogRecordTest, EncodeLogFrameLayoutAndAppendBehavior) {
+  // The frame encoder writes [u32 len][payload][u32 masked-crc][u32 len]
+  // and APPENDS: pre-existing bytes in dst (the log tail) stay untouched.
+  for (const LogRecord& r : AllRecordShapes()) {
+    std::string payload;
+    r.EncodeTo(&payload);
+    std::string frame;
+    frame.append("PREFIX");
+    EncodeLogFrame(r, &frame);
+    ASSERT_EQ(frame.size(), 6 + payload.size() + kLogFrameOverhead)
+        << r.DebugString();
+    EXPECT_EQ(frame.substr(0, 6), "PREFIX");
+    std::string_view body(frame.data() + 6, frame.size() - 6);
+    EXPECT_EQ(DecodeFixed32(body.data()), payload.size());
+    EXPECT_EQ(body.substr(4, payload.size()), payload);
+    uint32_t stored_crc = DecodeFixed32(body.data() + 4 + payload.size());
+    EXPECT_EQ(crc32c::Unmask(stored_crc), crc32c::Value(payload));
+    EXPECT_EQ(DecodeFixed32(body.data() + 8 + payload.size()),
+              payload.size());
+  }
 }
 
 TEST(LogRecordTest, DecodeRejectsGarbage) {

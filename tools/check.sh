@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
-# Builds and tests the plain configuration and the ASan+UBSan
-# configuration. This is the tree's pre-merge gate:
+# Builds and tests the tree's pre-merge configurations:
 #
-#   tools/check.sh            # both configurations
+#   tools/check.sh            # plain + sanitize + tsan
 #   tools/check.sh plain      # just the plain build
-#   tools/check.sh sanitize   # just the sanitized build
+#   tools/check.sh sanitize   # just the ASan+UBSan build
+#   tools/check.sh tsan       # just the TSan build (--tsan also accepted)
 #
-# Build trees live in build/ (plain) and build-sanitize/.
+# Build trees live in build/ (plain), build-sanitize/, and build-tsan/.
+# The TSan gate builds only the parallel subsystem's test plus one figure
+# bench and runs the bench at --jobs=2 as a threaded smoke; the engines
+# themselves are single-threaded, so the full suite under TSan would just
+# re-test serial code at 10x the cost.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 what=${1:-all}
+what=${what#--}
 
 run_config() {
   local dir=$1
@@ -20,6 +25,16 @@ run_config() {
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$jobs"
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_tsan() {
+  cmake -B build-tsan -S . -DMMDB_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs" \
+      --target parallel_test fig4a_overhead_recovery
+  ctest --test-dir build-tsan --output-on-failure -R '^parallel_test$'
+  echo "check.sh: tsan bench smoke (fig4a --jobs=2)"
+  MMDB_METRICS_SIDECAR=build-tsan/fig4a_tsan_smoke.json \
+      ./build-tsan/bench/fig4a_overhead_recovery --jobs=2 > /dev/null
 }
 
 case "$what" in
@@ -30,13 +45,17 @@ case "$what" in
     run_config build-sanitize -DMMDB_SANITIZE=address,undefined \
         -DMMDB_WERROR_UNUSED_RESULT=ON
     ;;
+  tsan)
+    run_tsan
+    ;;
   all)
     run_config build
     run_config build-sanitize -DMMDB_SANITIZE=address,undefined \
         -DMMDB_WERROR_UNUSED_RESULT=ON
+    run_tsan
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|all]" >&2
     exit 2
     ;;
 esac
