@@ -97,7 +97,7 @@ void LsnMaintenance(SweepRunner* runner, MetricsSidecar* sidecar) {
   }
 }
 
-void FlushCadence(SweepRunner* runner) {
+void FlushCadence(SweepRunner* runner, MetricsSidecar* sidecar) {
   PrintHeader("Ablation 3", "group-commit cadence (FUZZYCOPY)");
   std::printf("%-12s %14s %14s %12s\n", "interval_s", "overhead/txn",
               "ckpt_dur_s", "flushes");
@@ -129,7 +129,9 @@ void FlushCadence(SweepRunner* runner) {
       RunSweep<CadenceResult>(runner->jobs(), tasks);
   for (std::size_t i = 0; i < results.size(); ++i) {
     if (!results[i].ok()) {
-      runner->NoteFailure("flush_cadence", results[i].status());
+      runner->NoteFailure(
+          ("flush_cadence/" + std::to_string(cadences[i])).c_str(),
+          results[i].status(), sidecar);
       std::printf("%-12.2f %14s\n", cadences[i], "ERR");
       continue;
     }
@@ -170,7 +172,8 @@ void CouBufferCap(SweepRunner* runner, MetricsSidecar* sidecar) {
               "covered by cou_test)\n");
 }
 
-void LogicalVsPhysicalLogging(SweepRunner* runner) {
+void LogicalVsPhysicalLogging(SweepRunner* runner,
+                              MetricsSidecar* sidecar) {
   PrintHeader("Ablation 5",
               "logical (delta) vs physical (after-image) logging, COUCOPY");
   std::printf("%-10s %14s %14s %14s\n", "logging", "log_words/txn",
@@ -222,7 +225,8 @@ void LogicalVsPhysicalLogging(SweepRunner* runner) {
   for (std::size_t i = 0; i < results.size(); ++i) {
     const char* label = modes[i] ? "logical" : "physical";
     if (!results[i].ok()) {
-      runner->NoteFailure("logical_vs_physical", results[i].status());
+      runner->NoteFailure((std::string("logical_vs_physical/") + label).c_str(),
+                          results[i].status(), sidecar);
       std::printf("%-10s %14s\n", label, "ERR");
       continue;
     }
@@ -258,9 +262,10 @@ int main(int argc, char** argv) {
   mmdb::bench::SweepRunner runner(jobs);
   mmdb::bench::PartialVsFull(&runner, &sidecar);
   mmdb::bench::LsnMaintenance(&runner, &sidecar);
-  mmdb::bench::FlushCadence(&runner);
+  mmdb::bench::FlushCadence(&runner, &sidecar);
   mmdb::bench::CouBufferCap(&runner, &sidecar);
-  mmdb::bench::LogicalVsPhysicalLogging(&runner);
+  mmdb::bench::LogicalVsPhysicalLogging(&runner, &sidecar);
+  runner.ReportValidation(&sidecar);
   wall.Report("ablation_checkpoint", jobs, &sidecar);
   sidecar.Write();
   return runner.AnyFailed() ? 1 : 0;

@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
   mmdb::MetricsSidecar sidecar("fig4a");
   mmdb::bench::SweepRunner runner(jobs);
   mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  runner.ReportValidation(&sidecar);
   wall.Report("fig4a", jobs, &sidecar);
   sidecar.Write();
   return runner.AnyFailed() ? 1 : 0;

@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
   mmdb::MetricsSidecar sidecar("fig4b");
   mmdb::bench::SweepRunner runner(jobs);
   mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  runner.ReportValidation(&sidecar);
   wall.Report("fig4b", jobs, &sidecar);
   sidecar.Write();
   return runner.AnyFailed() ? 1 : 0;

@@ -93,6 +93,7 @@ int main(int argc, char** argv) {
   mmdb::MetricsSidecar sidecar("fig4c");
   mmdb::bench::SweepRunner runner(jobs);
   mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  runner.ReportValidation(&sidecar);
   wall.Report("fig4c", jobs, &sidecar);
   sidecar.Write();
   return runner.AnyFailed() ? 1 : 0;

@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
   mmdb::MetricsSidecar sidecar("fig4d");
   mmdb::bench::SweepRunner runner(jobs);
   mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  runner.ReportValidation(&sidecar);
   wall.Report("fig4d", jobs, &sidecar);
   sidecar.Write();
   return runner.AnyFailed() ? 1 : 0;

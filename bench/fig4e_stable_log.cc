@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
   mmdb::MetricsSidecar sidecar("fig4e");
   mmdb::bench::SweepRunner runner(jobs);
   mmdb::bench::MeasuredSeries(&runner, &sidecar);
+  runner.ReportValidation(&sidecar);
   wall.Report("fig4e", jobs, &sidecar);
   sidecar.Write();
   return runner.AnyFailed() ? 1 : 0;

@@ -26,6 +26,7 @@
 #include "core/workload.h"
 #include "env/env.h"
 #include "model/analytic_model.h"
+#include "model/model_oracle.h"
 #include "obs/sidecar.h"
 #include "parallel/parallel.h"
 
@@ -60,10 +61,29 @@ struct MeasuredPoint {
   // Full Engine::DumpMetricsJson() snapshot taken after recovery (registry
   // counters/timers, trace ring, checkpoint history), for the sidecar.
   std::string metrics_json;
+  // Model-oracle comparison: the analytic model evaluated at the *same*
+  // SystemParams as this engine, against the measured headline numbers.
+  // has_validation is false only if the model rejected the inputs.
+  ModelValidation validation;
+  bool has_validation = false;
 };
 
+// The analytic model's inputs for the configuration an engine measured,
+// so every measured point can be checked against the paper's formulas.
+inline ModelInputs ModelInputsFromOptions(const EngineOptions& options) {
+  ModelInputs in;
+  in.params = options.params;
+  in.algorithm = options.algorithm;
+  in.mode = options.checkpoint_mode;
+  in.checkpoint_interval = options.checkpoint_interval;
+  in.stable_log_tail = options.stable_log_tail;
+  return in;
+}
+
 // Runs `seconds` of the paper's workload against a fresh engine, then
-// crashes and recovers to measure recovery time.
+// crashes and recovers to measure recovery time. Also evaluates the
+// analytic model as an oracle for the same parameters (the sidecar's
+// predicted/measured/residual block).
 inline StatusOr<MeasuredPoint> MeasureEngine(const EngineOptions& options,
                                              double seconds,
                                              uint64_t seed = 42) {
@@ -79,6 +99,17 @@ inline StatusOr<MeasuredPoint> MeasureEngine(const EngineOptions& options,
   MMDB_RETURN_IF_ERROR(engine->Crash());
   MMDB_ASSIGN_OR_RETURN(point.recovery, engine->Recover());
   point.metrics_json = engine->DumpMetricsJson();
+  MeasuredMetrics measured;
+  measured.overhead_per_txn = point.workload.overhead_per_txn;
+  measured.sync_per_txn = point.workload.sync_per_txn;
+  measured.async_per_txn = point.workload.async_per_txn;
+  measured.recovery_seconds = point.recovery.total_seconds;
+  StatusOr<ModelValidation> validation =
+      CompareToModel(ModelInputsFromOptions(options), measured);
+  if (validation.ok()) {
+    point.validation = *validation;
+    point.has_validation = true;
+  }
   return point;
 }
 
@@ -127,14 +158,19 @@ class SweepRunner {
         RunSweep<MeasuredPoint>(jobs_, tasks);
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!results[i].ok()) {
-        any_failed_ = true;
-        std::fprintf(stderr, "sweep point %s failed: %s\n",
-                     points[i].label.c_str(),
-                     results[i].status().ToString().c_str());
+        // The Status message goes to the sidecar too, so ERR cells stay
+        // diagnosable from the artifact alone.
+        NoteFailure(points[i].label.c_str(), results[i].status(), sidecar);
         continue;
       }
+      std::string validation_json;
+      if (results[i]->has_validation) {
+        summary_.Add(results[i]->validation);
+        validation_json = results[i]->validation.ToJsonString();
+      }
       if (sidecar != nullptr) {
-        sidecar->Add(points[i].label, std::move(results[i]->metrics_json));
+        sidecar->Add(points[i].label, std::move(results[i]->metrics_json),
+                     std::move(validation_json));
       }
     }
     return results;
@@ -143,17 +179,33 @@ class SweepRunner {
   std::size_t jobs() const { return jobs_; }
   bool AnyFailed() const { return any_failed_; }
 
+  // Model-oracle residuals accumulated across every Run() so far.
+  const ResidualSummary& validation_summary() const { return summary_; }
+
+  // Writes the accumulated residual summary into the sidecar's
+  // "validation_summary" member. Call once, after the measured series and
+  // before MetricsSidecar::Write.
+  void ReportValidation(MetricsSidecar* sidecar) const {
+    if (sidecar == nullptr || summary_.points() == 0) return;
+    sidecar->SetValidationSummary(summary_.ToJsonString());
+  }
+
   // For sweeps a bench runs through RunSweep() directly (custom result
-  // types): fold their failures into this runner's exit status.
-  void NoteFailure(const char* what, const Status& status) {
+  // types): fold their failures into this runner's exit status, and record
+  // the failure in the sidecar when one is in use.
+  void NoteFailure(const char* what, const Status& status,
+                   MetricsSidecar* sidecar = nullptr) {
     any_failed_ = true;
+    std::string message = status.ToString();
     std::fprintf(stderr, "sweep point %s failed: %s\n", what,
-                 status.ToString().c_str());
+                 message.c_str());
+    if (sidecar != nullptr) sidecar->AddError(what, std::move(message));
   }
 
  private:
   std::size_t jobs_;
   bool any_failed_ = false;
+  ResidualSummary summary_;
 };
 
 // Wall-clock scope for a whole bench run; reports on stderr (stdout tables

@@ -68,7 +68,8 @@ Status Engine::Init(bool fresh) {
       owned_metrics_ = std::make_unique<MetricsRegistry>();
       metrics_ = owned_metrics_.get();
     }
-    tracer_ = std::make_unique<Tracer>(options_.trace_capacity);
+    tracer_ = std::make_unique<Tracer>(
+        Tracer::ResolveCapacity(options_.trace_capacity));
     m_admission_wait_ = metrics_->timer("engine.admission_wait_seconds");
     // If the caller wrapped the Env in fault injection, mirror every rule
     // firing into the trace so a failure's cause appears on the same

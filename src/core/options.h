@@ -67,7 +67,12 @@ struct EngineOptions {
   bool enable_metrics = true;
 
   // Trace ring size in events; the oldest events are overwritten (and
-  // counted as dropped) beyond this.
+  // counted as dropped) beyond this. Default Tracer::kDefaultCapacity =
+  // 8192 events (~300 KiB of ring). The MMDB_TRACE_CAPACITY environment
+  // variable, when set to a positive integer, overrides this value for
+  // every engine (Tracer::ResolveCapacity) — used by tooling such as
+  // check.sh's bench-smoke gate to bound sidecar sizes without touching
+  // bench code.
   size_t trace_capacity = Tracer::kDefaultCapacity;
 
   // Completed-checkpoint stats retained by Checkpointer::history().

@@ -1,0 +1,120 @@
+#include "model/model_oracle.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mmdb {
+
+ResidualEntry MakeResidual(double predicted, double measured) {
+  ResidualEntry entry;
+  entry.predicted = predicted;
+  entry.measured = measured;
+  if (predicted != 0.0) {
+    entry.residual = (measured - predicted) / predicted;
+  } else if (measured == 0.0) {
+    entry.residual = 0.0;
+  } else {
+    entry.residual = std::numeric_limits<double>::infinity();
+  }
+  return entry;
+}
+
+void ResidualEntry::ToJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("predicted");
+  writer->Double(predicted);
+  writer->Key("measured");
+  writer->Double(measured);
+  writer->Key("residual");
+  writer->Double(residual);  // non-finite -> null
+  writer->EndObject();
+}
+
+void ModelValidation::ToJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("overhead_per_txn");
+  overhead_per_txn.ToJson(writer);
+  writer->Key("sync_per_txn");
+  sync_per_txn.ToJson(writer);
+  writer->Key("async_per_txn");
+  async_per_txn.ToJson(writer);
+  writer->Key("recovery_seconds");
+  recovery_seconds.ToJson(writer);
+  writer->EndObject();
+}
+
+std::string ModelValidation::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+StatusOr<ModelValidation> CompareToModel(const ModelInputs& inputs,
+                                         const MeasuredMetrics& measured) {
+  AnalyticModel model(inputs);
+  MMDB_ASSIGN_OR_RETURN(ModelOutputs predicted, model.Evaluate());
+  ModelValidation v;
+  v.overhead_per_txn =
+      MakeResidual(predicted.overhead_per_txn, measured.overhead_per_txn);
+  v.sync_per_txn = MakeResidual(predicted.sync_per_txn, measured.sync_per_txn);
+  v.async_per_txn =
+      MakeResidual(predicted.async_per_txn, measured.async_per_txn);
+  v.recovery_seconds =
+      MakeResidual(predicted.recovery_seconds, measured.recovery_seconds);
+  return v;
+}
+
+namespace {
+
+void Accumulate(const ResidualEntry& entry, double* sum, double* max) {
+  double r = std::isfinite(entry.residual) ? std::fabs(entry.residual)
+                                           : std::fabs(entry.measured);
+  *sum += r;
+  if (r > *max) *max = r;
+}
+
+void EmitSummaryMetric(JsonWriter* w, const char* name, double mean,
+                       double max) {
+  w->Key(name);
+  w->BeginObject();
+  w->Key("mean_abs_residual");
+  w->Double(mean);
+  w->Key("max_abs_residual");
+  w->Double(max);
+  w->EndObject();
+}
+
+}  // namespace
+
+void ResidualSummary::Add(const ModelValidation& validation) {
+  ++points_;
+  Accumulate(validation.overhead_per_txn, &overhead_abs_sum_,
+             &overhead_abs_max_);
+  Accumulate(validation.sync_per_txn, &sync_abs_sum_, &sync_abs_max_);
+  Accumulate(validation.async_per_txn, &async_abs_sum_, &async_abs_max_);
+  Accumulate(validation.recovery_seconds, &recovery_abs_sum_,
+             &recovery_abs_max_);
+}
+
+void ResidualSummary::ToJson(JsonWriter* writer) const {
+  writer->BeginObject();
+  writer->Key("points");
+  writer->Uint(points_);
+  EmitSummaryMetric(writer, "overhead_per_txn", Mean(overhead_abs_sum_),
+                    overhead_abs_max_);
+  EmitSummaryMetric(writer, "sync_per_txn", Mean(sync_abs_sum_),
+                    sync_abs_max_);
+  EmitSummaryMetric(writer, "async_per_txn", Mean(async_abs_sum_),
+                    async_abs_max_);
+  EmitSummaryMetric(writer, "recovery_seconds", Mean(recovery_abs_sum_),
+                    recovery_abs_max_);
+  writer->EndObject();
+}
+
+std::string ResidualSummary::ToJsonString() const {
+  JsonWriter w;
+  ToJson(&w);
+  return w.TakeString();
+}
+
+}  // namespace mmdb

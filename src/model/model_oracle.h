@@ -1,0 +1,96 @@
+#ifndef MMDB_MODEL_MODEL_ORACLE_H_
+#define MMDB_MODEL_MODEL_ORACLE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "model/analytic_model.h"
+#include "util/json.h"
+#include "util/statusor.h"
+
+namespace mmdb {
+
+// Model-oracle validation: every measured bench point is also evaluated
+// through the Section 4 analytic model at the *same* SystemParams, and the
+// relative residual between prediction and measurement is recorded beside
+// the measurement. The paper's claims are analytic while our engine is
+// executable; this layer is what keeps the two continuously checked
+// against each other (DESIGN.md §13).
+
+// One predicted/measured pair. `residual` is the signed relative residual
+// (measured - predicted) / predicted; +infinity (emitted as JSON null)
+// when the model predicts exactly zero but the engine measured otherwise.
+struct ResidualEntry {
+  double predicted = 0.0;
+  double measured = 0.0;
+  double residual = 0.0;
+
+  void ToJson(JsonWriter* writer) const;
+};
+
+ResidualEntry MakeResidual(double predicted, double measured);
+
+// The per-point validation block written into bench sidecars as the
+// "validation" member: the model's headline outputs against the engine's
+// measurements for the same parameters.
+struct ModelValidation {
+  ResidualEntry overhead_per_txn;  // instructions/transaction
+  ResidualEntry sync_per_txn;
+  ResidualEntry async_per_txn;
+  ResidualEntry recovery_seconds;  // crash-to-rebuilt, seconds
+
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+};
+
+// Engine-side measurements the oracle compares against (plain doubles so
+// the model library needs no dependency on the engine's result structs).
+struct MeasuredMetrics {
+  double overhead_per_txn = 0.0;
+  double sync_per_txn = 0.0;
+  double async_per_txn = 0.0;
+  double recovery_seconds = 0.0;
+};
+
+// Evaluates the analytic model for `inputs` and pairs each headline output
+// with its measurement. Fails only if the model itself rejects the inputs
+// (which Engine::Open's validation should have prevented).
+[[nodiscard]] StatusOr<ModelValidation> CompareToModel(
+    const ModelInputs& inputs, const MeasuredMetrics& measured);
+
+// Accumulates per-point validations into the per-figure summary written as
+// the sidecar's "validation_summary" member: mean and max absolute
+// relative residual per metric, so one number per figure says how far the
+// engine has drifted from the paper's formulas.
+class ResidualSummary {
+ public:
+  void Add(const ModelValidation& validation);
+
+  std::size_t points() const { return points_; }
+  double mean_abs_overhead_residual() const {
+    return Mean(overhead_abs_sum_);
+  }
+  double max_abs_overhead_residual() const { return overhead_abs_max_; }
+  double mean_abs_recovery_residual() const {
+    return Mean(recovery_abs_sum_);
+  }
+  double max_abs_recovery_residual() const { return recovery_abs_max_; }
+
+  void ToJson(JsonWriter* writer) const;
+  std::string ToJsonString() const;
+
+ private:
+  double Mean(double sum) const {
+    return points_ == 0 ? 0.0 : sum / static_cast<double>(points_);
+  }
+
+  std::size_t points_ = 0;
+  double overhead_abs_sum_ = 0.0, overhead_abs_max_ = 0.0;
+  double sync_abs_sum_ = 0.0, sync_abs_max_ = 0.0;
+  double async_abs_sum_ = 0.0, async_abs_max_ = 0.0;
+  double recovery_abs_sum_ = 0.0, recovery_abs_max_ = 0.0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_MODEL_MODEL_ORACLE_H_

@@ -12,9 +12,22 @@ MetricsSidecar::MetricsSidecar(const char* bench) : bench_(bench) {
   path_ = override_path != nullptr ? override_path : bench_ + "_metrics.json";
 }
 
-void MetricsSidecar::Add(std::string label, std::string engine_json) {
+void MetricsSidecar::Add(std::string label, std::string engine_json,
+                         std::string validation_json) {
   if (path_.empty() || engine_json.empty()) return;
-  points_.emplace_back(std::move(label), std::move(engine_json));
+  points_.push_back(Point{std::move(label), std::move(engine_json),
+                          std::move(validation_json), std::string()});
+}
+
+void MetricsSidecar::AddError(std::string label, std::string message) {
+  if (path_.empty()) return;
+  if (message.empty()) message = "unknown error";
+  points_.push_back(Point{std::move(label), std::string(), std::string(),
+                          std::move(message)});
+}
+
+void MetricsSidecar::SetValidationSummary(std::string summary_json) {
+  validation_summary_json_ = std::move(summary_json);
 }
 
 void MetricsSidecar::SetRun(std::size_t jobs, double wall_seconds) {
@@ -30,15 +43,28 @@ void MetricsSidecar::Write() const {
   w.String(bench_);
   w.Key("points");
   w.BeginArray();
-  for (const auto& [label, engine_json] : points_) {
+  for (const Point& point : points_) {
     w.BeginObject();
     w.Key("label");
-    w.String(label);
-    w.Key("engine");
-    w.RawValue(engine_json);
+    w.String(point.label);
+    if (!point.error.empty()) {
+      w.Key("error");
+      w.String(point.error);
+    } else {
+      w.Key("engine");
+      w.RawValue(point.engine_json);
+      if (!point.validation_json.empty()) {
+        w.Key("validation");
+        w.RawValue(point.validation_json);
+      }
+    }
     w.EndObject();
   }
   w.EndArray();
+  if (!validation_summary_json_.empty()) {
+    w.Key("validation_summary");
+    w.RawValue(validation_summary_json_);
+  }
   if (jobs_ != 0) {
     w.Key("run");
     w.BeginObject();

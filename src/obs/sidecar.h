@@ -13,8 +13,16 @@ namespace mmdb {
 
 // Machine-readable companion file a bench writes beside its stdout tables:
 //   {"bench":"fig4a",
-//    "points":[{"label":"FUZZYCOPY","engine":{...}},...],
+//    "points":[{"label":"FUZZYCOPY","engine":{...},"validation":{...}},
+//              {"label":"BAD","error":"INTERNAL: ..."},...],
+//    "validation_summary":{"points":5,"overhead_per_txn":{...},...},
 //    "run":{"jobs":4,"wall_seconds":1.23}}
+//
+// Per point, "validation" (when present) holds the model oracle's
+// predicted/measured/residual block (src/model/model_oracle.h); a failed
+// sweep point is recorded as {"label","error"} so ERR table cells stay
+// diagnosable from artifacts alone. "validation_summary" aggregates the
+// residuals across the figure. See EXPERIMENTS.md for the full schema.
 //
 // The destination defaults to "<bench>_metrics.json" in the working
 // directory; the MMDB_METRICS_SIDECAR environment variable overrides the
@@ -32,9 +40,20 @@ class MetricsSidecar {
   explicit MetricsSidecar(const char* bench);
 
   // Appends one measured point. Dropped when the sidecar is disabled or
-  // `engine_json` is empty. Not thread-safe: the sweep runner merges
-  // results on the coordinating thread after the workers are done.
-  void Add(std::string label, std::string engine_json);
+  // `engine_json` is empty. `validation_json` (optional) is the model
+  // oracle's predicted/measured/residual block for the point. Not
+  // thread-safe: the sweep runner merges results on the coordinating
+  // thread after the workers are done.
+  void Add(std::string label, std::string engine_json,
+           std::string validation_json = std::string());
+
+  // Appends one *failed* point: {"label":...,"error":message}, so an ERR
+  // table cell's underlying Status is recorded in the artifact too.
+  void AddError(std::string label, std::string message);
+
+  // Sets the figure-level "validation_summary" member (a complete JSON
+  // value, typically ResidualSummary::ToJsonString). Empty = omitted.
+  void SetValidationSummary(std::string summary_json);
 
   // Records the sweep width and wall-clock seconds for the "run" member.
   void SetRun(std::size_t jobs, double wall_seconds);
@@ -52,9 +71,17 @@ class MetricsSidecar {
       std::string_view sidecar_json);
 
  private:
+  struct Point {
+    std::string label;
+    std::string engine_json;      // empty for error points
+    std::string validation_json;  // optional model-oracle block
+    std::string error;            // non-empty marks a failed point
+  };
+
   std::string bench_;
   std::string path_;
-  std::vector<std::pair<std::string, std::string>> points_;
+  std::vector<Point> points_;
+  std::string validation_summary_json_;
   std::size_t jobs_ = 0;  // 0 = SetRun never called; "run" omitted
   double wall_seconds_ = 0.0;
 };

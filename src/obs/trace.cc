@@ -1,6 +1,7 @@
 #include "obs/trace.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 // Header-only uses (inline name tables); no link dependency on the
 // owning libraries.
@@ -54,9 +55,102 @@ std::string_view RecoveryPhaseName(RecoveryPhase phase) {
   return "unknown";
 }
 
+namespace {
+
+// One row per TraceEventType, indexed by the enumerator value. Member
+// order within a row is emission order (t2 first, then a, b, c), matching
+// the historical switch-based formatter byte for byte.
+constexpr TraceEventFields kTraceEventFields[kNumTraceEventTypes] = {
+    // kCheckpointBegin: a=id, b=algorithm, c=mode
+    {nullptr, false,
+     {"checkpoint", TraceFieldCoding::kInt},
+     {"algorithm", TraceFieldCoding::kAlgorithm},
+     {"mode", TraceFieldCoding::kMode}},
+    // kCheckpointSegmentWrite: t2=done, a=segment, b=copy, c=bytes
+    {"done", true,
+     {"segment", TraceFieldCoding::kInt},
+     {"copy", TraceFieldCoding::kInt},
+     {"bytes", TraceFieldCoding::kInt}},
+    // kCheckpointEnd: a=id, b=segments_flushed, c=segments_skipped
+    {nullptr, false,
+     {"checkpoint", TraceFieldCoding::kInt},
+     {"segments_flushed", TraceFieldCoding::kInt},
+     {"segments_skipped", TraceFieldCoding::kInt}},
+    // kCheckpointAbort: same shape as kCheckpointEnd
+    {nullptr, false,
+     {"checkpoint", TraceFieldCoding::kInt},
+     {"segments_flushed", TraceFieldCoding::kInt},
+     {"segments_skipped", TraceFieldCoding::kInt}},
+    // kLogAppend: a=lsn, b=record type, c=frame bytes
+    {nullptr, false,
+     {"lsn", TraceFieldCoding::kInt},
+     {"record_type", TraceFieldCoding::kRecordType},
+     {"bytes", TraceFieldCoding::kInt}},
+    // kLogFlush: t2=durable at, a=durable lsn, b=bytes
+    {"durable_at", true,
+     {"durable_lsn", TraceFieldCoding::kInt},
+     {"bytes", TraceFieldCoding::kInt},
+     {nullptr, TraceFieldCoding::kNone}},
+    // kLogFlushError: a=last lsn still volatile
+    {nullptr, false,
+     {"tail_lsn", TraceFieldCoding::kInt},
+     {nullptr, TraceFieldCoding::kNone},
+     {nullptr, TraceFieldCoding::kNone}},
+    // kLockWait: t2=resume time
+    {"until", true,
+     {nullptr, TraceFieldCoding::kNone},
+     {nullptr, TraceFieldCoding::kNone},
+     {nullptr, TraceFieldCoding::kNone}},
+    // kLockConflict: a=txn, b=record
+    {nullptr, false,
+     {"txn", TraceFieldCoding::kInt},
+     {"record", TraceFieldCoding::kInt},
+     {nullptr, TraceFieldCoding::kNone}},
+    // kFaultInjected: a=fault kind, b=op index
+    {nullptr, false,
+     {"fault", TraceFieldCoding::kFault},
+     {"op", TraceFieldCoding::kInt},
+     {nullptr, TraceFieldCoding::kNone}},
+    // kRecoveryBegin: a=1 if restart
+    {nullptr, false,
+     {"restart", TraceFieldCoding::kBool},
+     {nullptr, TraceFieldCoding::kNone},
+     {nullptr, TraceFieldCoding::kNone}},
+    // kRecoveryPhase: t2=seconds (a duration), a=phase, b/c=phase counts
+    {"seconds", false,
+     {"phase", TraceFieldCoding::kPhase},
+     {"n1", TraceFieldCoding::kInt},
+     {"n2", TraceFieldCoding::kInt}},
+    // kRecoveryEnd: t2=total seconds (a duration), a=checkpoint restored
+    {"seconds", false,
+     {"checkpoint", TraceFieldCoding::kInt},
+     {nullptr, TraceFieldCoding::kNone},
+     {nullptr, TraceFieldCoding::kNone}},
+};
+
+}  // namespace
+
+const TraceEventFields& TraceEventFieldsFor(TraceEventType type) {
+  size_t index = static_cast<size_t>(type);
+  if (index >= kNumTraceEventTypes) index = 0;
+  return kTraceEventFields[index];
+}
+
 Tracer::Tracer(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity)) {
   ring_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+size_t Tracer::ResolveCapacity(size_t configured) {
+  const char* env = std::getenv("MMDB_TRACE_CAPACITY");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  return configured;
 }
 
 void Tracer::Record(const TraceEvent& event) {
@@ -101,95 +195,50 @@ std::vector<TraceEvent> Tracer::Snapshot() const {
 
 namespace {
 
-void EmitFields(const TraceEvent& e, JsonWriter* w) {
-  switch (e.type) {
-    case TraceEventType::kCheckpointBegin:
-      w->Key("checkpoint");
-      w->Int(e.a);
-      w->Key("algorithm");
-      w->String(AlgorithmName(static_cast<Algorithm>(e.b)));
-      w->Key("mode");
-      w->String(static_cast<CheckpointMode>(e.c) == CheckpointMode::kFull
+// Enum-coded names (AlgorithmName, LogRecordTypeName, ...) are inline in
+// their owning headers, so this stays a header-only dependency.
+void EmitCodedField(const TraceFieldSpec& spec, int64_t value,
+                    JsonWriter* w) {
+  if (spec.name == nullptr) return;
+  w->Key(spec.name);
+  switch (spec.coding) {
+    case TraceFieldCoding::kNone:
+    case TraceFieldCoding::kInt:
+      w->Int(value);
+      break;
+    case TraceFieldCoding::kBool:
+      w->Bool(value != 0);
+      break;
+    case TraceFieldCoding::kAlgorithm:
+      w->String(AlgorithmName(static_cast<Algorithm>(value)));
+      break;
+    case TraceFieldCoding::kMode:
+      w->String(static_cast<CheckpointMode>(value) == CheckpointMode::kFull
                     ? "full"
                     : "partial");
       break;
-    case TraceEventType::kCheckpointSegmentWrite:
-      w->Key("done");
-      w->Double(e.t2);
-      w->Key("segment");
-      w->Int(e.a);
-      w->Key("copy");
-      w->Int(e.b);
-      w->Key("bytes");
-      w->Int(e.c);
-      break;
-    case TraceEventType::kCheckpointEnd:
-    case TraceEventType::kCheckpointAbort:
-      w->Key("checkpoint");
-      w->Int(e.a);
-      w->Key("segments_flushed");
-      w->Int(e.b);
-      w->Key("segments_skipped");
-      w->Int(e.c);
-      break;
-    case TraceEventType::kLogAppend:
-      w->Key("lsn");
-      w->Int(e.a);
+    case TraceFieldCoding::kRecordType:
       // Shared with LogRecord::AppendJsonTo so the spellings cannot drift.
-      w->Key("record_type");
-      w->String(LogRecordTypeName(static_cast<LogRecordType>(e.b)));
-      w->Key("bytes");
-      w->Int(e.c);
+      w->String(LogRecordTypeName(static_cast<LogRecordType>(value)));
       break;
-    case TraceEventType::kLogFlush:
-      w->Key("durable_at");
-      w->Double(e.t2);
-      w->Key("durable_lsn");
-      w->Int(e.a);
-      w->Key("bytes");
-      w->Int(e.b);
+    case TraceFieldCoding::kFault:
+      w->String(FaultKindName(static_cast<FaultKind>(value)));
       break;
-    case TraceEventType::kLogFlushError:
-      w->Key("tail_lsn");
-      w->Int(e.a);
-      break;
-    case TraceEventType::kLockWait:
-      w->Key("until");
-      w->Double(e.t2);
-      break;
-    case TraceEventType::kLockConflict:
-      w->Key("txn");
-      w->Int(e.a);
-      w->Key("record");
-      w->Int(e.b);
-      break;
-    case TraceEventType::kFaultInjected:
-      w->Key("fault");
-      w->String(FaultKindName(static_cast<FaultKind>(e.a)));
-      w->Key("op");
-      w->Int(e.b);
-      break;
-    case TraceEventType::kRecoveryBegin:
-      w->Key("restart");
-      w->Bool(e.a != 0);
-      break;
-    case TraceEventType::kRecoveryPhase:
-      w->Key("seconds");
-      w->Double(e.t2);
-      w->Key("phase");
-      w->String(RecoveryPhaseName(static_cast<RecoveryPhase>(e.a)));
-      w->Key("n1");
-      w->Int(e.b);
-      w->Key("n2");
-      w->Int(e.c);
-      break;
-    case TraceEventType::kRecoveryEnd:
-      w->Key("seconds");
-      w->Double(e.t2);
-      w->Key("checkpoint");
-      w->Int(e.a);
+    case TraceFieldCoding::kPhase:
+      w->String(RecoveryPhaseName(static_cast<RecoveryPhase>(value)));
       break;
   }
+}
+
+void EmitFields(const TraceEvent& e, JsonWriter* w) {
+  const TraceEventFields& fields = TraceEventFieldsFor(e.type);
+  if (fields.t2_name != nullptr) {
+    w->Key(fields.t2_name);
+    w->Double(e.t2);
+  }
+  EmitCodedField(fields.a, e.a, w);
+  EmitCodedField(fields.b, e.b, w);
+  EmitCodedField(fields.c, e.c, w);
 }
 
 }  // namespace

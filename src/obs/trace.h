@@ -31,6 +31,12 @@ enum class TraceEventType : uint8_t {
   kRecoveryEnd,             // t2=total seconds, a=checkpoint id restored
 };
 
+// Number of TraceEventType enumerators, for table-driven iteration (the
+// field tables below, the Perfetto exporter's kind map, and the
+// completeness tests). Keep in sync with the last enumerator.
+inline constexpr size_t kNumTraceEventTypes =
+    static_cast<size_t>(TraceEventType::kRecoveryEnd) + 1;
+
 std::string_view TraceEventTypeName(TraceEventType type);
 
 // Recovery phases reported via kRecoveryPhase (field `a`).
@@ -41,6 +47,37 @@ enum class RecoveryPhase : uint8_t {
 };
 
 std::string_view RecoveryPhaseName(RecoveryPhase phase);
+
+// How one integer payload field (a/b/c) is rendered in JSON.
+enum class TraceFieldCoding : uint8_t {
+  kNone,        // field unused by this event type
+  kInt,         // plain integer
+  kBool,        // true/false
+  kAlgorithm,   // AlgorithmName(static_cast<Algorithm>(v))
+  kMode,        // "full" / "partial"
+  kRecordType,  // LogRecordTypeName(static_cast<LogRecordType>(v))
+  kFault,       // FaultKindName(static_cast<FaultKind>(v))
+  kPhase,       // RecoveryPhaseName(static_cast<RecoveryPhase>(v))
+};
+
+struct TraceFieldSpec {
+  const char* name = nullptr;  // JSON member name; null when unused
+  TraceFieldCoding coding = TraceFieldCoding::kNone;
+};
+
+// Field table for one event type: the JSON names and codings of its t2 and
+// a/b/c payload members. Single source of truth shared by the trace-ring
+// JSON emitter and the Perfetto exporter, so the spellings cannot drift.
+struct TraceEventFields {
+  const char* t2_name = nullptr;  // null = type has no t2 member
+  // True: t2 is an absolute completion/release time on the virtual
+  // timeline (duration = t2 - time). False: t2 is already a duration in
+  // seconds (the recovery events).
+  bool t2_is_end_time = false;
+  TraceFieldSpec a, b, c;
+};
+
+const TraceEventFields& TraceEventFieldsFor(TraceEventType type);
 
 struct TraceEvent {
   TraceEventType type = TraceEventType::kLogAppend;
@@ -60,6 +97,14 @@ class Tracer {
   static constexpr size_t kDefaultCapacity = 8192;
 
   explicit Tracer(size_t capacity = kDefaultCapacity);
+
+  // The capacity an engine should actually use: the MMDB_TRACE_CAPACITY
+  // environment variable (a positive event count) when set and parseable,
+  // otherwise `configured` (EngineOptions::trace_capacity, default
+  // kDefaultCapacity = 8192 events). The override exists so tools like
+  // check.sh's bench-smoke gate can shrink every engine's ring without
+  // touching bench code.
+  static size_t ResolveCapacity(size_t configured);
 
   void Record(const TraceEvent& event);
   // Convenience for call sites building events inline.

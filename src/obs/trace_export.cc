@@ -1,0 +1,354 @@
+#include "obs/trace_export.h"
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmdb {
+
+namespace {
+
+// One synthetic thread per engine component; slice nesting inside a track
+// reflects the virtual-clock intervals the engine modeled.
+enum Track : int {
+  kTrackCheckpoint = 1,
+  kTrackCheckpointIo = 2,
+  kTrackLog = 3,
+  kTrackLock = 4,
+  kTrackFault = 5,
+  kTrackRecovery = 6,
+};
+
+constexpr struct {
+  int tid;
+  const char* name;
+} kTracks[] = {
+    {kTrackCheckpoint, "checkpoint"}, {kTrackCheckpointIo, "checkpoint.io"},
+    {kTrackLog, "log"},               {kTrackLock, "lock"},
+    {kTrackFault, "fault"},           {kTrackRecovery, "recovery"},
+};
+
+// Virtual-clock seconds -> trace_event microseconds.
+double Micros(double seconds) { return seconds * 1e6; }
+
+// "checkpoint.begin" -> "checkpoint": the component becomes the category.
+std::string_view Category(std::string_view kind) {
+  size_t dot = kind.find('.');
+  return dot == std::string_view::npos ? kind : kind.substr(0, dot);
+}
+
+// Resolves the ring's "kind" string back to its enumerator via the name
+// table (the exporter's inverse of TraceEventTypeName). npos-style -1 for
+// kinds this build does not know.
+int KindIndex(std::string_view kind) {
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    if (TraceEventTypeName(static_cast<TraceEventType>(i)) == kind) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+double NumberOr(const JsonValue* v, double fallback) {
+  return (v != nullptr && v->is_number()) ? v->number_value() : fallback;
+}
+
+void AppendThreadName(int pid, int tid, std::string_view name,
+                      JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name");
+  w->String("thread_name");
+  w->Key("ph");
+  w->String("M");
+  w->Key("pid");
+  w->Int(pid);
+  w->Key("tid");
+  w->Int(tid);
+  w->Key("args");
+  w->BeginObject();
+  w->Key("name");
+  w->String(name);
+  w->EndObject();
+  w->EndObject();
+}
+
+// Copies the event's payload members ("seq" and the table-named fields;
+// everything except "kind" and "t") into the trace_event args object, so
+// the viewer's detail pane shows exactly what the ring recorded.
+void AppendArgs(const JsonValue& event, JsonWriter* w) {
+  w->Key("args");
+  w->BeginObject();
+  for (const auto& [key, value] : event.object_items()) {
+    if (key == "kind" || key == "t") continue;
+    w->Key(key);
+    w->RawValue(value.Dump());
+  }
+  w->EndObject();
+}
+
+// Emits one complete trace_event object. `dur` < 0 means "no dur member"
+// (B/E/i phases); `instant` adds the scope member instants require.
+void AppendEvent(std::string_view name, std::string_view cat,
+                 std::string_view ph, double ts_us, double dur_us, int pid,
+                 int tid, bool instant, const JsonValue& event,
+                 JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(name);
+  w->Key("cat");
+  w->String(cat);
+  w->Key("ph");
+  w->String(ph);
+  w->Key("ts");
+  w->Double(ts_us);
+  if (dur_us >= 0) {
+    w->Key("dur");
+    w->Double(dur_us);
+  }
+  w->Key("pid");
+  w->Int(pid);
+  w->Key("tid");
+  w->Int(tid);
+  if (instant) {
+    w->Key("s");
+    w->String("t");  // thread-scoped instant
+  }
+  AppendArgs(event, w);
+  w->EndObject();
+}
+
+}  // namespace
+
+void AppendProcessName(int pid, std::string_view name, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name");
+  w->String("process_name");
+  w->Key("ph");
+  w->String("M");
+  w->Key("pid");
+  w->Int(pid);
+  w->Key("args");
+  w->BeginObject();
+  w->Key("name");
+  w->String(name);
+  w->EndObject();
+  w->EndObject();
+}
+
+Status AppendChromeTraceEvents(const JsonValue& trace_doc, int pid,
+                               JsonWriter* writer, TraceExportStats* stats) {
+  const JsonValue* events = trace_doc.Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return InvalidArgumentError(
+        "trace document has no \"events\" array (tracing disabled?)");
+  }
+  for (const auto& track : kTracks) {
+    AppendThreadName(pid, track.tid, track.name, writer);
+  }
+  // Open-slice depth per B/E track, so an E whose B fell out of the ring
+  // degrades to an instant instead of corrupting the viewer's slice stack.
+  size_t checkpoint_depth = 0;
+  size_t recovery_depth = 0;
+  // kRecoveryPhase events are recorded at the crash instant with their
+  // durations in "seconds"; this cursor lays them end to end.
+  double recovery_cursor = 0.0;
+  TraceExportStats local;
+  for (const JsonValue& event : events->array_items()) {
+    const JsonValue* kind_v = event.Find("kind");
+    const JsonValue* t_v = event.Find("t");
+    int kind_index = -1;
+    if (kind_v != nullptr && kind_v->is_string() && t_v != nullptr &&
+        t_v->is_number()) {
+      kind_index = KindIndex(kind_v->string_value());
+    }
+    if (kind_index < 0) {
+      ++local.events_skipped;
+      continue;
+    }
+    const std::string& kind = kind_v->string_value();
+    std::string_view cat = Category(kind);
+    double t = t_v->number_value();
+    double ts = Micros(t);
+    auto type = static_cast<TraceEventType>(kind_index);
+    const TraceEventFields& fields = TraceEventFieldsFor(type);
+    // For X phases: t2 is either an absolute completion time or already a
+    // duration, per the field table.
+    double t2 = fields.t2_name != nullptr
+                    ? NumberOr(event.Find(fields.t2_name), t)
+                    : t;
+    double dur = fields.t2_is_end_time ? Micros(t2 - t) : Micros(t2);
+    if (dur < 0) dur = 0;
+    switch (type) {
+      case TraceEventType::kCheckpointBegin:
+        ++checkpoint_depth;
+        AppendEvent("checkpoint", cat, "B", ts, -1, pid, kTrackCheckpoint,
+                    false, event, writer);
+        break;
+      case TraceEventType::kCheckpointEnd:
+      case TraceEventType::kCheckpointAbort:
+        if (checkpoint_depth == 0) {
+          AppendEvent(kind, cat, "i", ts, -1, pid, kTrackCheckpoint, true,
+                      event, writer);
+        } else {
+          --checkpoint_depth;
+          AppendEvent("checkpoint", cat, "E", ts, -1, pid, kTrackCheckpoint,
+                      false, event, writer);
+        }
+        break;
+      case TraceEventType::kCheckpointSegmentWrite:
+        AppendEvent(kind, cat, "X", ts, dur, pid, kTrackCheckpointIo, false,
+                    event, writer);
+        break;
+      case TraceEventType::kLogAppend:
+      case TraceEventType::kLogFlushError:
+        AppendEvent(kind, cat, "i", ts, -1, pid, kTrackLog, true, event,
+                    writer);
+        break;
+      case TraceEventType::kLogFlush:
+        AppendEvent(kind, cat, "X", ts, dur, pid, kTrackLog, false, event,
+                    writer);
+        break;
+      case TraceEventType::kLockWait:
+        AppendEvent(kind, cat, "X", ts, dur, pid, kTrackLock, false, event,
+                    writer);
+        break;
+      case TraceEventType::kLockConflict:
+        AppendEvent(kind, cat, "i", ts, -1, pid, kTrackLock, true, event,
+                    writer);
+        break;
+      case TraceEventType::kFaultInjected:
+        AppendEvent(kind, cat, "i", ts, -1, pid, kTrackFault, true, event,
+                    writer);
+        break;
+      case TraceEventType::kRecoveryBegin:
+        ++recovery_depth;
+        recovery_cursor = t;
+        AppendEvent("recovery", cat, "B", ts, -1, pid, kTrackRecovery, false,
+                    event, writer);
+        break;
+      case TraceEventType::kRecoveryPhase: {
+        // Phases share the recovery start time; lay them out sequentially.
+        if (recovery_depth == 0) recovery_cursor = t;
+        double phase_seconds = t2;
+        AppendEvent(kind, cat, "X", Micros(recovery_cursor),
+                    Micros(phase_seconds), pid, kTrackRecovery, false, event,
+                    writer);
+        recovery_cursor += phase_seconds;
+        break;
+      }
+      case TraceEventType::kRecoveryEnd:
+        // t2 = total recovery seconds; the slice closes when replay does.
+        if (recovery_depth == 0) {
+          AppendEvent(kind, cat, "i", Micros(t + t2), -1, pid,
+                      kTrackRecovery, true, event, writer);
+        } else {
+          --recovery_depth;
+          AppendEvent("recovery", cat, "E", Micros(t + t2), -1, pid,
+                      kTrackRecovery, false, event, writer);
+        }
+        break;
+    }
+    ++local.events_exported;
+  }
+  if (stats != nullptr) {
+    stats->events_exported += local.events_exported;
+    stats->events_skipped += local.events_skipped;
+  }
+  return Status();
+}
+
+namespace {
+
+// Process name for a single engine dump: "FUZZYCOPY/partial" when the
+// document carries its identity, else the fallback.
+std::string EngineProcessName(const JsonValue& engine_doc,
+                              std::string_view fallback) {
+  const JsonValue* algorithm = engine_doc.Find("algorithm");
+  const JsonValue* mode = engine_doc.Find("mode");
+  if (algorithm != nullptr && algorithm->is_string() && mode != nullptr &&
+      mode->is_string()) {
+    return algorithm->string_value() + "/" + mode->string_value();
+  }
+  return std::string(fallback);
+}
+
+}  // namespace
+
+StatusOr<std::string> ChromeTraceFromMetricsDoc(const JsonValue& doc,
+                                                TraceExportStats* stats) {
+  if (!doc.is_object()) {
+    return InvalidArgumentError("metrics document is not a JSON object");
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  size_t engines = 0;
+  if (const JsonValue* points = doc.Find("points");
+      points != nullptr && points->is_array()) {
+    // Bench sidecar: one trace process per measured point, named by its
+    // label. Error points and trace-less engines are skipped.
+    int pid = 0;
+    for (const JsonValue& point : points->array_items()) {
+      ++pid;
+      const JsonValue* trace = point.FindPath({"engine", "trace"});
+      if (trace == nullptr || !trace->is_object()) continue;
+      const JsonValue* label = point.Find("label");
+      std::string name = (label != nullptr && label->is_string())
+                             ? label->string_value()
+                             : "point " + std::to_string(pid);
+      AppendProcessName(pid, name, &w);
+      MMDB_RETURN_IF_ERROR(AppendChromeTraceEvents(*trace, pid, &w, stats));
+      ++engines;
+    }
+  } else if (const JsonValue* trace = doc.Find("trace");
+             trace != nullptr && trace->is_object()) {
+    // Single Engine::DumpMetricsJson document.
+    AppendProcessName(1, EngineProcessName(doc, "engine"), &w);
+    MMDB_RETURN_IF_ERROR(AppendChromeTraceEvents(*trace, 1, &w, stats));
+    ++engines;
+  } else if (doc.Find("events") != nullptr) {
+    // Bare Tracer::ToJson document.
+    AppendProcessName(1, "trace", &w);
+    MMDB_RETURN_IF_ERROR(AppendChromeTraceEvents(doc, 1, &w, stats));
+    ++engines;
+  }
+  if (engines == 0) {
+    return InvalidArgumentError(
+        "no trace data found: expected an engine metrics dump with a "
+        "\"trace\" member, a bench sidecar with \"points\", or a raw trace "
+        "document with \"events\"");
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+StatusOr<std::string> ChromeTraceFromMetricsJson(std::string_view json,
+                                                 TraceExportStats* stats) {
+  MMDB_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(json));
+  return ChromeTraceFromMetricsDoc(doc, stats);
+}
+
+StatusOr<std::string> ChromeTraceFromTracer(const Tracer& tracer,
+                                            std::string_view process_name) {
+  MMDB_ASSIGN_OR_RETURN(JsonValue doc,
+                        JsonValue::Parse(tracer.ToJsonString()));
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  AppendProcessName(1, process_name, &w);
+  MMDB_RETURN_IF_ERROR(AppendChromeTraceEvents(doc, 1, &w, nullptr));
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace mmdb

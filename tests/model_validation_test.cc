@@ -1,0 +1,123 @@
+// Model-oracle validation (model/model_oracle.h): the analytic model and
+// the executable engine stay within a documented envelope of each other on
+// a reference configuration, and the residual plumbing (MakeResidual,
+// ResidualSummary, JSON shapes) behaves at the edges.
+//
+// Tolerances (documented in EXPERIMENTS.md): the engine is a discrete
+// executable simulation of formulas the paper derives in steady state, so
+// residuals are expected but bounded. On the reference config (1 Mword
+// database, partial checkpoints, lambda=1000 txn/s, 2.0 virtual seconds,
+// seed 42) the FUZZYCOPY/COUCOPY pair currently sits near 0.40 mean
+// absolute overhead residual and 0.22 mean absolute recovery residual;
+// the asserts leave headroom at 0.55 / 0.35. A breach means either the
+// engine or the model moved — investigate, don't widen.
+
+#include <cmath>
+#include <string>
+
+#include "bench/figure_util.h"
+#include "gtest/gtest.h"
+#include "model/model_oracle.h"
+#include "util/json.h"
+
+namespace mmdb {
+namespace {
+
+constexpr double kMeanAbsOverheadTolerance = 0.55;
+constexpr double kMeanAbsRecoveryTolerance = 0.35;
+
+TEST(ModelValidationTest, ReferenceConfigResidualsWithinTolerance) {
+  ResidualSummary summary;
+  for (Algorithm a : {Algorithm::kFuzzyCopy, Algorithm::kCouCopy}) {
+    auto point = bench::MeasureEngine(
+        bench::MeasuredOptions(a, CheckpointMode::kPartial,
+                               /*stable_tail=*/false),
+        /*seconds=*/2.0, /*seed=*/42);
+    ASSERT_TRUE(point.ok()) << point.status().ToString();
+    ASSERT_TRUE(point->has_validation) << AlgorithmName(a);
+    // Sanity: both sides of every pair are populated.
+    EXPECT_GT(point->validation.overhead_per_txn.predicted, 0.0);
+    EXPECT_GT(point->validation.overhead_per_txn.measured, 0.0);
+    EXPECT_GT(point->validation.recovery_seconds.predicted, 0.0);
+    EXPECT_GT(point->validation.recovery_seconds.measured, 0.0);
+    summary.Add(point->validation);
+  }
+  ASSERT_EQ(summary.points(), 2u);
+  EXPECT_LT(summary.mean_abs_overhead_residual(), kMeanAbsOverheadTolerance)
+      << summary.ToJsonString();
+  EXPECT_LT(summary.mean_abs_recovery_residual(), kMeanAbsRecoveryTolerance)
+      << summary.ToJsonString();
+  // The summary JSON carries all four metrics for the sidecar.
+  std::string json = summary.ToJsonString();
+  for (const char* member :
+       {"\"points\":2", "\"overhead_per_txn\"", "\"sync_per_txn\"",
+        "\"async_per_txn\"", "\"recovery_seconds\"", "\"mean_abs_residual\"",
+        "\"max_abs_residual\""}) {
+    EXPECT_NE(json.find(member), std::string::npos) << member;
+  }
+}
+
+TEST(ModelValidationTest, MakeResidualEdgeCases) {
+  ResidualEntry plain = MakeResidual(100.0, 80.0);
+  EXPECT_DOUBLE_EQ(plain.residual, -0.2);
+  ResidualEntry exact = MakeResidual(50.0, 50.0);
+  EXPECT_DOUBLE_EQ(exact.residual, 0.0);
+  // Model predicts zero, engine measured zero: agreement, not a blowup.
+  ResidualEntry both_zero = MakeResidual(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(both_zero.residual, 0.0);
+  // Model predicts zero but the engine measured something: the +infinity
+  // sentinel, which the JSON layer renders as null.
+  ResidualEntry blowup = MakeResidual(0.0, 3.0);
+  EXPECT_TRUE(std::isinf(blowup.residual));
+  JsonWriter w;
+  blowup.ToJson(&w);
+  EXPECT_NE(w.str().find("\"residual\":null"), std::string::npos) << w.str();
+}
+
+TEST(ModelValidationTest, SummaryAccumulatesMeanAndMax) {
+  ModelValidation a;
+  a.overhead_per_txn = MakeResidual(100.0, 90.0);    // -0.1
+  a.recovery_seconds = MakeResidual(1.0, 1.3);       // +0.3
+  ModelValidation b;
+  b.overhead_per_txn = MakeResidual(100.0, 130.0);   // +0.3
+  b.recovery_seconds = MakeResidual(1.0, 0.9);       // -0.1
+  ResidualSummary summary;
+  summary.Add(a);
+  summary.Add(b);
+  EXPECT_EQ(summary.points(), 2u);
+  EXPECT_NEAR(summary.mean_abs_overhead_residual(), 0.2, 1e-12);
+  EXPECT_NEAR(summary.max_abs_overhead_residual(), 0.3, 1e-12);
+  EXPECT_NEAR(summary.mean_abs_recovery_residual(), 0.2, 1e-12);
+  EXPECT_NEAR(summary.max_abs_recovery_residual(), 0.3, 1e-12);
+  // Empty summary: well-defined zeros, no division by zero.
+  ResidualSummary empty;
+  EXPECT_EQ(empty.points(), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean_abs_overhead_residual(), 0.0);
+}
+
+TEST(ModelValidationTest, ValidationJsonShape) {
+  MeasuredMetrics measured;
+  measured.overhead_per_txn = 2682.7;
+  measured.sync_per_txn = 2067.2;
+  measured.async_per_txn = 615.5;
+  measured.recovery_seconds = 0.749;
+  auto validation = CompareToModel(
+      bench::ModelInputsFromOptions(bench::MeasuredOptions(
+          Algorithm::kCouCopy, CheckpointMode::kPartial, false)),
+      measured);
+  ASSERT_TRUE(validation.ok()) << validation.status().ToString();
+  std::string json = validation->ToJsonString();
+  StatusOr<JsonValue> doc = JsonValue::Parse(json);
+  ASSERT_TRUE(doc.ok()) << json;
+  for (const char* metric : {"overhead_per_txn", "sync_per_txn",
+                             "async_per_txn", "recovery_seconds"}) {
+    const JsonValue* block = doc->Find(metric);
+    ASSERT_NE(block, nullptr) << metric;
+    EXPECT_NE(block->Find("predicted"), nullptr) << metric;
+    EXPECT_NE(block->Find("measured"), nullptr) << metric;
+    EXPECT_NE(block->Find("residual"), nullptr) << metric;
+  }
+}
+
+}  // namespace
+}  // namespace mmdb

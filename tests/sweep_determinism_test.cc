@@ -71,6 +71,7 @@ std::string RunAtWidth(std::size_t jobs, const std::string& sidecar_path,
   std::vector<SweepPoint> points = TestPoints();
   *results_out = runner.Run(points, &sidecar);
   *any_failed_out = runner.AnyFailed();
+  runner.ReportValidation(&sidecar);
   sidecar.SetRun(jobs, 0.125);  // arbitrary; stripped by DeterministicView
   sidecar.Write();
   return ReadFileOrDie(sidecar_path);
@@ -114,10 +115,17 @@ TEST(SweepDeterminismTest, Jobs4SidecarEqualsJobs1) {
   ASSERT_TRUE(parallel_view.ok()) << parallel_view.status().ToString();
   EXPECT_FALSE(serial_view->empty());
   EXPECT_EQ(*serial_view, *parallel_view);
-  // And the stripped portion is substantial: all six ok points present.
+  // And the stripped portion is substantial: all six ok points present,
+  // each with its model-oracle validation block, plus the figure summary.
   EXPECT_NE(serial_view->find("\"points\""), std::string::npos);
   EXPECT_NE(serial_view->find("FUZZYCOPY/seed=1"), std::string::npos);
-  EXPECT_EQ(serial_view->find("always_fails"), std::string::npos);
+  EXPECT_NE(serial_view->find("\"validation\""), std::string::npos);
+  EXPECT_NE(serial_view->find("\"validation_summary\""), std::string::npos);
+  EXPECT_NE(serial_view->find("\"residual\""), std::string::npos);
+  // The failed point is recorded with its Status message (identically at
+  // both widths, since the whole views already compared equal above).
+  EXPECT_NE(serial_view->find("always_fails"), std::string::npos);
+  EXPECT_NE(serial_view->find("deterministic failure"), std::string::npos);
 }
 
 TEST(SweepDeterminismTest, DeterministicViewStripsOnlyRun) {

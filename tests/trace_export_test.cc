@@ -1,0 +1,279 @@
+// Perfetto/Chrome trace_event exporter (obs/trace_export.h): the name
+// table is complete and collision-free, a scripted ring covering every
+// TraceEventType exports to the committed golden file byte for byte, and
+// the emitted document is structurally valid trace_event JSON (the
+// contract chrome://tracing and ui.perfetto.dev load).
+//
+// Regenerate the golden after an intentional format change with
+//   MMDB_REGENERATE_GOLDEN=1 ./trace_export_test
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "checkpoint/checkpointer.h"
+#include "env/fault_injection_env.h"
+#include "gtest/gtest.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "util/json.h"
+#include "wal/log_record.h"
+
+namespace mmdb {
+namespace {
+
+TEST(TraceEventTableTest, NamesNonEmptyAndUnique) {
+  std::set<std::string> seen;
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    auto type = static_cast<TraceEventType>(i);
+    std::string name(TraceEventTypeName(type));
+    EXPECT_FALSE(name.empty()) << "enumerator " << i;
+    EXPECT_NE(name, "unknown") << "enumerator " << i;
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate name '" << name << "' at enumerator " << i;
+  }
+  EXPECT_EQ(seen.size(), kNumTraceEventTypes);
+}
+
+TEST(TraceEventTableTest, FieldTableConsistent) {
+  std::set<std::string> json_names;
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    auto type = static_cast<TraceEventType>(i);
+    const TraceEventFields& fields = TraceEventFieldsFor(type);
+    // t2_is_end_time only makes sense when the type has a t2 member.
+    if (fields.t2_name == nullptr) {
+      EXPECT_FALSE(fields.t2_is_end_time) << i;
+    }
+    json_names.clear();
+    if (fields.t2_name != nullptr) json_names.insert(fields.t2_name);
+    size_t named = json_names.size();
+    for (const TraceFieldSpec* spec : {&fields.a, &fields.b, &fields.c}) {
+      // A field is either fully specified or fully absent.
+      EXPECT_EQ(spec->name == nullptr,
+                spec->coding == TraceFieldCoding::kNone)
+          << "enumerator " << i;
+      if (spec->name != nullptr) {
+        json_names.insert(spec->name);
+        ++named;
+      }
+    }
+    // No two members of one event may share a JSON spelling.
+    EXPECT_EQ(json_names.size(), named) << "enumerator " << i;
+  }
+  // Out-of-range lookups clamp instead of reading past the table.
+  EXPECT_EQ(&TraceEventFieldsFor(static_cast<TraceEventType>(255)),
+            &TraceEventFieldsFor(static_cast<TraceEventType>(0)));
+}
+
+// One scripted event per TraceEventType (plus the degraded unmatched-end
+// path), at exact binary-fraction times so the golden bytes carry no
+// floating-point noise.
+void Script(Tracer* t) {
+  t->Record(TraceEventType::kCheckpointBegin, 0.125, 0, 1,
+                static_cast<int64_t>(Algorithm::kFuzzyCopy),
+                static_cast<int64_t>(CheckpointMode::kPartial));
+  t->Record(TraceEventType::kCheckpointSegmentWrite, 0.25, 0.375, 7, 0,
+                65536);
+  t->Record(TraceEventType::kLogAppend, 0.5, 0, 41,
+                static_cast<int64_t>(LogRecordType::kUpdate), 48);
+  t->Record(TraceEventType::kLogFlush, 0.5, 0.625, 41, 4096);
+  t->Record(TraceEventType::kLogFlushError, 0.75, 0, 42);
+  t->Record(TraceEventType::kLockWait, 0.875, 1.0);
+  t->Record(TraceEventType::kLockConflict, 1.0, 0, 9, 123);
+  t->Record(TraceEventType::kFaultInjected, 1.125, 0,
+                static_cast<int64_t>(FaultKind::kWriteError), 5);
+  t->Record(TraceEventType::kCheckpointEnd, 1.25, 0, 1, 100, 28);
+  t->Record(TraceEventType::kCheckpointBegin, 1.3125, 0, 2,
+                static_cast<int64_t>(Algorithm::kCouCopy),
+                static_cast<int64_t>(CheckpointMode::kFull));
+  t->Record(TraceEventType::kCheckpointAbort, 1.375, 0, 2, 17, 0);
+  // A begin that fell out of the ring: its end degrades to an instant.
+  t->Record(TraceEventType::kCheckpointEnd, 1.4375, 0, 3, 0, 0);
+  t->Record(TraceEventType::kRecoveryBegin, 1.5, 0, 1);
+  t->Record(TraceEventType::kRecoveryPhase, 1.5, 0.125,
+                static_cast<int64_t>(RecoveryPhase::kBackupLoad), 128, 2);
+  t->Record(TraceEventType::kRecoveryPhase, 1.5, 0.0625,
+                static_cast<int64_t>(RecoveryPhase::kLogRead), 8192, 0);
+  t->Record(TraceEventType::kRecoveryPhase, 1.5, 0.3125,
+                static_cast<int64_t>(RecoveryPhase::kReplay), 200, 12);
+  t->Record(TraceEventType::kRecoveryEnd, 1.5, 0.5, 2);
+}
+
+std::string GoldenPath() {
+  return std::string(MMDB_TESTDATA_DIR) + "/trace_export_golden.json";
+}
+
+TEST(TraceExportTest, MatchesGoldenFile) {
+  Tracer tracer(64);
+  Script(&tracer);
+  StatusOr<std::string> exported = ChromeTraceFromTracer(tracer, "scripted");
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  std::string produced = *exported + "\n";
+  if (std::getenv("MMDB_REGENERATE_GOLDEN") != nullptr) {
+    std::FILE* f = std::fopen(GoldenPath().c_str(), "wb");
+    ASSERT_NE(f, nullptr) << GoldenPath();
+    std::fwrite(produced.data(), 1, produced.size(), f);
+    std::fclose(f);
+    GTEST_SKIP() << "golden regenerated at " << GoldenPath();
+  }
+  std::FILE* f = std::fopen(GoldenPath().c_str(), "rb");
+  ASSERT_NE(f, nullptr) << GoldenPath()
+                        << " missing; run with MMDB_REGENERATE_GOLDEN=1";
+  std::string golden;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) golden.append(buf, n);
+  std::fclose(f);
+  EXPECT_EQ(produced, golden)
+      << "exporter output drifted from the committed golden; regenerate "
+         "with MMDB_REGENERATE_GOLDEN=1 if the change is intentional";
+}
+
+TEST(TraceExportTest, OutputIsStructurallyValidTraceEventJson) {
+  Tracer tracer(64);
+  Script(&tracer);
+  StatusOr<std::string> exported = ChromeTraceFromTracer(tracer, "scripted");
+  ASSERT_TRUE(exported.ok());
+  StatusOr<JsonValue> doc = JsonValue::Parse(*exported);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  const JsonValue* unit = doc->Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string_value(), "ms");
+
+  std::set<std::string> cats;
+  std::set<std::string> thread_names;
+  int begins = 0, ends = 0;
+  for (const JsonValue& e : events->array_items()) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->is_string());
+    const std::string& phase = ph->string_value();
+    ASSERT_TRUE(phase == "M" || phase == "B" || phase == "E" ||
+                phase == "X" || phase == "i")
+        << phase;
+    ASSERT_NE(e.Find("pid"), nullptr);
+    ASSERT_NE(e.Find("args"), nullptr);
+    if (phase == "M") {
+      const JsonValue* name = e.Find("name");
+      ASSERT_NE(name, nullptr);
+      if (name->string_value() == "thread_name") {
+        thread_names.insert(e.FindPath({"args", "name"})->string_value());
+      }
+      continue;
+    }
+    // Every non-metadata event sits on the virtual timeline in µs.
+    const JsonValue* ts = e.Find("ts");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_TRUE(ts->is_number());
+    EXPECT_GE(ts->number_value(), 0.0);
+    ASSERT_NE(e.Find("tid"), nullptr);
+    cats.insert(e.Find("cat")->string_value());
+    if (phase == "X") {
+      const JsonValue* dur = e.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      EXPECT_GE(dur->number_value(), 0.0);
+    }
+    if (phase == "i") {
+      ASSERT_NE(e.Find("s"), nullptr);  // instants need a scope
+    }
+    if (phase == "B") ++begins;
+    if (phase == "E") ++ends;
+  }
+  // The scripted ring covers every component the acceptance criteria name.
+  for (const char* cat : {"checkpoint", "log", "lock", "fault", "recovery"}) {
+    EXPECT_EQ(cats.count(cat), 1u) << cat;
+  }
+  for (const char* track : {"checkpoint", "checkpoint.io", "log", "lock",
+                            "fault", "recovery"}) {
+    EXPECT_EQ(thread_names.count(track), 1u) << track;
+  }
+  // Slices balance: B/E pairs match (unmatched ends degrade to instants).
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(TraceExportTest, RecoveryPhasesLaidOutSequentially) {
+  Tracer tracer(64);
+  Script(&tracer);
+  StatusOr<std::string> exported = ChromeTraceFromTracer(tracer, "scripted");
+  ASSERT_TRUE(exported.ok());
+  StatusOr<JsonValue> doc = JsonValue::Parse(*exported);
+  ASSERT_TRUE(doc.ok());
+  // The three phases are recorded at the same virtual instant (1.5 s) with
+  // durations 0.125/0.0625/0.3125; the exporter must chain them.
+  double expect_ts = 1.5e6;
+  int phases = 0;
+  for (const JsonValue& e : doc->Find("traceEvents")->array_items()) {
+    const JsonValue* name = e.Find("name");
+    if (name == nullptr || name->string_value() != "recovery.phase") continue;
+    EXPECT_DOUBLE_EQ(e.Find("ts")->number_value(), expect_ts) << phases;
+    expect_ts += e.Find("dur")->number_value();
+    ++phases;
+  }
+  EXPECT_EQ(phases, 3);
+  EXPECT_DOUBLE_EQ(expect_ts, 2.0e6);  // == kRecoveryEnd's close time
+}
+
+TEST(TraceExportTest, SidecarBecomesOneProcessPerPoint) {
+  Tracer tracer(64);
+  Script(&tracer);
+  std::string trace_json = tracer.ToJsonString();
+  std::string sidecar =
+      R"({"bench":"t","points":[)"
+      R"({"label":"A","engine":{"trace":)" + trace_json + R"(}},)"
+      R"({"label":"broken","error":"INTERNAL: nope"},)"
+      R"({"label":"no_trace","engine":{"trace":null}},)"
+      R"({"label":"B","engine":{"trace":)" + trace_json + R"(}}]})";
+  TraceExportStats stats;
+  StatusOr<std::string> exported = ChromeTraceFromMetricsJson(sidecar, &stats);
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  StatusOr<JsonValue> doc = JsonValue::Parse(*exported);
+  ASSERT_TRUE(doc.ok());
+  std::set<double> pids;
+  std::set<std::string> process_names;
+  for (const JsonValue& e : doc->Find("traceEvents")->array_items()) {
+    pids.insert(e.Find("pid")->number_value());
+    const JsonValue* name = e.Find("name");
+    if (name->string_value() == "process_name") {
+      process_names.insert(e.FindPath({"args", "name"})->string_value());
+    }
+  }
+  // Points 1 and 4 export; the error point and the trace-less point skip.
+  EXPECT_EQ(pids, (std::set<double>{1.0, 4.0}));
+  EXPECT_EQ(process_names, (std::set<std::string>{"A", "B"}));
+  EXPECT_GT(stats.events_exported, 0u);
+  EXPECT_EQ(stats.events_skipped, 0u);
+}
+
+TEST(TraceExportTest, RejectsDocumentsWithoutTraceData) {
+  auto no_trace = ChromeTraceFromMetricsJson(R"({"algorithm":"FUZZYCOPY"})");
+  ASSERT_FALSE(no_trace.ok());
+  EXPECT_TRUE(no_trace.status().IsInvalidArgument());
+  auto all_errors = ChromeTraceFromMetricsJson(
+      R"({"bench":"t","points":[{"label":"x","error":"boom"}]})");
+  EXPECT_FALSE(all_errors.ok());
+  auto bad_json = ChromeTraceFromMetricsJson("{nope");
+  EXPECT_FALSE(bad_json.ok());
+}
+
+TEST(TraceExportTest, UnknownKindsAreCountedNotExported) {
+  std::string doc =
+      R"({"events":[{"seq":0,"kind":"not.a.kind","t":1.0},)"
+      R"({"seq":1,"kind":"log.append","t":2.0,"lsn":1,)"
+      R"("record_type":"UPDATE","bytes":8},{"seq":2}]})";
+  JsonWriter w;
+  w.BeginArray();
+  TraceExportStats stats;
+  StatusOr<JsonValue> parsed = JsonValue::Parse(doc);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(AppendChromeTraceEvents(*parsed, 1, &w, &stats).ok());
+  w.EndArray();
+  EXPECT_EQ(stats.events_exported, 1u);
+  EXPECT_EQ(stats.events_skipped, 2u);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,16 +1,26 @@
 #!/usr/bin/env bash
 # Builds and tests the tree's pre-merge configurations:
 #
-#   tools/check.sh            # plain + sanitize + tsan
+#   tools/check.sh            # plain + sanitize + tsan + bench-smoke
 #   tools/check.sh plain      # just the plain build
 #   tools/check.sh sanitize   # just the ASan+UBSan build
 #   tools/check.sh tsan       # just the TSan build (--tsan also accepted)
+#   tools/check.sh bench-smoke  # fig4a vs the committed baseline
 #
 # Build trees live in build/ (plain), build-sanitize/, and build-tsan/.
 # The TSan gate builds only the parallel subsystem's test plus one figure
 # bench and runs the bench at --jobs=2 as a threaded smoke; the engines
 # themselves are single-threaded, so the full suite under TSan would just
 # re-test serial code at 10x the cost.
+#
+# The bench-smoke gate replays fig4a at --jobs=2 with a shrunken trace
+# ring (MMDB_TRACE_CAPACITY=64 — the capacity the committed baseline was
+# recorded at; ring drop counts depend on it) and diffs the fresh sidecar
+# against bench/baselines/fig4a.json with mmdb_bench_diff: deterministic
+# leaves must match exactly, timing leaves within 5%. Regenerate the
+# baseline after an intentional engine/model change with
+#   MMDB_TRACE_CAPACITY=64 MMDB_METRICS_SIDECAR=bench/baselines/fig4a.json \
+#       ./build/bench/fig4a_overhead_recovery --jobs=2 > /dev/null
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,6 +47,17 @@ run_tsan() {
       ./build-tsan/bench/fig4a_overhead_recovery --jobs=2 > /dev/null
 }
 
+run_bench_smoke() {
+  cmake -B build -S .
+  cmake --build build -j "$jobs" \
+      --target fig4a_overhead_recovery mmdb_bench_diff
+  echo "check.sh: bench smoke (fig4a --jobs=2 vs bench/baselines/fig4a.json)"
+  MMDB_TRACE_CAPACITY=64 MMDB_METRICS_SIDECAR=build/fig4a_bench_smoke.json \
+      ./build/bench/fig4a_overhead_recovery --jobs=2 > /dev/null
+  ./build/tools/mmdb_bench_diff bench/baselines/fig4a.json \
+      build/fig4a_bench_smoke.json
+}
+
 case "$what" in
   plain)
     run_config build
@@ -48,14 +69,18 @@ case "$what" in
   tsan)
     run_tsan
     ;;
+  bench-smoke)
+    run_bench_smoke
+    ;;
   all)
     run_config build
     run_config build-sanitize -DMMDB_SANITIZE=address,undefined \
         -DMMDB_WERROR_UNUSED_RESULT=ON
     run_tsan
+    run_bench_smoke
     ;;
   *)
-    echo "usage: $0 [plain|sanitize|tsan|all]" >&2
+    echo "usage: $0 [plain|sanitize|tsan|bench-smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -8,6 +8,10 @@
 //   mmdb_stats <metrics.json>            counters, timers, checkpoint phases
 //   mmdb_stats <metrics.json> --trace    also print every retained trace event
 //   mmdb_stats <metrics.json> --raw      re-emit the parsed document compactly
+//   mmdb_stats <metrics.json> --deterministic
+//       re-emit with the sidecar's "run" member stripped
+//       (MetricsSidecar::DeterministicView) — the bytes that must be
+//       identical across --jobs widths, pipeable straight into diff(1)
 //
 // Exits non-zero (with a diagnostic) on malformed JSON, so it doubles as a
 // validator for the sidecar files.
@@ -17,6 +21,7 @@
 #include <string>
 
 #include "env/env.h"
+#include "obs/sidecar.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -99,6 +104,37 @@ void PrintTrace(const JsonValue& engine, bool events) {
   }
 }
 
+// Model-oracle block: {"metric":{"predicted":..,"measured":..,
+// "residual":..},...} per point, or mean/max aggregates for the figure
+// summary. A null residual is the predicted==0 sentinel.
+void PrintValidation(const JsonValue& validation, const char* title) {
+  if (!validation.is_object()) return;
+  std::printf("%s:\n", title);
+  for (const auto& [metric, block] : validation.object_items()) {
+    if (!block.is_object()) {
+      if (block.is_number()) {
+        std::printf("  %-18s %.6g\n", metric.c_str(), block.number_value());
+      }
+      continue;
+    }
+    const JsonValue* residual = block.Find("residual");
+    if (residual != nullptr) {
+      std::printf("  %-18s predicted=%-12.6g measured=%-12.6g ",
+                  metric.c_str(), NumberOr(block.Find("predicted"), 0),
+                  NumberOr(block.Find("measured"), 0));
+      if (residual->is_number()) {
+        std::printf("residual=%+.3f\n", residual->number_value());
+      } else {
+        std::printf("residual=inf\n");
+      }
+    } else {
+      std::printf("  %-18s mean_abs=%-10.4g max_abs=%.4g\n", metric.c_str(),
+                  NumberOr(block.Find("mean_abs_residual"), 0),
+                  NumberOr(block.Find("max_abs_residual"), 0));
+    }
+  }
+}
+
 void PrintEngineDoc(const JsonValue& engine, bool events) {
   const JsonValue* algorithm = engine.Find("algorithm");
   const JsonValue* mode = engine.Find("mode");
@@ -120,12 +156,22 @@ void PrintEngineDoc(const JsonValue& engine, bool events) {
   PrintTrace(engine, events);
 }
 
-int Run(const std::string& path, bool events, bool raw) {
+int Run(const std::string& path, bool events, bool raw, bool deterministic) {
   std::string contents;
   Status read = Env::Posix()->ReadFileToString(path, &contents);
   if (!read.ok()) {
     std::fprintf(stderr, "error: %s\n", read.ToString().c_str());
     return 1;
+  }
+  if (deterministic) {
+    StatusOr<std::string> view = MetricsSidecar::DeterministicView(contents);
+    if (!view.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   view.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", view->c_str());
+    return 0;
   }
   StatusOr<JsonValue> doc = JsonValue::Parse(contents);
   if (!doc.ok()) {
@@ -152,8 +198,22 @@ int Run(const std::string& path, bool events, bool raw) {
                   label != nullptr && label->is_string()
                       ? label->string_value().c_str()
                       : "?");
+      const JsonValue* error = point.Find("error");
+      if (error != nullptr && error->is_string()) {
+        std::printf("ERROR: %s\n", error->string_value().c_str());
+        continue;
+      }
       const JsonValue* engine = point.Find("engine");
       if (engine != nullptr) PrintEngineDoc(*engine, events);
+      const JsonValue* validation = point.Find("validation");
+      if (validation != nullptr) {
+        PrintValidation(*validation, "model validation");
+      }
+    }
+    const JsonValue* summary = doc->Find("validation_summary");
+    if (summary != nullptr) {
+      std::printf("\n");
+      PrintValidation(*summary, "validation summary");
     }
     return 0;
   }
@@ -166,21 +226,26 @@ int Run(const std::string& path, bool events, bool raw) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <metrics.json> [--trace] [--raw]\n",
+    std::fprintf(stderr,
+                 "usage: %s <metrics.json> [--trace] [--raw] "
+                 "[--deterministic]\n",
                  argv[0]);
     return 2;
   }
   bool events = false;
   bool raw = false;
+  bool deterministic = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       events = true;
     } else if (std::strcmp(argv[i], "--raw") == 0) {
       raw = true;
+    } else if (std::strcmp(argv[i], "--deterministic") == 0) {
+      deterministic = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
     }
   }
-  return mmdb::Run(argv[1], events, raw);
+  return mmdb::Run(argv[1], events, raw, deterministic);
 }
