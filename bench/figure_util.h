@@ -155,7 +155,7 @@ class SweepRunner {
     tasks.reserve(points.size());
     for (const SweepPoint& p : points) tasks.push_back(p.work);
     std::vector<StatusOr<MeasuredPoint>> results =
-        RunSweep<MeasuredPoint>(jobs_, tasks);
+        RunSweep<MeasuredPoint>(PoolFor(points.size()), tasks);
     for (std::size_t i = 0; i < results.size(); ++i) {
       if (!results[i].ok()) {
         // The Status message goes to the sidecar too, so ERR cells stay
@@ -203,7 +203,20 @@ class SweepRunner {
   }
 
  private:
+  // Lazily builds — then reuses — one pool for every Run() this runner
+  // serves, instead of spinning threads up and down per sweep. Serial
+  // (jobs <= 1) and single-point sweeps get nullptr: the inline path.
+  ThreadPool* PoolFor(std::size_t num_points) {
+    if (jobs_ <= 1 || num_points <= 1) return nullptr;
+    std::size_t want = std::min(jobs_, num_points);
+    if (pool_ == nullptr || pool_->num_threads() < want) {
+      pool_ = std::make_unique<ThreadPool>(want);
+    }
+    return pool_.get();
+  }
+
   std::size_t jobs_;
+  std::unique_ptr<ThreadPool> pool_;
   bool any_failed_ = false;
   ResidualSummary summary_;
 };

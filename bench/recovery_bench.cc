@@ -1,0 +1,200 @@
+// recovery_bench: wall-clock scaling of the parallel recovery pipeline
+// (DESIGN.md §14) across --recovery-threads 1/2/4/8 at two database
+// sizes.
+//
+// Every point runs the same deterministic history — workload, crash,
+// recover — varying ONLY EngineOptions::recovery_threads, so the modeled
+// (virtual-clock) columns on stdout must read bit-identically down each
+// size block; the bench itself exits nonzero if they do not. What the
+// thread count is allowed to change is real wall time, which is reported
+// on stderr and in the sidecar's "recovery.wall" blocks (stripped from
+// every determinism comparison by IsWallClockField).
+//
+//   recovery_bench [--jobs=N] [--quick]
+//
+// --quick: small size and threads {1,2} only — the TSan smoke
+// configuration (full-size points under TSan are 10x slower and add no
+// new interleavings). Honest speedups want --jobs=1 so concurrent points
+// don't steal each other's cores; the check.sh gate runs --jobs=2 and
+// ignores wall fields.
+//
+// Baseline regeneration (the committed bench/baselines/recovery.json):
+//   MMDB_TRACE_CAPACITY=64 MMDB_METRICS_SIDECAR=bench/baselines/recovery.json \
+//       ./build/bench/recovery_bench --jobs=2 > /dev/null
+// (MMDB_RECOVERY_THREADS must be UNSET: it would override every point's
+// per-point thread count.)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/figure_util.h"
+#include "core/engine.h"
+#include "core/workload.h"
+#include "env/env.h"
+#include "obs/sidecar.h"
+#include "parallel/parallel.h"
+
+namespace mmdb {
+namespace bench {
+namespace {
+
+struct SizeConfig {
+  const char* name;
+  uint64_t db_words;
+  double workload_seconds;
+};
+
+struct RecoveryPoint {
+  RecoveryStats stats;
+  std::string metrics_json;
+  double recover_wall = 0.0;  // real seconds around Engine::Recover()
+};
+
+StatusOr<RecoveryPoint> MeasureRecovery(const SizeConfig& size,
+                                        uint32_t threads) {
+  EngineOptions opt;
+  opt.params.db.db_words = size.db_words;
+  opt.recovery_threads = threads;
+  std::unique_ptr<Env> env = NewMemEnv();
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                        Engine::Open(opt, env.get()));
+  // A complete checkpoint first, then a checkpoint-free workload: recovery
+  // must reload the whole backup AND replay the whole workload suffix —
+  // both pipeline stages carry real work. (Checkpoints mid-workload would
+  // make the restore point depend on the size's sweep time.)
+  MMDB_RETURN_IF_ERROR(engine->RunCheckpointToCompletion());
+  WorkloadOptions wopt;
+  wopt.duration = size.workload_seconds;
+  wopt.run_checkpoints = false;
+  WorkloadDriver driver(engine.get(), wopt);
+  MMDB_RETURN_IF_ERROR(driver.Run().status());
+  MMDB_RETURN_IF_ERROR(engine->FlushLog());
+  MMDB_RETURN_IF_ERROR(engine->AdvanceTime(1.0));
+  MMDB_RETURN_IF_ERROR(engine->Crash());
+  RecoveryPoint point;
+  auto start = std::chrono::steady_clock::now();
+  MMDB_ASSIGN_OR_RETURN(point.stats, engine->Recover());
+  std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  point.recover_wall = wall.count();
+  point.metrics_json = engine->DumpMetricsJson();
+  return point;
+}
+
+// True when the rows' modeled quantities differ anywhere — the
+// parallel-equivalence contract a thread count must never break.
+bool ModeledDiffers(const RecoveryStats& a, const RecoveryStats& b) {
+  return a.checkpoint_id != b.checkpoint_id || a.copy != b.copy ||
+         a.backup_read_seconds != b.backup_read_seconds ||
+         a.log_read_seconds != b.log_read_seconds ||
+         a.replay_cpu_seconds != b.replay_cpu_seconds ||
+         a.total_seconds != b.total_seconds ||
+         a.segments_loaded != b.segments_loaded ||
+         a.segments_retried != b.segments_retried ||
+         a.log_bytes_read != b.log_bytes_read ||
+         a.records_scanned != b.records_scanned ||
+         a.updates_applied != b.updates_applied ||
+         a.txns_redone != b.txns_redone ||
+         a.fell_back_to_older_copy != b.fell_back_to_older_copy;
+}
+
+int Run(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::size_t jobs = ParseJobs(argc, argv);
+
+  std::vector<SizeConfig> sizes = {
+      {"small", 1ull << 20, 0.5},  // 128 segments, 4 MiB
+      {"large", 1ull << 25, 1.0},  // 4096 segments, 128 MiB
+  };
+  std::vector<uint32_t> thread_counts = {1, 2, 4, 8};
+  if (quick) {
+    sizes.resize(1);
+    thread_counts = {1, 2};
+  }
+
+  MetricsSidecar sidecar("recovery");
+  BenchWallClock bench_wall;
+  SweepRunner runner(jobs);
+
+  PrintHeader("recovery_bench",
+              "parallel recovery: wall-clock scaling vs recovery_threads");
+  std::printf("modeled columns are virtual-clock quantities and must be\n"
+              "identical down each size block; wall seconds go to stderr\n");
+
+  int rc = 0;
+  for (const SizeConfig& size : sizes) {
+    std::vector<std::function<StatusOr<RecoveryPoint>()>> tasks;
+    std::vector<std::string> labels;
+    for (uint32_t t : thread_counts) {
+      labels.push_back(std::string(size.name) + "/t" + std::to_string(t));
+      tasks.push_back([size, t]() { return MeasureRecovery(size, t); });
+    }
+    std::vector<StatusOr<RecoveryPoint>> results =
+        RunSweep<RecoveryPoint>(jobs, tasks);
+
+    std::printf("\n%s (%llu words, %.2fs workload)\n", size.name,
+                static_cast<unsigned long long>(size.db_words),
+                size.workload_seconds);
+    std::printf("%-10s %12s %12s %12s %12s %10s %10s %9s\n", "point",
+                "total_s", "backup_s", "log_s", "replay_s", "segments",
+                "updates", "txns");
+    const RecoveryPoint* first_ok = nullptr;
+    double t1_wall = 0.0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!results[i].ok()) {
+        runner.NoteFailure(labels[i].c_str(), results[i].status(), &sidecar);
+        std::printf("%-10s %12s\n", labels[i].c_str(), "ERR");
+        continue;
+      }
+      const RecoveryPoint& p = *results[i];
+      const RecoveryStats& s = p.stats;
+      std::printf("%-10s %12.6f %12.6f %12.6f %12.6f %10llu %10llu %9llu\n",
+                  labels[i].c_str(), s.total_seconds, s.backup_read_seconds,
+                  s.log_read_seconds, s.replay_cpu_seconds,
+                  static_cast<unsigned long long>(s.segments_loaded),
+                  static_cast<unsigned long long>(s.updates_applied),
+                  static_cast<unsigned long long>(s.txns_redone));
+      sidecar.Add(labels[i], std::string(p.metrics_json), std::string());
+      if (first_ok == nullptr) {
+        first_ok = &p;
+      } else if (ModeledDiffers(first_ok->stats, s)) {
+        std::fprintf(stderr,
+                     "FAIL: %s modeled stats differ from the first row — "
+                     "parallel recovery broke determinism\n",
+                     labels[i].c_str());
+        rc = 1;
+      }
+      if (thread_counts[i] == 1) t1_wall = p.recover_wall;
+      std::fprintf(stderr,
+                   "%s: recover_wall=%.4fs (backup=%.4fs scan=%.4fs "
+                   "replay=%.4fs threads=%u)%s\n",
+                   labels[i].c_str(), p.recover_wall,
+                   s.backup_read_wall_seconds, s.log_scan_wall_seconds,
+                   s.replay_wall_seconds, s.threads_used,
+                   t1_wall > 0.0 && thread_counts[i] != 1
+                       ? (" speedup_vs_t1=" +
+                          std::to_string(t1_wall / p.recover_wall))
+                             .c_str()
+                       : "");
+    }
+  }
+
+  runner.ReportValidation(&sidecar);
+  bench_wall.Report("recovery_bench", jobs, &sidecar);
+  sidecar.Write();
+  if (runner.AnyFailed()) rc = 1;
+  return rc;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace mmdb
+
+int main(int argc, char** argv) { return mmdb::bench::Run(argc, argv); }

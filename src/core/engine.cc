@@ -438,11 +438,19 @@ StatusOr<RecoveryStats> Engine::Recover() {
                     restarting_ ? 1 : 0);
   }
   restarting_ = false;
-  RecoveryManager rm(env_, options_.params, &meter_, metrics_, tracer_.get());
+  uint32_t threads = RecoveryManager::ResolveThreads(options_.recovery_threads);
+  if (threads > 1 &&
+      (recovery_pool_ == nullptr || recovery_pool_->num_threads() < threads)) {
+    recovery_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  RecoveryManager rm(env_, options_.params, &meter_, metrics_, tracer_.get(),
+                     threads > 1 ? recovery_pool_.get() : nullptr);
   MMDB_ASSIGN_OR_RETURN(
       RecoveryResult result,
       rm.Recover(backup_.get(), LogPath(), db_.get(), segments_.get(),
                  clock_.now()));
+  last_recovery_ = result.stats;
+  has_last_recovery_ = true;
   MMDB_RETURN_IF_ERROR(
       log_->OpenExisting(result.log_valid_bytes, result.last_lsn + 1));
   clock_.AdvanceBy(result.stats.total_seconds);
@@ -480,6 +488,61 @@ std::string Engine::DumpMetricsJson() const {
   w.Key("trace");
   if (tracer_ != nullptr) {
     tracer_->ToJson(&w);
+  } else {
+    w.Null();
+  }
+  // Most recent Recover(): deterministic counters plus the modeled
+  // (virtual-clock) phase split, and a "wall" block of real machine time
+  // that every determinism comparison strips (IsWallClockField).
+  w.Key("recovery");
+  if (has_last_recovery_) {
+    const RecoveryStats& r = last_recovery_;
+    w.BeginObject();
+    w.Key("checkpoint");
+    w.Uint(r.checkpoint_id);
+    w.Key("copy");
+    w.Uint(r.copy);
+    w.Key("segments_loaded");
+    w.Uint(r.segments_loaded);
+    w.Key("segments_retried");
+    w.Uint(r.segments_retried);
+    w.Key("log_bytes_read");
+    w.Uint(r.log_bytes_read);
+    w.Key("records_scanned");
+    w.Uint(r.records_scanned);
+    w.Key("updates_applied");
+    w.Uint(r.updates_applied);
+    w.Key("txns_redone");
+    w.Uint(r.txns_redone);
+    w.Key("fell_back");
+    w.Bool(r.fell_back_to_older_copy);
+    w.Key("modeled");
+    w.BeginObject();
+    w.Key("backup_read_seconds");
+    w.Double(r.backup_read_seconds);
+    w.Key("log_read_seconds");
+    w.Double(r.log_read_seconds);
+    w.Key("replay_cpu_seconds");
+    w.Double(r.replay_cpu_seconds);
+    w.Key("total_seconds");
+    w.Double(r.total_seconds);
+    w.EndObject();
+    w.Key("wall");
+    w.BeginObject();
+    w.Key("threads");
+    w.Uint(r.threads_used);
+    w.Key("backup_read_seconds");
+    w.Double(r.backup_read_wall_seconds);
+    w.Key("log_scan_seconds");
+    w.Double(r.log_scan_wall_seconds);
+    w.Key("replay_seconds");
+    w.Double(r.replay_wall_seconds);
+    w.Key("thread_busy_seconds");
+    w.BeginArray();
+    for (double busy : r.thread_busy_seconds) w.Double(busy);
+    w.EndArray();
+    w.EndObject();
+    w.EndObject();
   } else {
     w.Null();
   }

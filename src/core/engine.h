@@ -232,6 +232,14 @@ class Engine {
   std::unique_ptr<Checkpointer> checkpointer_;
   CheckpointScheduler scheduler_;
 
+  // Lazily built on the first Recover() that resolves to > 1 thread and
+  // reused by later recoveries (ThreadPool is reusable across rounds).
+  std::unique_ptr<ThreadPool> recovery_pool_;
+  // Stats of the most recent successful Recover(), surfaced by
+  // DumpMetricsJson()'s "recovery" member (wall vs modeled breakdown).
+  RecoveryStats last_recovery_;
+  bool has_last_recovery_ = false;
+
   uint64_t apply_seed_ = 0x6d6d6462;  // backoff jitter for Apply retries
   bool crashed_ = false;
   // True only while OpenExisting's implicit recovery runs (tags the

@@ -79,6 +79,17 @@ struct EngineOptions {
   // 0 = unbounded (the historical behaviour, for long diagnostic runs).
   size_t checkpoint_history_cap = 256;
 
+  // Worker threads for Recover()'s parallel pipeline (concurrent backup
+  // segment reloads, pipelined log scan, partitioned REDO replay —
+  // DESIGN.md §14). 0 = hardware concurrency; 1 = the exact legacy
+  // serial path. Every modeled RecoveryStats quantity is bit-identical
+  // across settings — only real wall-clock changes. The
+  // MMDB_RECOVERY_THREADS environment variable, when set to a positive
+  // integer, overrides this value for every engine
+  // (RecoveryManager::ResolveThreads) — used by check.sh to pin the
+  // thread count recorded in trace baselines.
+  uint32_t recovery_threads = 0;
+
   // Optional externally owned registry, e.g. shared by every engine of a
   // bench sweep so their counters aggregate. Must outlive the engine.
   // When null (and enable_metrics is set) the engine owns a private one.

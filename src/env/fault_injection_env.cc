@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -38,6 +39,11 @@ struct FaultInjectionEnv::State {
     bool unlimited;
   };
 
+  // Guards everything below: parallel recovery issues reads from pool
+  // workers, so op numbering, rule budgets, and listener firing must be
+  // serialized (the listener itself runs under the lock — keep them
+  // cheap). Serial callers see the exact pre-lock behavior.
+  std::mutex mu;
   uint64_t op_count = 0;
   uint64_t faults_fired = 0;
   std::vector<ActiveRule> rules;
@@ -46,6 +52,7 @@ struct FaultInjectionEnv::State {
 
   // Numbers this operation and returns the fault to apply, if any.
   std::optional<FaultKind> NextOp(OpClass cls, const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu);
     uint64_t op = op_count++;
     for (ActiveRule& ar : rules) {
       if (op < ar.rule.after_ops) continue;
@@ -200,24 +207,34 @@ FaultInjectionEnv::FaultInjectionEnv(Env* base)
 FaultInjectionEnv::~FaultInjectionEnv() = default;
 
 void FaultInjectionEnv::InjectFault(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(state_->mu);
   state_->rules.push_back(
       State::ActiveRule{rule, rule.times, rule.times == 0});
 }
 
-void FaultInjectionEnv::ClearFaults() { state_->rules.clear(); }
+void FaultInjectionEnv::ClearFaults() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->rules.clear();
+}
 
-uint64_t FaultInjectionEnv::op_count() const { return state_->op_count; }
+uint64_t FaultInjectionEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->op_count;
+}
 
 uint64_t FaultInjectionEnv::faults_fired() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
   return state_->faults_fired;
 }
 
 void FaultInjectionEnv::AddFaultListener(const void* owner,
                                          FaultListener listener) {
+  std::lock_guard<std::mutex> lock(state_->mu);
   state_->listeners.emplace_back(owner, std::move(listener));
 }
 
 void FaultInjectionEnv::RemoveFaultListeners(const void* owner) {
+  std::lock_guard<std::mutex> lock(state_->mu);
   auto& ls = state_->listeners;
   ls.erase(std::remove_if(ls.begin(), ls.end(),
                           [owner](const auto& e) { return e.first == owner; }),

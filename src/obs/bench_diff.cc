@@ -87,6 +87,7 @@ class Differ {
                   const JsonValue& b) {
     for (const auto& [key, value] : a.object_items()) {
       if (path.empty() && key == "run") continue;  // sanctioned drift
+      if (IsWallClockField(key)) continue;         // machine-dependent
       std::string child = path.empty() ? key : path + "." + key;
       const JsonValue* other = b.Find(key);
       if (other == nullptr) {
@@ -99,6 +100,7 @@ class Differ {
     // should land with a refreshed baseline).
     for (const auto& [key, value] : b.object_items()) {
       if (path.empty() && key == "run") continue;
+      if (IsWallClockField(key)) continue;
       if (a.Find(key) == nullptr) {
         std::string child = path.empty() ? key : path + "." + key;
         Mismatch(child, "<missing>", Preview(value));
@@ -160,6 +162,11 @@ bool IsTimingField(std::string_view key) {
     if (key == timing) return true;
   }
   return false;
+}
+
+bool IsWallClockField(std::string_view key) {
+  return key == "wall" || EndsWith(key, "wall_seconds") ||
+         EndsWith(key, "busy_seconds");
 }
 
 StatusOr<BenchDiffResult> DiffBenchDocs(const JsonValue& baseline,

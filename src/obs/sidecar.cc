@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/bench_diff.h"
 #include "util/json.h"
 
 namespace mmdb {
@@ -89,6 +90,37 @@ void MetricsSidecar::Write() const {
                points_.size());
 }
 
+namespace {
+
+// Re-emits `value` minus every wall-clock member (IsWallClockField), at
+// any depth — engine dumps now carry a machine-dependent "recovery.wall"
+// block that must not participate in cross-width byte comparisons.
+void DumpDeterministic(const JsonValue& value, JsonWriter* w) {
+  switch (value.type()) {
+    case JsonValue::Type::kObject:
+      w->BeginObject();
+      for (const auto& [key, member] : value.object_items()) {
+        if (IsWallClockField(key)) continue;
+        w->Key(key);
+        DumpDeterministic(member, w);
+      }
+      w->EndObject();
+      break;
+    case JsonValue::Type::kArray:
+      w->BeginArray();
+      for (const JsonValue& item : value.array_items()) {
+        DumpDeterministic(item, w);
+      }
+      w->EndArray();
+      break;
+    default:
+      w->RawValue(value.Dump());
+      break;
+  }
+}
+
+}  // namespace
+
 StatusOr<std::string> MetricsSidecar::DeterministicView(
     std::string_view sidecar_json) {
   MMDB_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::Parse(sidecar_json));
@@ -97,7 +129,7 @@ StatusOr<std::string> MetricsSidecar::DeterministicView(
   for (const auto& [key, value] : doc.object_items()) {
     if (key == "run") continue;
     w.Key(key);
-    w.RawValue(value.Dump());
+    DumpDeterministic(value, &w);
   }
   w.EndObject();
   return w.TakeString();

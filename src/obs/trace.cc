@@ -39,6 +39,8 @@ std::string_view TraceEventTypeName(TraceEventType type) {
       return "recovery.phase";
     case TraceEventType::kRecoveryEnd:
       return "recovery.end";
+    case TraceEventType::kRecoveryFanout:
+      return "recovery.fanout";
   }
   return "unknown";
 }
@@ -126,6 +128,11 @@ constexpr TraceEventFields kTraceEventFields[kNumTraceEventTypes] = {
      {"checkpoint", TraceFieldCoding::kInt},
      {nullptr, TraceFieldCoding::kNone},
      {nullptr, TraceFieldCoding::kNone}},
+    // kRecoveryFanout: a=worker threads, b=segments, c=replay buckets
+    {nullptr, false,
+     {"threads", TraceFieldCoding::kInt},
+     {"segments", TraceFieldCoding::kInt},
+     {"buckets", TraceFieldCoding::kInt}},
 };
 
 }  // namespace

@@ -29,13 +29,14 @@ enum class TraceEventType : uint8_t {
   kRecoveryBegin,           // a=1 if restart (OpenExisting), else 0
   kRecoveryPhase,           // t2=seconds, a=phase, b/c=phase counts
   kRecoveryEnd,             // t2=total seconds, a=checkpoint id restored
+  kRecoveryFanout,          // a=threads, b=segments, c=replay buckets
 };
 
 // Number of TraceEventType enumerators, for table-driven iteration (the
 // field tables below, the Perfetto exporter's kind map, and the
 // completeness tests). Keep in sync with the last enumerator.
 inline constexpr size_t kNumTraceEventTypes =
-    static_cast<size_t>(TraceEventType::kRecoveryEnd) + 1;
+    static_cast<size_t>(TraceEventType::kRecoveryFanout) + 1;
 
 std::string_view TraceEventTypeName(TraceEventType type);
 

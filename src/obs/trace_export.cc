@@ -249,6 +249,10 @@ Status AppendChromeTraceEvents(const JsonValue& trace_doc, int pid,
                       kTrackRecovery, false, event, writer);
         }
         break;
+      case TraceEventType::kRecoveryFanout:
+        AppendEvent(kind, cat, "i", ts, -1, pid, kTrackRecovery, true, event,
+                    writer);
+        break;
     }
     ++local.events_exported;
   }

@@ -64,13 +64,19 @@ inline Status CurrentExceptionToStatus() {
 
 }  // namespace parallel_internal
 
-// Runs tasks[i]() for every i across min(tasks.size(), jobs) pool workers;
-// returns the per-task results indexed exactly like `tasks`. T is anything
-// movable; closures returning StatusOr<T> get failures propagated in their
-// slot, and a throwing closure yields an INTERNAL StatusOr in its slot.
+// Runs tasks[i]() for every i across `pool`'s workers (all of them — the
+// pool's width is the sweep's width); returns the per-task results indexed
+// exactly like `tasks`. `pool` may be null, selecting the serial inline
+// path. T is anything movable; closures returning StatusOr<T> get failures
+// propagated in their slot, and a throwing closure yields an INTERNAL
+// StatusOr in its slot.
+//
+// The pool is reused, not consumed: the call leaves it running, so a
+// long-lived owner (SweepRunner, the recovery pipeline) amortizes thread
+// start-up across many rounds.
 template <typename T>
 std::vector<StatusOr<T>> RunSweep(
-    std::size_t jobs, const std::vector<std::function<StatusOr<T>()>>& tasks) {
+    ThreadPool* pool, const std::vector<std::function<StatusOr<T>()>>& tasks) {
   std::vector<StatusOr<T>> results;
   results.reserve(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -86,23 +92,37 @@ std::vector<StatusOr<T>> RunSweep(
     }
   };
 
-  if (jobs <= 1) {
+  if (pool == nullptr) {
     for (std::size_t i = 0; i < tasks.size(); ++i) run_one(i);
     return results;
   }
 
-  ThreadPool pool(std::min(jobs, tasks.size()));
   parallel_internal::SweepLatch latch(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     // Each worker writes only its own pre-sized slot; the latch's release
     // sequence publishes every slot to this thread before Wait() returns.
-    pool.Submit([&run_one, &latch, i] {
+    if (!pool->Submit([&run_one, &latch, i] {
+          run_one(i);
+          latch.Done();
+        })) {
+      // Shutdown raced the sweep; run the slot inline so no task is lost.
       run_one(i);
       latch.Done();
-    });
+    }
   }
   latch.Wait();
   return results;
+}
+
+// Historical entry point: spins up a transient pool of min(jobs, tasks)
+// workers for this one sweep. jobs <= 1 is the serial path. Prefer the
+// pool-taking overload when sweeping more than once.
+template <typename T>
+std::vector<StatusOr<T>> RunSweep(
+    std::size_t jobs, const std::vector<std::function<StatusOr<T>()>>& tasks) {
+  if (jobs <= 1 || tasks.size() <= 1) return RunSweep<T>(nullptr, tasks);
+  ThreadPool pool(std::min(jobs, tasks.size()));
+  return RunSweep<T>(&pool, tasks);
 }
 
 // Status-only fan-out: body(i) for i in [0, n). Returns the first non-OK
@@ -120,6 +140,52 @@ inline Status ParallelFor(std::size_t jobs, std::size_t n,
   std::vector<StatusOr<bool>> results = RunSweep<bool>(jobs, tasks);
   for (const StatusOr<bool>& r : results) {
     if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+// Chunked range fan-out: partitions [0, n) into contiguous chunks of (at
+// most) `chunk` indices and runs body(begin, end) per chunk across `pool`
+// (null = serially inline, over the SAME chunk decomposition, so a serial
+// run is bit-identical to a parallel one for any chunk-deterministic
+// body). One enqueue per chunk, not per index — the difference between
+// submitting 128 segment loads and submitting 8 batches of 16. Returns the
+// first non-OK Status in CHUNK ORDER (every chunk still runs).
+inline Status ParallelFor(ThreadPool* pool, std::size_t n, std::size_t chunk,
+                          const std::function<Status(std::size_t, std::size_t)>&
+                              body) {
+  if (n == 0) return Status::OK();
+  chunk = std::max<std::size_t>(1, chunk);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+
+  std::vector<Status> statuses(num_chunks);
+  auto run_chunk = [&](std::size_t c) {
+    std::size_t begin = c * chunk;
+    std::size_t end = std::min(n, begin + chunk);
+    try {
+      statuses[c] = body(begin, end);
+    } catch (...) {
+      statuses[c] = parallel_internal::CurrentExceptionToStatus();
+    }
+  };
+
+  if (pool == nullptr || num_chunks <= 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+  } else {
+    parallel_internal::SweepLatch latch(num_chunks);
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      if (!pool->Submit([&run_chunk, &latch, c] {
+            run_chunk(c);
+            latch.Done();
+          })) {
+        run_chunk(c);
+        latch.Done();
+      }
+    }
+    latch.Wait();
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
   }
   return Status::OK();
 }

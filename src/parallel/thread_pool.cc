@@ -5,13 +5,20 @@
 
 namespace mmdb {
 
+namespace {
+// -1 off-pool; workers set their index for the thread's lifetime.
+thread_local int tls_worker_index = -1;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   num_threads = std::max<std::size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
@@ -43,7 +50,8 @@ std::size_t ThreadPool::QueueDepth() const {
   return queue_.size();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t worker_index) {
+  tls_worker_index = static_cast<int>(worker_index);
   for (;;) {
     std::function<void()> task;
     {

@@ -26,6 +26,11 @@ namespace mmdb {
 // inside a running task. Tasks must not touch shared mutable state without
 // their own synchronization — the engines driven by the sweep runner are
 // single-threaded and each worker owns its engine outright (DESIGN.md §12).
+//
+// Pools are reusable: a pool outlives any number of RunSweep/ParallelFor
+// rounds (parallel.h's pool-taking overloads), so long-lived owners — the
+// bench SweepRunner, the engine's recovery pipeline — pay thread start-up
+// once instead of per call.
 class ThreadPool {
  public:
   // Spawns exactly `num_threads` workers (at least 1).
@@ -51,8 +56,14 @@ class ThreadPool {
   // Tasks currently queued (not yet picked up). Mostly for tests.
   std::size_t QueueDepth() const;
 
+  // Index of the calling thread within its owning pool ([0, num_threads)),
+  // or -1 when called off-pool (the coordinating thread, the serial path).
+  // Lets per-phase instrumentation (recovery's per-thread busy accounting)
+  // attribute work without threading ids through every closure.
+  static int CurrentWorkerIndex();
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(std::size_t worker_index);
 
   mutable std::mutex mu_;
   std::condition_variable work_available_;

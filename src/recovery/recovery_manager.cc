@@ -1,8 +1,14 @@
 #include "recovery/recovery_manager.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 
+#include "parallel/parallel.h"
 #include "sim/disk_model.h"
 #include "util/coding.h"
 #include "util/string_util.h"
@@ -11,20 +17,90 @@
 
 namespace mmdb {
 
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double SecondsSince(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+// Chunk size targeting ~4 chunks per worker: coarse enough that enqueue
+// overhead is amortized, fine enough that a straggler chunk cannot idle
+// the rest of the pool for long. The chunk DECOMPOSITION never affects
+// results — every merge below is by index or a commutative reduction — so
+// this is purely a scheduling knob.
+std::size_t ChunkFor(std::size_t n, uint32_t threads) {
+  std::size_t target = static_cast<std::size_t>(threads) * 4;
+  return std::max<std::size_t>(1, (n + target - 1) / target);
+}
+
+// Per-thread busy-time sink for the wall-clock breakdown. Nanosecond
+// integer accumulators (not atomic<double>) so concurrent adds stay
+// lock-free and exact.
+class BusyMeter {
+ public:
+  explicit BusyMeter(uint32_t threads) : ns_(threads) {}
+
+  // Charges the elapsed time since `start` to the calling thread's slot.
+  void Charge(WallClock::time_point start) {
+    int w = ThreadPool::CurrentWorkerIndex();
+    std::size_t slot = w < 0 ? 0 : static_cast<std::size_t>(w);
+    if (slot >= ns_.size()) slot = 0;
+    auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        WallClock::now() - start);
+    ns_[slot].fetch_add(static_cast<uint64_t>(d.count()),
+                        std::memory_order_relaxed);
+  }
+
+  std::vector<double> Seconds() const {
+    std::vector<double> out;
+    out.reserve(ns_.size());
+    for (const auto& v : ns_) {
+      out.push_back(static_cast<double>(v.load(std::memory_order_relaxed)) *
+                    1e-9);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::atomic<uint64_t>> ns_;
+};
+
+}  // namespace
+
 RecoveryManager::RecoveryManager(Env* env, const SystemParams& params,
                                  CpuMeter* meter, MetricsRegistry* metrics,
-                                 Tracer* tracer)
+                                 Tracer* tracer, ThreadPool* pool)
     : env_(env),
       params_(params),
       meter_(meter),
       metrics_(metrics),
-      tracer_(tracer) {}
+      tracer_(tracer),
+      pool_(pool) {}
 
-void RecoveryManager::Publish(const RecoveryStats& stats, double now) {
+uint32_t RecoveryManager::ResolveThreads(uint32_t configured) {
+  const char* env = std::getenv("MMDB_RECOVERY_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      return static_cast<uint32_t>(parsed);
+    }
+  }
+  if (configured != 0) return configured;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<uint32_t>(hw);
+}
+
+void RecoveryManager::Publish(const RecoveryStats& stats, double now,
+                              uint64_t replay_buckets) {
   if (metrics_ != nullptr) {
     metrics_->counter("recovery.runs")->Increment();
     metrics_->counter("recovery.segments_loaded")
         ->Increment(stats.segments_loaded);
+    metrics_->counter("recovery.segments_retried")
+        ->Increment(stats.segments_retried);
     metrics_->counter("recovery.log_bytes_read")
         ->Increment(stats.log_bytes_read);
     metrics_->counter("recovery.updates_applied")
@@ -56,6 +132,10 @@ void RecoveryManager::Publish(const RecoveryStats& stats, double now) {
                     static_cast<int64_t>(RecoveryPhase::kReplay),
                     static_cast<int64_t>(stats.updates_applied),
                     static_cast<int64_t>(stats.txns_redone));
+    tracer_->Record(TraceEventType::kRecoveryFanout, now, 0.0,
+                    static_cast<int64_t>(stats.threads_used),
+                    static_cast<int64_t>(stats.segments_loaded),
+                    static_cast<int64_t>(replay_buckets));
     tracer_->Record(TraceEventType::kRecoveryEnd, now, stats.total_seconds,
                     static_cast<int64_t>(stats.checkpoint_id));
   }
@@ -68,6 +148,10 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
                                                   double now) {
   RecoveryResult result;
   RecoveryStats& stats = result.stats;
+  const uint32_t threads =
+      pool_ != nullptr ? static_cast<uint32_t>(pool_->num_threads()) : 1;
+  stats.threads_used = threads;
+  BusyMeter busy(threads);
 
   // Fresh disk service state: the array restarts with the machine.
   DiskArrayModel backup_disks(params_.disk);
@@ -157,23 +241,66 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
   }
 
   // --- Phase 2: load the chosen backup copy -----------------------------
+  // Segments are independent byte ranges of both the copy file and the
+  // primary, so the reads+CRC checks fan out across the pool in chunks.
+  // Per-segment failures are COLLECTED (not fail-fast): the fallback
+  // protocol needs the complete failed set, and collecting makes the
+  // outcome independent of worker scheduling. Modeled disk submissions
+  // happen serially afterwards, one per successful read at time `now` —
+  // exactly the sequence the serial path issued, so the modeled
+  // backup_read_seconds is bit-identical for any thread count.
+  WallClock::time_point backup_wall_start = WallClock::now();
   double backup_done = now;
   if (have_checkpoint) {
-    auto load_copy = [&](uint32_t copy_idx) -> Status {
-      db->Clear();
-      std::string image;
-      for (SegmentId s = 0; s < db->num_segments(); ++s) {
-        MMDB_RETURN_IF_ERROR(backup->ReadSegment(copy_idx, s, &image));
-        db->WriteSegment(s, image);
-        backup_disks.Submit(now, params_.db.segment_words);
-        ++stats.segments_loaded;
+    // Reads segments `ids` of `copy_idx`, applying each success to the
+    // primary. Failures land in `failures` ordered by segment id.
+    struct SegmentFailure {
+      SegmentId segment;
+      Status status;
+    };
+    auto load_segments = [&](uint32_t copy_idx,
+                             const std::vector<SegmentId>& ids,
+                             std::vector<SegmentFailure>* failures)
+        -> Status {
+      std::vector<Status> seg_status(ids.size());
+      Status fan = ParallelFor(
+          pool_, ids.size(), ChunkFor(ids.size(), threads),
+          [&](std::size_t begin, std::size_t end) -> Status {
+            WallClock::time_point start = WallClock::now();
+            std::string image;
+            for (std::size_t i = begin; i < end; ++i) {
+              seg_status[i] = backup->ReadSegment(copy_idx, ids[i], &image);
+              if (seg_status[i].ok()) db->WriteSegment(ids[i], image);
+            }
+            busy.Charge(start);
+            return Status::OK();
+          });
+      MMDB_RETURN_IF_ERROR(fan);
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (seg_status[i].ok()) {
+          backup_disks.Submit(now, params_.db.segment_words);
+          ++stats.segments_loaded;
+        } else {
+          failures->push_back(SegmentFailure{ids[i], seg_status[i]});
+        }
       }
       return Status::OK();
     };
-    Status load = load_copy(restore_copy);
-    if (load.IsCorruption() || load.IsIoError()) {
-      // The newest copy has a CRC-bad or unreadable segment (a torn
-      // checkpoint tail, a scribbled in-flight slot, or a device fault).
+
+    std::vector<SegmentId> all_segments(db->num_segments());
+    for (SegmentId s = 0; s < db->num_segments(); ++s) all_segments[s] = s;
+    std::vector<SegmentFailure> failures;
+    MMDB_RETURN_IF_ERROR(load_segments(restore_copy, all_segments, &failures));
+    for (const SegmentFailure& f : failures) {
+      // Only CRC damage and device faults are survivable via the older
+      // copy; anything else (bad geometry, programming error) is fatal.
+      if (!f.status.IsCorruption() && !f.status.IsIoError()) {
+        return f.status;
+      }
+    }
+    if (!failures.empty()) {
+      // The newest copy has CRC-bad or unreadable segments (a torn
+      // checkpoint tail, scribbled in-flight slots, or device faults).
       // The ping-pong protocol guarantees the PREVIOUS checkpoint's copy
       // was complete before this one started overwriting the other file,
       // so fall back to it and replay the longer log suffix from its
@@ -201,7 +328,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
             "backup copy %u of checkpoint %llu is unreadable (%s) and no "
             "older complete checkpoint is reachable in the log",
             restore_copy, static_cast<unsigned long long>(restore_id),
-            load.message().c_str()));
+            failures.front().status.message().c_str()));
       }
       for (const ActiveTxnEntry& e : prev_begin_record.active_txns) {
         if (e.first_lsn != kInvalidLsn) {
@@ -210,19 +337,50 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
               "logging is not used by this engine");
         }
       }
+      // Retry protocol (DESIGN.md §14): with full-image (UPDATE) replay
+      // only, re-reading JUST the failed segments from the previous copy
+      // is sound — commit-time logging puts every post-prev-marker update
+      // in the replay suffix, and full images are idempotent, so the
+      // mixed-copy state converges to the same bytes. DELTA records are
+      // logical additions and demand an exact snapshot at the replay
+      // start point, so their presence in the suffix forces a full
+      // reload of the previous copy.
+      bool suffix_has_delta = false;
+      MMDB_RETURN_IF_ERROR(reader.ScanForward(
+          prev_begin_offset, [&](const LogRecord& r, uint64_t) {
+            if (r.type == LogRecordType::kDelta) {
+              suffix_has_delta = true;
+              return false;
+            }
+            return true;
+          }));
+      std::vector<SegmentId> retry_ids;
+      if (suffix_has_delta) {
+        db->Clear();
+        retry_ids = all_segments;
+      } else {
+        retry_ids.reserve(failures.size());
+        for (const SegmentFailure& f : failures) {
+          retry_ids.push_back(f.segment);
+        }
+      }
       restore_id = prev_id;
       restore_copy = BackupStore::CopyFor(prev_id);
       replay_from_offset = prev_begin_offset;
       stats.fell_back_to_older_copy = true;
-      // A second failure means neither copy is readable: fatal.
-      load = load_copy(restore_copy);
+      stats.segments_retried = retry_ids.size();
+      // A failure here means neither copy is readable: fatal.
+      std::vector<SegmentFailure> retry_failures;
+      MMDB_RETURN_IF_ERROR(
+          load_segments(restore_copy, retry_ids, &retry_failures));
+      if (!retry_failures.empty()) return retry_failures.front().status;
     }
-    MMDB_RETURN_IF_ERROR(load);
     stats.checkpoint_id = restore_id;
     stats.copy = restore_copy;
     backup_done = std::max(now, backup_disks.AllIdleTime());
   }
   stats.backup_read_seconds = backup_done - now;
+  stats.backup_read_wall_seconds = SecondsSince(backup_wall_start);
 
   // The read is sequential from the marker to the end of the log, in large
   // striped chunks across the log disks.
@@ -241,68 +399,188 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
   stats.log_read_seconds = log_done - backup_done;
 
   // --- Phase 3: REDO replay ---------------------------------------------
-  // Pass 1: which transactions committed at or after the marker?
+  // Pass 1 — classification scan: shallow-decode every frame in the
+  // replay suffix to find the committed set, the max LSN, and the
+  // per-segment buckets for partitioned replay. Frame ranges are disjoint
+  // and the reader is immutable, so chunks decode concurrently; chunk
+  // results merge in chunk order, making every output identical to the
+  // serial scan.
+  WallClock::time_point scan_wall_start = WallClock::now();
+  std::size_t start_frame = 0;
+  if (reader.num_frames() > 0) {
+    MMDB_ASSIGN_OR_RETURN(start_frame,
+                          reader.FrameIndexAt(replay_from_offset));
+  }
+  const std::size_t suffix_frames = reader.num_frames() - start_frame;
+
+  struct ScanChunk {
+    uint64_t records = 0;
+    Lsn max_lsn = kInvalidLsn;
+    std::vector<TxnId> commits;
+    // (record_id, absolute frame index) of each UPDATE/DELTA, frame order.
+    std::vector<std::pair<RecordId, std::size_t>> data;
+  };
+  const std::size_t scan_chunk = ChunkFor(suffix_frames, threads);
+  const std::size_t num_scan_chunks =
+      suffix_frames == 0 ? 0 : (suffix_frames + scan_chunk - 1) / scan_chunk;
+  std::vector<ScanChunk> scan_chunks(num_scan_chunks);
+  MMDB_RETURN_IF_ERROR(ParallelFor(
+      pool_, suffix_frames, scan_chunk,
+      [&](std::size_t begin, std::size_t end) -> Status {
+        WallClock::time_point start = WallClock::now();
+        ScanChunk& out = scan_chunks[begin / scan_chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          std::size_t frame = start_frame + i;
+          LogRecordHeader h;
+          MMDB_RETURN_IF_ERROR(reader.HeaderAt(frame, &h));
+          ++out.records;
+          if (out.max_lsn == kInvalidLsn || h.lsn > out.max_lsn) {
+            out.max_lsn = h.lsn;
+          }
+          if (h.type == LogRecordType::kCommit) {
+            out.commits.push_back(h.txn_id);
+          } else if (h.type == LogRecordType::kUpdate ||
+                     h.type == LogRecordType::kDelta) {
+            out.data.emplace_back(h.record_id, frame);
+          }
+        }
+        busy.Charge(start);
+        return Status::OK();
+      }));
+
+  // Merge pass (serial, chunk order): commit set, counters, and the
+  // per-segment frame lists. Appending chunk by chunk preserves global
+  // frame order within every bucket — the invariant partitioned replay
+  // relies on. Out-of-range record ids are parked in an overflow bucket
+  // whose replay reports the malformed record.
   std::unordered_set<TxnId> committed;
   Lsn last_lsn = kInvalidLsn;
-  MMDB_RETURN_IF_ERROR(reader.ScanForward(
-      replay_from_offset, [&](const LogRecord& r, uint64_t) {
-        last_lsn = std::max(last_lsn, r.lsn);
-        ++stats.records_scanned;
-        if (r.type == LogRecordType::kCommit) committed.insert(r.txn_id);
-        return true;
-      }));
+  const std::size_t num_buckets =
+      static_cast<std::size_t>(db->num_segments()) + 1;
+  const std::size_t overflow_bucket = num_buckets - 1;
+  std::vector<std::vector<std::size_t>> buckets(num_buckets);
+  const uint64_t records_per_segment = params_.db.records_per_segment();
+  for (const ScanChunk& c : scan_chunks) {
+    stats.records_scanned += c.records;
+    if (c.max_lsn != kInvalidLsn &&
+        (last_lsn == kInvalidLsn || c.max_lsn > last_lsn)) {
+      last_lsn = c.max_lsn;
+    }
+    for (TxnId t : c.commits) committed.insert(t);
+    for (const auto& [record_id, frame] : c.data) {
+      std::size_t b = static_cast<std::size_t>(
+          std::min<uint64_t>(record_id / records_per_segment,
+                             overflow_bucket));
+      buckets[b].push_back(frame);
+    }
+  }
   // The tail beyond the marker may still contain older LSNs? No: LSNs are
   // monotone in file order, but records before the marker can carry higher
   // ids after a previous recovery reopened the log. Take the global max.
   MMDB_RETURN_IF_ERROR(
       reader.ScanBackward([&](const LogRecord& r, uint64_t) {
-        last_lsn = std::max(last_lsn, r.lsn);
+        if (last_lsn == kInvalidLsn || r.lsn > last_lsn) last_lsn = r.lsn;
         return false;  // only the newest record is needed
       }));
   result.last_lsn = last_lsn;
+  stats.log_scan_wall_seconds = SecondsSince(scan_wall_start);
 
-  // Pass 2: apply committed transactions' after-images in log order.
-  double replay_instructions = 0.0;
-  Status apply_status = Status::OK();
-  MMDB_RETURN_IF_ERROR(reader.ScanForward(
-      replay_from_offset, [&](const LogRecord& r, uint64_t) {
-        if (committed.count(r.txn_id) == 0) return true;
-        if (r.type == LogRecordType::kUpdate) {
-          if (r.record_id >= db->num_records() ||
-              r.image.size() != db->record_bytes()) {
-            apply_status = CorruptionError(StringPrintf(
-                "update record for txn %llu is malformed",
-                static_cast<unsigned long long>(r.txn_id)));
-            return false;
+  // Pass 2 — partitioned REDO: each bucket holds one segment's data
+  // records in log order, buckets touch disjoint byte ranges of the
+  // primary, and the committed set is now read-only, so buckets replay
+  // concurrently and the restored bytes are identical to the sequential
+  // pass. Workers full-decode their own frames (the decode work rides the
+  // replay fan-out instead of a serial feeder pass). Errors are collected
+  // per bucket and the one at the smallest frame index wins — the same
+  // record the serial scan would have died on.
+  WallClock::time_point replay_wall_start = WallClock::now();
+  std::vector<std::size_t> active_buckets;
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    if (!buckets[b].empty()) active_buckets.push_back(b);
+  }
+  struct BucketResult {
+    uint64_t full_applies = 0;
+    uint64_t delta_applies = 0;
+    std::size_t error_frame = SIZE_MAX;
+    Status status;
+  };
+  std::vector<BucketResult> bucket_results(active_buckets.size());
+  MMDB_RETURN_IF_ERROR(ParallelFor(
+      pool_, active_buckets.size(), ChunkFor(active_buckets.size(), threads),
+      [&](std::size_t begin, std::size_t end) -> Status {
+        WallClock::time_point start = WallClock::now();
+        for (std::size_t bi = begin; bi < end; ++bi) {
+          BucketResult& out = bucket_results[bi];
+          for (std::size_t frame : buckets[active_buckets[bi]]) {
+            StatusOr<LogRecord> decoded = reader.RecordAtIndex(frame);
+            if (!decoded.ok()) {
+              out.status = decoded.status();
+              out.error_frame = frame;
+              break;
+            }
+            const LogRecord& r = *decoded;
+            if (committed.count(r.txn_id) == 0) continue;
+            if (r.type == LogRecordType::kUpdate) {
+              if (r.record_id >= db->num_records() ||
+                  r.image.size() != db->record_bytes()) {
+                out.status = CorruptionError(StringPrintf(
+                    "update record for txn %llu is malformed",
+                    static_cast<unsigned long long>(r.txn_id)));
+                out.error_frame = frame;
+                break;
+              }
+              db->WriteRecord(r.record_id, r.image);
+              ++out.full_applies;
+            } else if (r.type == LogRecordType::kDelta) {
+              // Logical REDO: NOT idempotent — correct exactly because
+              // the restored backup is the snapshot at the replay start
+              // point (enforced at write time; see Engine::WriteDelta).
+              if (r.record_id >= db->num_records() ||
+                  r.field_offset + 8 > db->record_bytes()) {
+                out.status = CorruptionError(StringPrintf(
+                    "delta record for txn %llu is malformed",
+                    static_cast<unsigned long long>(r.txn_id)));
+                out.error_frame = frame;
+                break;
+              }
+              std::string image(db->ReadRecord(r.record_id));
+              uint64_t field = DecodeFixed64(image.data() + r.field_offset);
+              EncodeFixed64(image.data() + r.field_offset,
+                            field + static_cast<uint64_t>(r.delta));
+              db->WriteRecord(r.record_id, image);
+              ++out.delta_applies;
+            }
           }
-          db->WriteRecord(r.record_id, r.image);
-          replay_instructions +=
-              params_.costs.move_per_word *
-              static_cast<double>(params_.db.record_words);
-          ++stats.updates_applied;
-        } else if (r.type == LogRecordType::kDelta) {
-          // Logical REDO: NOT idempotent — correct exactly because the
-          // restored backup is the snapshot at the replay start point
-          // (enforced at write time; see Engine::WriteDelta).
-          if (r.record_id >= db->num_records() ||
-              r.field_offset + 8 > db->record_bytes()) {
-            apply_status = CorruptionError(StringPrintf(
-                "delta record for txn %llu is malformed",
-                static_cast<unsigned long long>(r.txn_id)));
-            return false;
-          }
-          std::string image(db->ReadRecord(r.record_id));
-          uint64_t field = DecodeFixed64(image.data() + r.field_offset);
-          EncodeFixed64(image.data() + r.field_offset,
-                        field + static_cast<uint64_t>(r.delta));
-          db->WriteRecord(r.record_id, image);
-          replay_instructions += 8.0 / kWordBytes;
-          ++stats.updates_applied;
         }
-        return true;
+        busy.Charge(start);
+        return Status::OK();
       }));
+  uint64_t full_applies = 0;
+  uint64_t delta_applies = 0;
+  std::size_t first_error_frame = SIZE_MAX;
+  Status apply_status;
+  for (const BucketResult& br : bucket_results) {
+    full_applies += br.full_applies;
+    delta_applies += br.delta_applies;
+    if (!br.status.ok() && br.error_frame < first_error_frame) {
+      first_error_frame = br.error_frame;
+      apply_status = br.status;
+    }
+  }
   MMDB_RETURN_IF_ERROR(apply_status);
+  stats.updates_applied = full_applies + delta_applies;
   stats.txns_redone = committed.size();
+  stats.replay_wall_seconds = SecondsSince(replay_wall_start);
+  stats.thread_busy_seconds = busy.Seconds();
+
+  // Closed-form instruction count from the integer apply tallies —
+  // deliberately NOT accumulated per record, so the modeled CPU charge
+  // cannot pick up floating-point ordering noise from the fan-out.
+  double replay_instructions =
+      params_.costs.move_per_word *
+          static_cast<double>(params_.db.record_words) *
+          static_cast<double>(full_applies) +
+      (8.0 / kWordBytes) * static_cast<double>(delta_applies);
   meter_->Charge(CpuCategory::kRecovery, replay_instructions);
   stats.replay_cpu_seconds =
       params_.InstructionsToSeconds(replay_instructions);
@@ -314,7 +592,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
   segments->MarkAllDirty();
 
   stats.total_seconds = (log_done - now) + stats.replay_cpu_seconds;
-  Publish(stats, now);
+  Publish(stats, now, active_buckets.size());
   return result;
 }
 

@@ -1,12 +1,15 @@
 #ifndef MMDB_RECOVERY_RECOVERY_MANAGER_H_
 #define MMDB_RECOVERY_RECOVERY_MANAGER_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "backup/backup_store.h"
 #include "env/env.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
+#include "parallel/thread_pool.h"
 #include "sim/cost_model.h"
 #include "sim/cpu_meter.h"
 #include "storage/database.h"
@@ -21,6 +24,16 @@ namespace mmdb {
 // modeled hardware. `total_seconds` is the paper's recovery-time metric:
 // read the backup database into memory plus read (and replay) the needed
 // portion of the log (Section 4).
+//
+// Two clocks coexist here. The modeled fields (backup_read_seconds,
+// log_read_seconds, replay_cpu_seconds, total_seconds) are virtual-clock
+// quantities computed from the cost model and are BIT-IDENTICAL for any
+// recovery_threads setting — parallelizing the real work does not change
+// what the simulated 1989 hardware would have done. The wall fields
+// (`*_wall_seconds`, `thread_busy_seconds`) measure the real CPU doing
+// that work and are the quantity recovery_bench sweeps; they are
+// machine-dependent and excluded from every determinism comparison
+// (IsWallClockField in obs/bench_diff.h).
 struct RecoveryStats {
   CheckpointId checkpoint_id = 0;  // checkpoint restored (0 = cold start)
   uint32_t copy = 0;
@@ -30,7 +43,15 @@ struct RecoveryStats {
   double replay_cpu_seconds = 0.0;
   double total_seconds = 0.0;
 
+  // Successful segment reads applied to the database, across BOTH load
+  // attempts when recovery fell back (first-attempt survivors plus every
+  // segment re-read from the older copy) — a sum, so it is identical for
+  // any thread count.
   uint64_t segments_loaded = 0;
+  // Segments re-read from the older copy after the newest copy failed
+  // (num_segments when delta records forced a full reload; the failed-set
+  // size otherwise). 0 when no fallback occurred.
+  uint64_t segments_retried = 0;
   uint64_t log_bytes_read = 0;
   uint64_t records_scanned = 0;
   uint64_t updates_applied = 0;
@@ -40,6 +61,15 @@ struct RecoveryStats {
   // previous checkpoint's copy was restored instead (replaying the longer
   // log suffix).
   bool fell_back_to_older_copy = false;
+
+  // --- real wall clock (machine-dependent; see the struct comment) ------
+  uint32_t threads_used = 1;           // 1 = exact legacy serial path
+  double backup_read_wall_seconds = 0.0;
+  double log_scan_wall_seconds = 0.0;  // classification scan (pass 1)
+  double replay_wall_seconds = 0.0;    // partitioned REDO apply (pass 2)
+  // Per-thread busy time summed across the three phases: slot i is pool
+  // worker i (serial path: one slot, the calling thread).
+  std::vector<double> thread_busy_seconds;
 };
 
 // Outputs the engine needs to resume normal processing after recovery.
@@ -64,13 +94,26 @@ struct RecoveryResult {
 //
 // Cold start: if no checkpoint ever completed, the database is rebuilt
 // from an empty image by replaying the entire log.
+//
+// Parallel pipeline (DESIGN.md §14): when constructed with a ThreadPool
+// the three data-heavy stages fan out — segment reloads are chunked
+// across workers (segments are independent byte ranges), the
+// classification scan decodes disjoint frame ranges concurrently, and
+// REDO replay is partitioned by segment id (updates to one segment stay
+// in log order, so the restored bytes are identical to sequential
+// replay). The serial path (null pool) runs the SAME algorithm inline
+// over the same chunk decomposition, which is why every deterministic
+// stat is bit-identical across thread counts.
 class RecoveryManager {
  public:
   // `metrics` and `tracer` are optional sinks for the phase breakdown
-  // (backup reload vs log read vs replay); either may be null.
+  // (backup reload vs log read vs replay); either may be null. `pool` is
+  // an optional worker pool for the parallel pipeline — null selects the
+  // serial path. The pool is borrowed, not owned, and may serve many
+  // recoveries.
   RecoveryManager(Env* env, const SystemParams& params, CpuMeter* meter,
-                  MetricsRegistry* metrics = nullptr,
-                  Tracer* tracer = nullptr);
+                  MetricsRegistry* metrics = nullptr, Tracer* tracer = nullptr,
+                  ThreadPool* pool = nullptr);
 
   // `backup` must be Open()ed; `db`/`segments` are overwritten. `now` is
   // the virtual time at which recovery starts (the crash instant).
@@ -78,14 +121,22 @@ class RecoveryManager {
                                    const std::string& log_path, Database* db,
                                    SegmentTable* segments, double now);
 
+  // The worker count recovery should use: the MMDB_RECOVERY_THREADS
+  // environment variable (a positive count) when set and parseable,
+  // otherwise `configured` (EngineOptions::recovery_threads), with 0
+  // meaning hardware concurrency. Always >= 1; 1 = serial path.
+  static uint32_t ResolveThreads(uint32_t configured);
+
  private:
-  void Publish(const RecoveryStats& stats, double now);
+  void Publish(const RecoveryStats& stats, double now,
+               uint64_t replay_buckets);
 
   Env* env_;
   SystemParams params_;
   CpuMeter* meter_;
   MetricsRegistry* metrics_;
   Tracer* tracer_;
+  ThreadPool* pool_;
 };
 
 }  // namespace mmdb

@@ -116,6 +116,38 @@ StatusOr<LogRecord> LogReader::RecordAt(uint64_t offset) const {
   return record;
 }
 
+StatusOr<size_t> LogReader::FrameIndexAt(uint64_t offset) const {
+  if (offset < base_offset_) {
+    return InvalidArgumentError(
+        "offset precedes the log's base (truncated away)");
+  }
+  offset -= base_offset_;
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), offset,
+      [](const FrameRef& f, uint64_t off) { return f.offset < off; });
+  if (it == index_.end() || it->offset != offset) {
+    return NotFoundError(
+        StringPrintf("no log frame at offset %llu",
+                     static_cast<unsigned long long>(base_offset_ + offset)));
+  }
+  return static_cast<size_t>(it - index_.begin());
+}
+
+Status LogReader::HeaderAt(size_t i, LogRecordHeader* out) const {
+  const FrameRef& f = index_[i];
+  return LogRecordHeader::DecodeFrom(
+      std::string_view(contents_.data() + f.offset + 4, f.payload_size), out);
+}
+
+StatusOr<LogRecord> LogReader::RecordAtIndex(size_t i) const {
+  const FrameRef& f = index_[i];
+  LogRecord record;
+  MMDB_RETURN_IF_ERROR(LogRecord::DecodeFrom(
+      std::string_view(contents_.data() + f.offset + 4, f.payload_size),
+      &record));
+  return record;
+}
+
 Status LogReader::ScanForward(
     uint64_t from_offset,
     const std::function<bool(const LogRecord&, uint64_t)>& fn) const {

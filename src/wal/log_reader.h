@@ -56,6 +56,31 @@ class LogReader {
   // Decodes the record whose frame starts at byte `offset`.
   StatusOr<LogRecord> RecordAt(uint64_t offset) const;
 
+  // Frame-granular access, the substrate of parallel recovery: workers
+  // scan or replay disjoint index ranges [begin, end) concurrently — the
+  // reader is immutable after construction, so const access is
+  // thread-safe.
+  //
+  // num_frames() aliases num_records(); frames are addressed by index in
+  // log order.
+  size_t num_frames() const { return index_.size(); }
+
+  // Logical offset (base included) of frame `i`. i < num_frames().
+  uint64_t FrameOffset(size_t i) const { return base_offset_ + index_[i].offset; }
+
+  // Index of the frame starting at logical byte `offset`, or
+  // INVALID_ARGUMENT / NOT_FOUND when `offset` is not a frame boundary —
+  // how recovery converts a checkpoint marker's saved offset into a replay
+  // range.
+  StatusOr<size_t> FrameIndexAt(uint64_t offset) const;
+
+  // Shallow header decode of frame `i` (no after-image copy) — the
+  // classification scan's fast path.
+  Status HeaderAt(size_t i, LogRecordHeader* out) const;
+
+  // Full decode of frame `i`.
+  StatusOr<LogRecord> RecordAtIndex(size_t i) const;
+
   // Invokes `fn(record, frame_offset)` for each record from the frame at
   // `from_offset` (which must be a frame boundary, typically 0 or an offset
   // saved in checkpoint metadata) to the end. `fn` returns false to stop.

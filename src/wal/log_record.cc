@@ -57,6 +57,30 @@ LogRecord LogRecord::EndCheckpoint(CheckpointId id) {
   return r;
 }
 
+Status LogRecordHeader::DecodeFrom(std::string_view payload,
+                                   LogRecordHeader* out) {
+  *out = LogRecordHeader();
+  if (payload.empty()) return CorruptionError("empty log record payload");
+  uint8_t raw_type = static_cast<uint8_t>(payload.front());
+  payload.remove_prefix(1);
+  if (raw_type < static_cast<uint8_t>(LogRecordType::kUpdate) ||
+      raw_type > static_cast<uint8_t>(LogRecordType::kDelta)) {
+    return CorruptionError(
+        StringPrintf("unknown log record type %u", raw_type));
+  }
+  out->type = static_cast<LogRecordType>(raw_type);
+  if (!GetVarint64(&payload, &out->lsn) ||
+      !GetVarint64(&payload, &out->txn_id)) {
+    return CorruptionError("truncated log record header");
+  }
+  if ((out->type == LogRecordType::kUpdate ||
+       out->type == LogRecordType::kDelta) &&
+      !GetVarint64(&payload, &out->record_id)) {
+    return CorruptionError("truncated data record header");
+  }
+  return Status::OK();
+}
+
 void LogRecord::EncodeTo(std::string* dst) const {
   dst->push_back(static_cast<char>(type));
   PutVarint64(dst, lsn);

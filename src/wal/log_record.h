@@ -66,6 +66,23 @@ struct ActiveTxnEntry {
       default;
 };
 
+// Shallow view of a record payload: just the fixed prefix every record
+// carries (type, lsn, txn) plus record_id for the two data kinds — enough
+// for recovery's classification scan (commit set, segment bucketing, max
+// lsn) without materializing after-images. Decoding a header does NOT
+// fully validate the payload; the full DecodeFrom still runs before any
+// bytes are applied to the database.
+struct LogRecordHeader {
+  LogRecordType type = LogRecordType::kUpdate;
+  Lsn lsn = kInvalidLsn;
+  TxnId txn_id = kInvalidTxnId;
+  RecordId record_id = 0;  // kUpdate / kDelta only; 0 otherwise
+
+  // Parses the common prefix of a payload produced by LogRecord::EncodeTo.
+  // Returns CORRUPTION if even the prefix is malformed.
+  static Status DecodeFrom(std::string_view payload, LogRecordHeader* out);
+};
+
 // In-memory form of a log record. Only the fields relevant to `type` are
 // meaningful; the encoder writes exactly those.
 struct LogRecord {

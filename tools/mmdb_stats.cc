@@ -16,6 +16,7 @@
 // Exits non-zero (with a diagnostic) on malformed JSON, so it doubles as a
 // validator for the sidecar files.
 
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -56,6 +57,56 @@ void PrintSection(const JsonValue& doc, const char* key) {
                   NumberOr(value.Find("p99"), 0),
                   NumberOr(value.Find("max"), 0));
     }
+  }
+}
+
+// Last-recovery block: deterministic counters, then the modeled
+// (virtual-clock) phase split side by side with the real wall clock so
+// the parallel-pipeline speedup is visible at a glance.
+void PrintRecovery(const JsonValue& engine) {
+  const JsonValue* r = engine.Find("recovery");
+  if (r == nullptr || !r->is_object()) return;
+  std::printf("recovery: ckpt=%.0f copy=%.0f loaded=%.0f retried=%.0f "
+              "scanned=%.0f applied=%.0f txns=%.0f%s\n",
+              NumberOr(r->Find("checkpoint"), 0), NumberOr(r->Find("copy"), 0),
+              NumberOr(r->Find("segments_loaded"), 0),
+              NumberOr(r->Find("segments_retried"), 0),
+              NumberOr(r->Find("records_scanned"), 0),
+              NumberOr(r->Find("updates_applied"), 0),
+              NumberOr(r->Find("txns_redone"), 0),
+              r->Find("fell_back") != nullptr &&
+                      r->Find("fell_back")->bool_value()
+                  ? " FELL-BACK"
+                  : "");
+  const JsonValue* modeled = r->Find("modeled");
+  if (modeled != nullptr && modeled->is_object()) {
+    std::printf("  modeled: backup=%.4fs log=%.4fs replay=%.4fs "
+                "total=%.4fs\n",
+                NumberOr(modeled->Find("backup_read_seconds"), 0),
+                NumberOr(modeled->Find("log_read_seconds"), 0),
+                NumberOr(modeled->Find("replay_cpu_seconds"), 0),
+                NumberOr(modeled->Find("total_seconds"), 0));
+  }
+  const JsonValue* wall = r->Find("wall");
+  if (wall != nullptr && wall->is_object()) {
+    std::printf("  wall:    backup=%.4fs scan=%.4fs replay=%.4fs "
+                "threads=%.0f",
+                NumberOr(wall->Find("backup_read_seconds"), 0),
+                NumberOr(wall->Find("log_scan_seconds"), 0),
+                NumberOr(wall->Find("replay_seconds"), 0),
+                NumberOr(wall->Find("threads"), 1));
+    const JsonValue* busy = wall->Find("thread_busy_seconds");
+    if (busy != nullptr && busy->is_array() &&
+        !busy->array_items().empty()) {
+      std::printf(" busy=[");
+      const auto& items = busy->array_items();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        std::printf("%s%.4f", i == 0 ? "" : " ",
+                    items[i].is_number() ? items[i].number_value() : 0.0);
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
   }
 }
 
@@ -152,6 +203,7 @@ void PrintEngineDoc(const JsonValue& engine, bool events) {
     PrintSection(*metrics, "gauges");
     PrintSection(*metrics, "timers");
   }
+  PrintRecovery(engine);
   PrintCheckpoints(engine);
   PrintTrace(engine, events);
 }
