@@ -257,10 +257,23 @@ inline ModelOutputs Evaluate(const ModelInputs& in) {
   return *out;
 }
 
+// The paper's five headline algorithms, derived from the canonical list so
+// the filter (not a hand-kept copy) defines membership: everything except
+// FASTFUZZY (needs a stable tail; fig4b covers it separately) and the
+// modern snapshot algorithms (post-paper; fig_modern covers them). Order
+// follows kAllAlgorithms, which keeps the fig4 axis order stable.
 inline const std::vector<Algorithm>& MainAlgorithms() {
-  static const std::vector<Algorithm> kAlgorithms = {
-      Algorithm::kFuzzyCopy, Algorithm::kTwoColorFlush,
-      Algorithm::kTwoColorCopy, Algorithm::kCouFlush, Algorithm::kCouCopy};
+  static const std::vector<Algorithm> kAlgorithms = [] {
+    std::vector<Algorithm> out;
+    for (Algorithm a : kAllAlgorithms) {
+      if (a == Algorithm::kFastFuzzy || a == Algorithm::kZigzag ||
+          a == Algorithm::kPingPong || a == Algorithm::kHourglass) {
+        continue;
+      }
+      out.push_back(a);
+    }
+    return out;
+  }();
   return kAlgorithms;
 }
 

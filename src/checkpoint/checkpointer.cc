@@ -2,28 +2,61 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 
 #include "checkpoint/cou.h"
 #include "checkpoint/fuzzy.h"
+#include "checkpoint/modern.h"
 #include "checkpoint/two_color.h"
 #include "util/string_util.h"
 
 namespace mmdb {
 
-StatusOr<Algorithm> AlgorithmFromName(std::string_view name) {
-  for (Algorithm a :
-       {Algorithm::kFuzzyCopy, Algorithm::kFastFuzzy,
-        Algorithm::kTwoColorFlush, Algorithm::kTwoColorCopy,
-        Algorithm::kCouFlush, Algorithm::kCouCopy}) {
-    if (AlgorithmName(a) == name) return a;
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
   }
-  return InvalidArgumentError(
-      StringPrintf("unknown algorithm '%.*s'",
-                   static_cast<int>(name.size()), name.data()));
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Algorithm> AlgorithmFromName(std::string_view name) {
+  for (Algorithm a : kAllAlgorithms) {
+    if (EqualsIgnoreCase(AlgorithmName(a), name)) return a;
+  }
+  std::string valid;
+  for (Algorithm a : kAllAlgorithms) {
+    if (!valid.empty()) valid += ", ";
+    valid += AlgorithmName(a);
+  }
+  return InvalidArgumentError(StringPrintf(
+      "unknown algorithm '%.*s'; valid names (case-insensitive): %s",
+      static_cast<int>(name.size()), name.data(), valid.c_str()));
 }
 
 bool SupportsLogicalLogging(Algorithm a) {
-  return a == Algorithm::kCouFlush || a == Algorithm::kCouCopy;
+  switch (a) {
+    case Algorithm::kCouFlush:
+    case Algorithm::kCouCopy:
+    case Algorithm::kZigzag:
+    case Algorithm::kPingPong:
+    case Algorithm::kHourglass:
+      return true;
+    case Algorithm::kFuzzyCopy:
+    case Algorithm::kFastFuzzy:
+    case Algorithm::kTwoColorFlush:
+    case Algorithm::kTwoColorCopy:
+      return false;
+  }
+  assert(false && "Algorithm value out of range");
+  std::abort();
 }
 
 StatusOr<std::unique_ptr<Checkpointer>> Checkpointer::Create(
@@ -57,6 +90,14 @@ StatusOr<std::unique_ptr<Checkpointer>> Checkpointer::Create(
     case Algorithm::kCouCopy:
       return {std::unique_ptr<Checkpointer>(
           new CouCheckpointer(ctx, mode, /*copy_before_flush=*/true))};
+    case Algorithm::kZigzag:
+      return {std::unique_ptr<Checkpointer>(new ZigzagCheckpointer(ctx, mode))};
+    case Algorithm::kPingPong:
+      return {std::unique_ptr<Checkpointer>(
+          new PingPongCheckpointer(ctx, mode))};
+    case Algorithm::kHourglass:
+      return {std::unique_ptr<Checkpointer>(
+          new HourglassCheckpointer(ctx, mode))};
   }
   return InvalidArgumentError("unknown algorithm");
 }
@@ -84,6 +125,12 @@ Checkpointer::Checkpointer(const Context& ctx, CheckpointMode mode)
 Status Checkpointer::Begin(CheckpointId id, double now) {
   if (InProgress()) {
     return FailedPreconditionError("a checkpoint is already in progress");
+  }
+  if (now < 0.0) {
+    // The virtual clock starts at zero; a negative time here is a caller
+    // bug. Rejecting it keeps every downstream timestamp (stats_,
+    // Abort()'s trace fallback) non-negative by construction.
+    return InvalidArgumentError("checkpoint cannot begin at a negative time");
   }
   id_ = id;
   stats_ = CheckpointStats{};
@@ -317,8 +364,13 @@ void Checkpointer::Abort(double now) {
   ++aborted_count_;
   if (m_aborted_ != nullptr) m_aborted_->Increment();
   if (ctx_.tracer != nullptr) {
-    ctx_.tracer->Record(TraceEventType::kCheckpointAbort,
-                        now >= 0.0 ? now : stats_.begin_time, 0.0,
+    // Any negative `now` is the "no clock" sentinel; fall back to the
+    // begin time, which Begin() guarantees non-negative. The outer clamp
+    // keeps the invariant even if stats_ was never populated, so the
+    // trace export can never emit a negative timestamp.
+    const double when =
+        std::max(0.0, now >= 0.0 ? now : stats_.begin_time);
+    ctx_.tracer->Record(TraceEventType::kCheckpointAbort, when, 0.0,
                         static_cast<int64_t>(id_),
                         static_cast<int64_t>(stats_.segments_flushed),
                         static_cast<int64_t>(stats_.segments_skipped));
@@ -345,7 +397,8 @@ bool Checkpointer::AdmitAccess(const std::vector<SegmentId>&, double) {
   return true;
 }
 
-void Checkpointer::BeforeSegmentUpdate(SegmentId, Timestamp, double) {}
+void Checkpointer::BeforeSegmentUpdate(SegmentId, RecordId, Timestamp,
+                                       double) {}
 
 bool Checkpointer::NeedsLsnMaintenance() const {
   return !ctx_.log->stable_log_tail();

@@ -1,7 +1,9 @@
 #ifndef MMDB_CHECKPOINT_CHECKPOINTER_H_
 #define MMDB_CHECKPOINT_CHECKPOINTER_H_
 
+#include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <limits>
 #include <memory>
@@ -29,7 +31,9 @@
 
 namespace mmdb {
 
-// The six checkpointing algorithms of the paper (Section 3).
+// The six checkpointing algorithms of the paper (Section 3), plus three
+// modern consistent-snapshot designs from the follow-on literature (Li et
+// al.'s comparative study; see DESIGN.md section 15).
 enum class Algorithm : uint8_t {
   kFuzzyCopy,      // FUZZYCOPY: buffer, then flush once the log catches up
   kFastFuzzy,      // FASTFUZZY: direct flush; requires a stable log tail
@@ -37,9 +41,27 @@ enum class Algorithm : uint8_t {
   kTwoColorCopy,   // 2CCOPY: paint bits, lock held only for the copy
   kCouFlush,       // COUFLUSH: copy-on-update snapshot, flush under lock
   kCouCopy,        // COUCOPY: copy-on-update snapshot, copy then flush
+  kZigzag,         // ZIGZAG: ping-pong bit arrays, no copy-on-update stall
+  kPingPong,       // PINGPONG: two full shadow copies, wait-free flip
+  kHourglass,      // HOURGLASS: CALC-style record-granularity snapshot
 };
 
-// Canonical algorithm names (the paper's spellings). Inline so header-only
+// Canonical list of every algorithm, in enum order. All enumeration —
+// AlgorithmFromName, bench axis arrays, test parameterizations — routes
+// through this span, so adding an enum value without extending it here is
+// caught by the exhaustive switch in AlgorithmName (compiled with
+// -Werror=switch) rather than silently skipping a site.
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kFuzzyCopy,     Algorithm::kFastFuzzy,
+    Algorithm::kTwoColorFlush, Algorithm::kTwoColorCopy,
+    Algorithm::kCouFlush,      Algorithm::kCouCopy,
+    Algorithm::kZigzag,        Algorithm::kPingPong,
+    Algorithm::kHourglass,
+};
+inline constexpr size_t kNumAlgorithms =
+    sizeof(kAllAlgorithms) / sizeof(kAllAlgorithms[0]);
+
+// Canonical algorithm names (the papers' spellings). Inline so header-only
 // users (the obs layer's trace formatter) need no link-time dependency on
 // mmdb_checkpoint.
 inline std::string_view AlgorithmName(Algorithm a) {
@@ -56,16 +78,31 @@ inline std::string_view AlgorithmName(Algorithm a) {
       return "COUFLUSH";
     case Algorithm::kCouCopy:
       return "COUCOPY";
+    case Algorithm::kZigzag:
+      return "ZIGZAG";
+    case Algorithm::kPingPong:
+      return "PINGPONG";
+    case Algorithm::kHourglass:
+      return "HOURGLASS";
   }
-  return "UNKNOWN";
+  // Only reachable with a value outside the enum — a corrupt options file,
+  // a stale sidecar, or a bad cast. Returning a placeholder here once let
+  // such values flow into metrics and traces unnoticed; crash at the
+  // source instead.
+  assert(false && "Algorithm value out of range");
+  std::abort();
 }
 
+// Parses a canonical algorithm name, case-insensitively. The
+// InvalidArgumentError lists every valid spelling so CLI typos
+// (mmdb_stats, bench --algorithm) are actionable.
 StatusOr<Algorithm> AlgorithmFromName(std::string_view name);
 
 // True for the algorithms whose backup is an exact snapshot of the
 // database at the begin-checkpoint marker — the property that makes
 // non-idempotent (logical/delta) REDO records safe to replay from that
-// marker. Holds for the copy-on-update pair only: fuzzy backups are not
+// marker. Holds for the copy-on-update pair and the modern snapshot
+// algorithms (Zigzag, Ping-Pong, Hourglass): fuzzy backups are not
 // consistent at all, and a two-color backup is consistent at the color
 // boundary rather than at any log position.
 bool SupportsLogicalLogging(Algorithm a);
@@ -181,12 +218,18 @@ class Checkpointer : public CheckpointHooks {
   // Checkpoints abandoned via Abort() since construction.
   uint64_t aborted_count() const { return aborted_count_; }
 
+  // Whether Begin stalls new transactions until the sweep starts — the COU
+  // quiesce of Section 3.2.2. Public so the engine can enforce the
+  // "no active transactions at Begin" precondition for any quiescing
+  // algorithm without hard-coding the list.
+  virtual bool QuiescesTransactions() const { return false; }
+
   // --- CheckpointHooks (defaults; subclasses refine) ---------------------
   double EarliestExecutionTime(const std::vector<SegmentId>& segments,
                                double now) const override;
   bool AdmitAccess(const std::vector<SegmentId>& segments,
                    double now) override;
-  void BeforeSegmentUpdate(SegmentId s, Timestamp txn_ts,
+  void BeforeSegmentUpdate(SegmentId s, RecordId record, Timestamp txn_ts,
                            double now) override;
   bool NeedsLsnMaintenance() const override;
   bool NeedsTimestampMaintenance() const override { return false; }
@@ -212,10 +255,6 @@ class Checkpointer : public CheckpointHooks {
   // Called for segments the partial-mode dirty test skips (the two-color
   // algorithms still paint them black).
   virtual void OnSkipSegment(SegmentId s) { (void)s; }
-
-  // Whether Begin stalls new transactions until the sweep starts — the COU
-  // quiesce of Section 3.2.2.
-  virtual bool QuiescesTransactions() const { return false; }
 
   // True if `s` must be written in this checkpoint (mode/dirty test). The
   // base charges the dirty-bit scan cost.

@@ -15,8 +15,9 @@ Status CouCheckpointer::OnBegin(double) {
   return Status::OK();
 }
 
-void CouCheckpointer::BeforeSegmentUpdate(SegmentId s, Timestamp txn_ts,
-                                          double now) {
+void CouCheckpointer::BeforeSegmentUpdate(SegmentId s, RecordId record,
+                                          Timestamp txn_ts, double now) {
+  (void)record;
   (void)txn_ts;
   (void)now;
   // Figure 3.2's lock S / unlock S pair around the test, paid on every

@@ -44,7 +44,7 @@ class CouCheckpointer : public Checkpointer {
 
   // Figure 3.2: preserve the pre-update image of a not-yet-dumped,
   // pre-checkpoint segment before a transaction overwrites it.
-  void BeforeSegmentUpdate(SegmentId s, Timestamp txn_ts,
+  void BeforeSegmentUpdate(SegmentId s, RecordId record, Timestamp txn_ts,
                            double now) override;
 
   // The snapshot needs no log coupling, so transactions maintain
@@ -57,11 +57,12 @@ class CouCheckpointer : public Checkpointer {
   // tau(CH) of the in-progress (or last) checkpoint; for tests.
   Timestamp tau_ch() const { return tau_ch_; }
 
+  bool QuiescesTransactions() const override { return true; }
+
  protected:
   Status OnBegin(double now) override;
   Status ProcessSegment(SegmentId s, double now) override;
   Status OnComplete(double now) override;
-  bool QuiescesTransactions() const override { return true; }
 
  private:
   // Drops every remaining old-copy buffer and pointer.

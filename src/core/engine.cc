@@ -269,12 +269,10 @@ Status Engine::StartCheckpoint() {
   if (checkpointer_->InProgress()) {
     return FailedPreconditionError("checkpoint already in progress");
   }
-  const bool is_cou = options_.algorithm == Algorithm::kCouFlush ||
-                      options_.algorithm == Algorithm::kCouCopy;
-  if (is_cou && txns_->num_active() > 0) {
+  if (checkpointer_->QuiescesTransactions() && txns_->num_active() > 0) {
     return FailedPreconditionError(
-        "COU checkpoints quiesce transaction processing; commit or abort "
-        "open transactions first");
+        "this algorithm quiesces transaction processing at checkpoint "
+        "begin; commit or abort open transactions first");
   }
   CheckpointId id = scheduler_.NextId();
   MMDB_RETURN_IF_ERROR(checkpointer_->Begin(id, clock_.now()));

@@ -32,6 +32,24 @@ double Integrate(uint32_t k, bool odds_ratio) {
 
 }  // namespace
 
+bool ModelSupportsAlgorithm(Algorithm a) {
+  switch (a) {
+    case Algorithm::kFuzzyCopy:
+    case Algorithm::kFastFuzzy:
+    case Algorithm::kTwoColorFlush:
+    case Algorithm::kTwoColorCopy:
+    case Algorithm::kCouFlush:
+    case Algorithm::kCouCopy:
+    case Algorithm::kZigzag:
+    case Algorithm::kPingPong:
+      return true;
+    case Algorithm::kHourglass:
+      return false;
+  }
+  assert(false && "Algorithm value out of range");
+  std::abort();
+}
+
 double AnalyticModel::MeanConflictProbability(uint32_t k) {
   return 1.0 - 2.0 / (k + 1.0);
 }
@@ -200,6 +218,40 @@ StatusOr<ModelOutputs> AnalyticModel::Evaluate() const {
       }
       break;
     }
+
+    case Algorithm::kZigzag: {
+      // Two bit operations per installed update (point MW[r] away from the
+      // sweep's copy, flag the record), priced like a dirty-bit touch.
+      sync_per_txn = k * 2.0 * static_cast<double>(c.dirty_check);
+      // Begin's bulk MR := MW bit-array copy (one bit per record, moved a
+      // word at a time), then a per-segment gather: one bit consult per
+      // record plus a staging copy, then the flush.
+      const double bit_words =
+          static_cast<double>(p.db.num_records()) / 64.0;
+      async_per_ckpt +=
+          c.move_per_word * bit_words +
+          n_f * (static_cast<double>(p.db.records_per_segment()) *
+                     static_cast<double>(c.dirty_check) +
+                 copy_cost + c.io);
+      break;
+    }
+
+    case Algorithm::kPingPong: {
+      // The double write on every update is the entire synchronous price;
+      // the quiescent shadow then flushes directly (no gather, no locks).
+      sync_per_txn =
+          k * c.move_per_word * static_cast<double>(p.db.record_words);
+      async_per_ckpt += n_f * static_cast<double>(c.io);
+      break;
+    }
+
+    case Algorithm::kHourglass:
+      // See ModelSupportsAlgorithm: no closed form for the first-touch
+      // record-copy footprint. Callers treat this status as "measured
+      // only", not as a failure.
+      return NotSupportedError(
+          "HOURGLASS is model-exempt: no closed form for its first-touch "
+          "record-copy footprint; use measured results");
   }
 
   out.sync_per_txn = sync_per_txn;

@@ -73,6 +73,13 @@ struct ModelOutputs {
   std::string ToString() const;
 };
 
+// True when AnalyticModel::Evaluate has a closed form for `a`. HOURGLASS
+// is model-exempt: its synchronous cost scales with the post-marker update
+// *footprint* (distinct records touched while their segment is unswept),
+// a quantity with no closed form under this workload model. Measured-only
+// sidecar entries carry its numbers instead (has_validation = false).
+bool ModelSupportsAlgorithm(Algorithm a);
+
 // Closed-form evaluation; runs in microseconds, so benches can sweep
 // parameters densely at the paper's full 256 Mword scale.
 class AnalyticModel {

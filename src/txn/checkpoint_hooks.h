@@ -34,11 +34,12 @@ class CheckpointHooks {
                            double now) = 0;
 
   // Called immediately before a committing transaction with timestamp
-  // `txn_ts` overwrites segment `s`: the COU algorithms preserve the
-  // pre-update image here (Figure 3.2). Charges the copy-on-update work to
-  // the synchronous overhead categories.
-  virtual void BeforeSegmentUpdate(SegmentId s, Timestamp txn_ts,
-                                   double now) = 0;
+  // `txn_ts` overwrites record `record` in segment `s`: the COU algorithms
+  // preserve the pre-update segment image here (Figure 3.2); the Hourglass
+  // algorithm preserves at record granularity. Charges the copy-on-update
+  // work to the synchronous overhead categories.
+  virtual void BeforeSegmentUpdate(SegmentId s, RecordId record,
+                                   Timestamp txn_ts, double now) = 0;
 
   // Whether transactions must maintain log sequence numbers on update
   // (costs C_lsn per updated record): true for the LSN-based algorithms
@@ -61,7 +62,7 @@ class NullCheckpointHooks : public CheckpointHooks {
   bool AdmitAccess(const std::vector<SegmentId>&, double) override {
     return true;
   }
-  void BeforeSegmentUpdate(SegmentId, Timestamp, double) override {}
+  void BeforeSegmentUpdate(SegmentId, RecordId, Timestamp, double) override {}
   bool NeedsLsnMaintenance() const override { return false; }
   bool NeedsTimestampMaintenance() const override { return false; }
 };

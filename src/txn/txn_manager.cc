@@ -172,7 +172,7 @@ StatusOr<Lsn> TxnManager::Commit(Transaction* txn, double now) {
   const bool ts_cost = hooks_->NeedsTimestampMaintenance();
   for (const auto& [record, image] : txn->pending) {
     SegmentId seg = db_->SegmentOf(record);
-    hooks_->BeforeSegmentUpdate(seg, txn->start_ts, now);
+    hooks_->BeforeSegmentUpdate(seg, record, txn->start_ts, now);
     db_->WriteRecord(record, image);
     segments_->MarkDirty(seg);
     segments_->set_timestamp(seg, txn->start_ts);
@@ -190,7 +190,7 @@ StatusOr<Lsn> TxnManager::Commit(Transaction* txn, double now) {
   for (const auto& [key, delta] : txn->pending_deltas) {
     const auto& [record, field_offset] = key;
     SegmentId seg = db_->SegmentOf(record);
-    hooks_->BeforeSegmentUpdate(seg, txn->start_ts, now);
+    hooks_->BeforeSegmentUpdate(seg, record, txn->start_ts, now);
     std::string image(db_->ReadRecord(record));
     uint64_t field = DecodeFixed64(image.data() + field_offset);
     EncodeFixed64(image.data() + field_offset,

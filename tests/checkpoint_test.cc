@@ -1,6 +1,7 @@
 // Algorithm-independent checkpointer behaviour: sweep lifecycle, markers,
 // metadata publication, WAL gating, cost accounting, and the scheduler.
 
+#include <cctype>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -141,25 +142,44 @@ TEST_P(CheckpointTest, HistoryAccumulatesStats) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    AllAlgorithms, CheckpointTest,
-    testing::Values(Algorithm::kFuzzyCopy, Algorithm::kFastFuzzy,
-                    Algorithm::kTwoColorFlush, Algorithm::kTwoColorCopy,
-                    Algorithm::kCouFlush, Algorithm::kCouCopy),
+    AllAlgorithms, CheckpointTest, testing::ValuesIn(kAllAlgorithms),
     [](const testing::TestParamInfo<Algorithm>& info) {
       std::string name(AlgorithmName(info.param));
       return name;
     });
 
 TEST(AlgorithmNameTest, RoundTrips) {
-  for (Algorithm a :
-       {Algorithm::kFuzzyCopy, Algorithm::kFastFuzzy,
-        Algorithm::kTwoColorFlush, Algorithm::kTwoColorCopy,
-        Algorithm::kCouFlush, Algorithm::kCouCopy}) {
+  for (Algorithm a : kAllAlgorithms) {
     auto parsed = AlgorithmFromName(AlgorithmName(a));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, a);
   }
   EXPECT_FALSE(AlgorithmFromName("NOPE").ok());
+}
+
+TEST(AlgorithmNameTest, ParsesCaseInsensitively) {
+  for (Algorithm a : kAllAlgorithms) {
+    std::string lower(AlgorithmName(a));
+    for (char& ch : lower) ch = static_cast<char>(std::tolower(ch));
+    auto parsed = AlgorithmFromName(lower);
+    MMDB_ASSERT_OK(parsed);
+    EXPECT_EQ(*parsed, a) << lower;
+  }
+  auto mixed = AlgorithmFromName("ZigZag");
+  MMDB_ASSERT_OK(mixed);
+  EXPECT_EQ(*mixed, Algorithm::kZigzag);
+}
+
+TEST(AlgorithmNameTest, UnknownNameErrorListsEverySpelling) {
+  auto parsed = AlgorithmFromName("COWCOPY");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsInvalidArgument());
+  std::string msg = parsed.status().ToString();
+  EXPECT_NE(msg.find("COWCOPY"), std::string::npos) << msg;
+  for (Algorithm a : kAllAlgorithms) {
+    EXPECT_NE(msg.find(std::string(AlgorithmName(a))), std::string::npos)
+        << "missing " << AlgorithmName(a) << " in: " << msg;
+  }
 }
 
 TEST(SchedulerTest, FirstCheckpointImmediately) {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
@@ -212,30 +213,25 @@ TEST_P(ConsistencyTest, VolatileCommitsAreLostStableCommitsSurvive) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllAlgorithms, ConsistencyTest,
-    testing::Values(
-        ConsistencyCase{Algorithm::kFuzzyCopy, CheckpointMode::kPartial, false},
-        ConsistencyCase{Algorithm::kFuzzyCopy, CheckpointMode::kFull, false},
-        ConsistencyCase{Algorithm::kFuzzyCopy, CheckpointMode::kPartial, true},
-        ConsistencyCase{Algorithm::kFastFuzzy, CheckpointMode::kPartial, true},
-        ConsistencyCase{Algorithm::kFastFuzzy, CheckpointMode::kFull, true},
-        ConsistencyCase{Algorithm::kTwoColorFlush, CheckpointMode::kPartial,
-                        false},
-        ConsistencyCase{Algorithm::kTwoColorFlush, CheckpointMode::kFull,
-                        false},
-        ConsistencyCase{Algorithm::kTwoColorCopy, CheckpointMode::kPartial,
-                        false},
-        ConsistencyCase{Algorithm::kTwoColorCopy, CheckpointMode::kFull,
-                        false},
-        ConsistencyCase{Algorithm::kTwoColorCopy, CheckpointMode::kPartial,
-                        true},
-        ConsistencyCase{Algorithm::kCouFlush, CheckpointMode::kPartial, false},
-        ConsistencyCase{Algorithm::kCouFlush, CheckpointMode::kFull, false},
-        ConsistencyCase{Algorithm::kCouCopy, CheckpointMode::kPartial, false},
-        ConsistencyCase{Algorithm::kCouCopy, CheckpointMode::kFull, false},
-        ConsistencyCase{Algorithm::kCouCopy, CheckpointMode::kPartial, true}),
-    CaseName);
+// Every algorithm in {partial, full} with a volatile log tail (stable for
+// FASTFUZZY, which requires it), plus a stable-tail partial spot-check per
+// algorithm so the LSN-cost-free path stays covered. Generated from
+// kAllAlgorithms so a new enum value is exercised here automatically.
+std::vector<ConsistencyCase> AllConsistencyCases() {
+  std::vector<ConsistencyCase> cases;
+  for (Algorithm a : kAllAlgorithms) {
+    const bool needs_stable = a == Algorithm::kFastFuzzy;
+    cases.push_back({a, CheckpointMode::kPartial, needs_stable});
+    cases.push_back({a, CheckpointMode::kFull, needs_stable});
+    if (!needs_stable) {
+      cases.push_back({a, CheckpointMode::kPartial, true});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ConsistencyTest,
+                         testing::ValuesIn(AllConsistencyCases()), CaseName);
 
 }  // namespace
 }  // namespace mmdb

@@ -333,10 +333,7 @@ TEST_P(FaultSweepTest, SingleFaultNeverLosesDurableData) {
 
 std::vector<FaultSweepCase> AllSweepCases() {
   std::vector<FaultSweepCase> cases;
-  for (Algorithm a :
-       {Algorithm::kFuzzyCopy, Algorithm::kFastFuzzy,
-        Algorithm::kTwoColorFlush, Algorithm::kTwoColorCopy,
-        Algorithm::kCouFlush, Algorithm::kCouCopy}) {
+  for (Algorithm a : kAllAlgorithms) {
     for (CheckpointMode m : {CheckpointMode::kFull, CheckpointMode::kPartial}) {
       cases.push_back(FaultSweepCase{a, m});
     }

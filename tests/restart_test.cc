@@ -12,9 +12,20 @@
 namespace mmdb {
 namespace {
 
-class RestartTest : public testing::Test {
+// Parameterized over every algorithm: restart and truncation invariants
+// (checkpoint numbering, ping-pong alternation, log base handling) must be
+// algorithm-independent, and the modern snapshot algorithms reuse backup
+// state across restarts just like the 1989 six.
+class RestartTest : public testing::TestWithParam<Algorithm> {
  protected:
   void SetUp() override { env_ = NewMemEnv(); }
+
+  EngineOptions Options() const {
+    EngineOptions opt = TinyOptions();
+    opt.algorithm = GetParam();
+    opt.stable_log_tail = GetParam() == Algorithm::kFastFuzzy;
+    return opt;
+  }
 
   std::unique_ptr<Engine> MustOpen(const EngineOptions& opt) {
     auto engine = Engine::Open(opt, env_.get());
@@ -25,15 +36,15 @@ class RestartTest : public testing::Test {
   std::unique_ptr<Env> env_;
 };
 
-TEST_F(RestartTest, OpenExistingRequiresPriorState) {
-  EngineOptions opt = TinyOptions();
+TEST_P(RestartTest, OpenExistingRequiresPriorState) {
+  EngineOptions opt = Options();
   auto engine = Engine::OpenExisting(opt, env_.get());
   EXPECT_FALSE(engine.ok());
   EXPECT_TRUE(engine.status().IsNotFound());
 }
 
-TEST_F(RestartTest, RestartRecoversDurableStateAndContinues) {
-  EngineOptions opt = TinyOptions();
+TEST_P(RestartTest, RestartRecoversDurableStateAndContinues) {
+  EngineOptions opt = Options();
   std::string image1, image2, image3;
   Lsn last_lsn = 0;
   {
@@ -72,8 +83,8 @@ TEST_F(RestartTest, RestartRecoversDurableStateAndContinues) {
   EXPECT_EQ(meta->copy, 0u);
 }
 
-TEST_F(RestartTest, SecondRestartAfterMoreWork) {
-  EngineOptions opt = TinyOptions();
+TEST_P(RestartTest, SecondRestartAfterMoreWork) {
+  EngineOptions opt = Options();
   std::string a, b;
   {
     auto engine = MustOpen(opt);
@@ -94,8 +105,8 @@ TEST_F(RestartTest, SecondRestartAfterMoreWork) {
   EXPECT_EQ((*engine)->ReadRecordRaw(11), std::string_view(b));
 }
 
-TEST_F(RestartTest, GeometryMismatchRejected) {
-  EngineOptions opt = TinyOptions();
+TEST_P(RestartTest, GeometryMismatchRejected) {
+  EngineOptions opt = Options();
   {
     auto engine = MustOpen(opt);
     MMDB_ASSERT_OK(engine->RunCheckpointToCompletion());
@@ -107,8 +118,8 @@ TEST_F(RestartTest, GeometryMismatchRejected) {
   EXPECT_TRUE(engine.status().IsInvalidArgument()) << engine.status();
 }
 
-TEST_F(RestartTest, RestartAfterPowerFailureMatchesOracle) {
-  EngineOptions opt = TinyOptions();
+TEST_P(RestartTest, RestartAfterPowerFailureMatchesOracle) {
+  EngineOptions opt = Options();
   WorkloadOptions wopt;
   wopt.duration = 1.0;
   wopt.seed = 31;
@@ -128,12 +139,19 @@ TEST_F(RestartTest, RestartAfterPowerFailureMatchesOracle) {
   VerifyRecovered(**reopened, driver, durable);
 }
 
-TEST_F(RestartTest, RestartWithoutPowerFailureRecoversAtLeastDurable) {
+TEST_P(RestartTest, RestartWithoutPowerFailureRecoversAtLeastDurable) {
   // Destroying the engine WITHOUT Crash() models a process kill where
   // issued log writes still reach the disk: the restart may legitimately
   // recover MORE than the durability floor, but never less, and never a
   // value that was not committed.
-  EngineOptions opt = TinyOptions();
+  if (Options().stable_log_tail) {
+    // With a stable tail, DurableLsn() counts commits living in stable RAM
+    // that have no file backing yet; Crash() models the NVRAM surviving,
+    // but a bare destructor drops it, which is outside the stable-tail
+    // failure model. The power-failure variant above covers this config.
+    GTEST_SKIP();
+  }
+  EngineOptions opt = Options();
   WorkloadOptions wopt;
   wopt.duration = 1.0;
   wopt.seed = 33;
@@ -168,8 +186,8 @@ TEST_F(RestartTest, RestartWithoutPowerFailureRecoversAtLeastDurable) {
   }
 }
 
-TEST_F(RestartTest, TruncationBoundsLogAndKeepsRecoveryWorking) {
-  EngineOptions opt = TinyOptions();
+TEST_P(RestartTest, TruncationBoundsLogAndKeepsRecoveryWorking) {
+  EngineOptions opt = Options();
   opt.truncate_log_at_checkpoint = true;
 
   auto engine = MustOpen(opt);
@@ -195,8 +213,8 @@ TEST_F(RestartTest, TruncationBoundsLogAndKeepsRecoveryWorking) {
   VerifyRecovered(*engine, driver, durable);
 }
 
-TEST_F(RestartTest, TruncationThenRestart) {
-  EngineOptions opt = TinyOptions();
+TEST_P(RestartTest, TruncationThenRestart) {
+  EngineOptions opt = Options();
   opt.truncate_log_at_checkpoint = true;
   std::string image;
   {
@@ -214,8 +232,8 @@ TEST_F(RestartTest, TruncationThenRestart) {
   EXPECT_GT((*engine)->log()->BaseOffset(), 0u);
 }
 
-TEST_F(RestartTest, TruncatedPrefixIsGoneFromTheReader) {
-  EngineOptions opt = TinyOptions();
+TEST_P(RestartTest, TruncatedPrefixIsGoneFromTheReader) {
+  EngineOptions opt = Options();
   opt.truncate_log_at_checkpoint = true;
   auto engine = MustOpen(opt);
   MMDB_ASSERT_OK(
@@ -237,6 +255,12 @@ TEST_F(RestartTest, TruncatedPrefixIsGoneFromTheReader) {
   MMDB_EXPECT_OK(reader->ScanForward(
       base, [](const LogRecord&, uint64_t) { return true; }));
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, RestartTest, testing::ValuesIn(kAllAlgorithms),
+    [](const testing::TestParamInfo<Algorithm>& info) {
+      return std::string(AlgorithmName(info.param));
+    });
 
 }  // namespace
 }  // namespace mmdb

@@ -30,7 +30,8 @@ std::vector<SweepPoint> TestPoints() {
   std::vector<SweepPoint> points;
   int idx = 0;
   for (Algorithm a : {Algorithm::kFuzzyCopy, Algorithm::kCouCopy,
-                      Algorithm::kTwoColorFlush}) {
+                      Algorithm::kTwoColorFlush, Algorithm::kZigzag,
+                      Algorithm::kHourglass}) {
     for (uint64_t seed : {1u, 2u}) {
       points.push_back(SweepPoint{
           std::string(AlgorithmName(a)) + "/seed=" + std::to_string(seed) +

@@ -170,10 +170,7 @@ TEST_P(TortureTest, RandomHistoryNeverLosesDurableData) {
 
 std::vector<TortureCase> AllCases() {
   std::vector<TortureCase> cases;
-  for (Algorithm a :
-       {Algorithm::kFuzzyCopy, Algorithm::kFastFuzzy,
-        Algorithm::kTwoColorFlush, Algorithm::kTwoColorCopy,
-        Algorithm::kCouFlush, Algorithm::kCouCopy}) {
+  for (Algorithm a : kAllAlgorithms) {
     for (uint64_t seed : {1ull, 2ull, 3ull}) {
       bool needs_stable = a == Algorithm::kFastFuzzy;
       cases.push_back(TortureCase{a, needs_stable || seed == 3, seed});
@@ -340,8 +337,11 @@ TEST_P(FaultTortureTest, TransientDeviceFaultsNeverLoseDurableData) {
 
 std::vector<TortureCase> FaultCases() {
   std::vector<TortureCase> cases;
+  // One representative per mechanism family: plain fuzzy, paint bits,
+  // copy-on-update, segment-shadow emulation, record-overlay snapshot.
   for (Algorithm a : {Algorithm::kFuzzyCopy, Algorithm::kTwoColorFlush,
-                      Algorithm::kCouCopy}) {
+                      Algorithm::kCouCopy, Algorithm::kZigzag,
+                      Algorithm::kHourglass}) {
     for (uint64_t seed : {1ull, 2ull}) {
       cases.push_back(TortureCase{a, /*stable_tail=*/false, seed});
     }

@@ -8,26 +8,30 @@
 #   tools/check.sh bench-smoke  # fig4a vs the committed baseline
 #
 # Build trees live in build/ (plain), build-sanitize/, and build-tsan/.
-# The TSan gate builds only the parallel subsystem's test plus one figure
-# bench and runs the bench at --jobs=2 as a threaded smoke; the engines
-# themselves are single-threaded, so the full suite under TSan would just
-# re-test serial code at 10x the cost.
+# The TSan gate builds only the parallel subsystem's tests plus the
+# figure benches and runs them at --jobs=2 as a threaded smoke; the
+# engines themselves are single-threaded, so the full suite under TSan
+# would just re-test serial code at 10x the cost.
 #
-# The bench-smoke gate replays fig4a and recovery_bench at --jobs=2 with
-# a shrunken trace ring (MMDB_TRACE_CAPACITY=64 — the capacity the
-# committed baselines were recorded at; ring drop counts depend on it)
-# and diffs each fresh sidecar against bench/baselines/*.json with
-# mmdb_bench_diff: deterministic leaves must match exactly, timing leaves
-# within 5%. fig4a additionally pins MMDB_RECOVERY_THREADS=2 — its
-# engines use the automatic (hardware-dependent) recovery width, and the
-# recovery fan-out trace event records the thread count, so the baseline
-# must be replayed at the width it was recorded at. recovery_bench is the
-# opposite: every point sets its own recovery_threads, so the variable
-# must be UNSET there (it would override all of them). Regenerate the
-# baselines after an intentional engine/model change with
+# The bench-smoke gate replays fig4a, fig_modern, and recovery_bench at
+# --jobs=2 with a shrunken trace ring (MMDB_TRACE_CAPACITY=64 — the
+# capacity the committed baselines were recorded at; ring drop counts
+# depend on it) and diffs each fresh sidecar against
+# bench/baselines/*.json with mmdb_bench_diff: deterministic leaves must
+# match exactly, timing leaves within 5%. fig4a and fig_modern
+# additionally pin MMDB_RECOVERY_THREADS=2 — their engines use the
+# automatic (hardware-dependent) recovery width, and the recovery fan-out
+# trace event records the thread count, so the baseline must be replayed
+# at the width it was recorded at. recovery_bench is the opposite: every
+# point sets its own recovery_threads, so the variable must be UNSET
+# there (it would override all of them). Regenerate the baselines after
+# an intentional engine/model change with
 #   MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
 #       MMDB_METRICS_SIDECAR=bench/baselines/fig4a.json \
 #       ./build/bench/fig4a_overhead_recovery --jobs=2 > /dev/null
+#   MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
+#       MMDB_METRICS_SIDECAR=bench/baselines/modern.json \
+#       ./build/bench/fig_modern --jobs=2 > /dev/null
 #   MMDB_TRACE_CAPACITY=64 MMDB_METRICS_SIDECAR=bench/baselines/recovery.json \
 #       ./build/bench/recovery_bench --jobs=2 > /dev/null
 set -euo pipefail
@@ -46,17 +50,30 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
+run_sanitize() {
+  run_config build-sanitize -DMMDB_SANITIZE=address,undefined \
+      -DMMDB_WERROR_UNUSED_RESULT=ON
+  echo "check.sh: sanitize bench smoke (fig_modern --quick --jobs=2)"
+  MMDB_RECOVERY_THREADS=2 \
+      MMDB_METRICS_SIDECAR=build-sanitize/fig_modern_asan_smoke.json \
+      ./build-sanitize/bench/fig_modern --quick --jobs=2 > /dev/null
+}
+
 run_tsan() {
   cmake -B build-tsan -S . -DMMDB_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
       --target parallel_test recovery_parallel_test fig4a_overhead_recovery \
-      recovery_bench
+      fig_modern recovery_bench
   ctest --test-dir build-tsan --output-on-failure \
       -R '^(parallel_test|recovery_parallel_test)$'
   echo "check.sh: tsan bench smoke (fig4a --jobs=2)"
   MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build-tsan/fig4a_tsan_smoke.json \
       ./build-tsan/bench/fig4a_overhead_recovery --jobs=2 > /dev/null
+  echo "check.sh: tsan bench smoke (fig_modern --quick --jobs=2)"
+  MMDB_RECOVERY_THREADS=2 \
+      MMDB_METRICS_SIDECAR=build-tsan/fig_modern_tsan_smoke.json \
+      ./build-tsan/bench/fig_modern --quick --jobs=2 > /dev/null
   echo "check.sh: tsan bench smoke (recovery_bench --quick --jobs=2)"
   env -u MMDB_RECOVERY_THREADS \
       MMDB_METRICS_SIDECAR=build-tsan/recovery_tsan_smoke.json \
@@ -66,13 +83,20 @@ run_tsan() {
 run_bench_smoke() {
   cmake -B build -S .
   cmake --build build -j "$jobs" \
-      --target fig4a_overhead_recovery recovery_bench mmdb_bench_diff
+      --target fig4a_overhead_recovery fig_modern recovery_bench \
+      mmdb_bench_diff
   echo "check.sh: bench smoke (fig4a --jobs=2 vs bench/baselines/fig4a.json)"
   MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build/fig4a_bench_smoke.json \
       ./build/bench/fig4a_overhead_recovery --jobs=2 > /dev/null
   ./build/tools/mmdb_bench_diff bench/baselines/fig4a.json \
       build/fig4a_bench_smoke.json
+  echo "check.sh: bench smoke (fig_modern --jobs=2 vs bench/baselines/modern.json)"
+  MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
+      MMDB_METRICS_SIDECAR=build/fig_modern_bench_smoke.json \
+      ./build/bench/fig_modern --jobs=2 > /dev/null
+  ./build/tools/mmdb_bench_diff bench/baselines/modern.json \
+      build/fig_modern_bench_smoke.json
   echo "check.sh: bench smoke (recovery_bench --jobs=2 vs bench/baselines/recovery.json)"
   env -u MMDB_RECOVERY_THREADS MMDB_TRACE_CAPACITY=64 \
       MMDB_METRICS_SIDECAR=build/recovery_bench_smoke.json \
@@ -86,8 +110,7 @@ case "$what" in
     run_config build
     ;;
   sanitize)
-    run_config build-sanitize -DMMDB_SANITIZE=address,undefined \
-        -DMMDB_WERROR_UNUSED_RESULT=ON
+    run_sanitize
     ;;
   tsan)
     run_tsan
@@ -97,8 +120,7 @@ case "$what" in
     ;;
   all)
     run_config build
-    run_config build-sanitize -DMMDB_SANITIZE=address,undefined \
-        -DMMDB_WERROR_UNUSED_RESULT=ON
+    run_sanitize
     run_tsan
     run_bench_smoke
     ;;
