@@ -393,6 +393,24 @@ double Checkpointer::EarliestExecutionTime(
   return t;
 }
 
+Checkpointer::StallCause Checkpointer::ClassifyStall(
+    const std::vector<SegmentId>& segments, double now) const {
+  // Mirrors EarliestExecutionTime's two delay sources; the one that
+  // releases last is the cause the caller is actually waiting on.
+  double quiesce_t = now;
+  if (InProgress() && QuiescesTransactions() && now < sweep_start_) {
+    quiesce_t = sweep_start_;
+  }
+  double lock_t = now;
+  for (SegmentId s : segments) {
+    auto it = locked_until_.find(s);
+    if (it != locked_until_.end()) lock_t = std::max(lock_t, it->second);
+  }
+  if (quiesce_t <= now && lock_t <= now) return StallCause::kNone;
+  return quiesce_t >= lock_t ? StallCause::kQuiesce
+                             : StallCause::kCheckpointLock;
+}
+
 bool Checkpointer::AdmitAccess(const std::vector<SegmentId>&, double) {
   return true;
 }

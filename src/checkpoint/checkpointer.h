@@ -224,6 +224,17 @@ class Checkpointer : public CheckpointHooks {
   // algorithm without hard-coding the list.
   virtual bool QuiescesTransactions() const { return false; }
 
+  // Which condition is delaying admission at `now` for this access set —
+  // the COU quiesce barrier or a checkpoint-held segment lock. kNone when
+  // the set can execute immediately (EarliestExecutionTime == now). When
+  // both apply, the later-releasing condition wins: it is the one that
+  // determines the admission time the engine actually waits for. The
+  // engine uses this to attribute admission stalls to their cause in the
+  // per-transaction latency breakdown.
+  enum class StallCause : uint8_t { kNone, kQuiesce, kCheckpointLock };
+  StallCause ClassifyStall(const std::vector<SegmentId>& segments,
+                           double now) const;
+
   // --- CheckpointHooks (defaults; subclasses refine) ---------------------
   double EarliestExecutionTime(const std::vector<SegmentId>& segments,
                                double now) const override;

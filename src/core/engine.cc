@@ -71,6 +71,8 @@ Status Engine::Init(bool fresh) {
     tracer_ = std::make_unique<Tracer>(
         Tracer::ResolveCapacity(options_.trace_capacity));
     m_admission_wait_ = metrics_->timer("engine.admission_wait_seconds");
+    m_stall_quiesce_ = metrics_->timer("engine.stall_quiesce_seconds");
+    m_stall_ckpt_lock_ = metrics_->timer("engine.stall_ckpt_lock_seconds");
     // If the caller wrapped the Env in fault injection, mirror every rule
     // firing into the trace so a failure's cause appears on the same
     // timeline as its effects (aborted checkpoints, flush errors).
@@ -126,6 +128,40 @@ Status Engine::Init(bool fresh) {
       checkpointer_,
       Checkpointer::Create(options_.algorithm, ctx, options_.checkpoint_mode));
   txns_->set_hooks(checkpointer_.get());
+
+  if (metrics_ != nullptr && options_.timeseries_epoch > 0.0) {
+    TimeSeriesSampler::Options ts;
+    ts.epoch = options_.timeseries_epoch;
+    ts.capacity = options_.timeseries_capacity;
+    sampler_ = std::make_unique<TimeSeriesSampler>(ts);
+    // Foreground progress and interference counters next to checkpoint
+    // progress, so the exported counter tracks line up with the
+    // checkpoint phase slices in the trace viewer.
+    sampler_->AddCounter("txn.commits", metrics_->counter("txn.commits"));
+    sampler_->AddCounter("txn.color_aborts",
+                         metrics_->counter("txn.color_aborts"));
+    sampler_->AddCounter("txn.lock_aborts",
+                         metrics_->counter("txn.lock_aborts"));
+    sampler_->AddCounter("ckpt.completed",
+                         metrics_->counter("ckpt.completed"));
+    sampler_->AddCounter("ckpt.segments_flushed",
+                         metrics_->counter("ckpt.segments_flushed"));
+    const Checkpointer* ckpt = checkpointer_.get();
+    sampler_->AddGauge("ckpt.in_progress", [ckpt] {
+      return ckpt->InProgress() ? 1.0 : 0.0;
+    });
+    sampler_->AddGauge("ckpt.sweep_pos", [ckpt] {
+      return static_cast<double>(ckpt->SweepPosition());
+    });
+    const LogManager* log = log_.get();
+    sampler_->AddGauge("log.tail_bytes", [log] {
+      return static_cast<double>(log->TailBytes());
+    });
+    sampler_->AddGauge("engine.stall_quiesce_seconds",
+                       [this] { return stall_quiesce_seconds_; });
+    sampler_->AddGauge("engine.stall_ckpt_lock_seconds",
+                       [this] { return stall_ckpt_lock_seconds_; });
+  }
   return Status::OK();
 }
 
@@ -144,8 +180,22 @@ Status Engine::WaitForAdmission(const std::vector<SegmentId>& segs) {
     if (tracer_) {
       tracer_->Record(TraceEventType::kLockWait, clock_.now(), t);
     }
-    if (m_admission_wait_) m_admission_wait_->Record(t - clock_.now());
-    MMDB_RETURN_IF_ERROR(AdvanceTime(t - clock_.now()));
+    double wait = t - clock_.now();
+    if (m_admission_wait_) m_admission_wait_->Record(wait);
+    // Attribute the stall to its cause for the latency breakdown.
+    switch (checkpointer_->ClassifyStall(segs, clock_.now())) {
+      case Checkpointer::StallCause::kQuiesce:
+        stall_quiesce_seconds_ += wait;
+        if (m_stall_quiesce_) m_stall_quiesce_->Record(wait);
+        break;
+      case Checkpointer::StallCause::kCheckpointLock:
+        stall_ckpt_lock_seconds_ += wait;
+        if (m_stall_ckpt_lock_) m_stall_ckpt_lock_->Record(wait);
+        break;
+      case Checkpointer::StallCause::kNone:
+        break;
+    }
+    MMDB_RETURN_IF_ERROR(AdvanceTime(wait));
   }
 }
 
@@ -319,7 +369,10 @@ Status Engine::StepCheckpoint() {
     return MaybeTruncateLog();
   }
   if (!next.ok()) return FailCheckpoint(next.status());
-  if (*next > clock_.now()) clock_.AdvanceTo(*next);
+  if (*next > clock_.now()) {
+    clock_.AdvanceTo(*next);
+    TickSampler();
+  }
   return Status::OK();
 }
 
@@ -375,6 +428,7 @@ Status Engine::AdvanceTime(double seconds) {
     double next_event = std::min(next_flush, next_ckpt);
     if (next_event > target) break;
     clock_.AdvanceTo(next_event);
+    TickSampler();
     if (next_event == next_flush) {
       // A failed cadence flush keeps the tail; durability just does not
       // advance until a later flush succeeds. With a zero flush interval a
@@ -387,6 +441,7 @@ Status Engine::AdvanceTime(double seconds) {
     }
   }
   clock_.AdvanceTo(target);
+  TickSampler();
   return Status::OK();
 }
 
@@ -452,6 +507,7 @@ StatusOr<RecoveryStats> Engine::Recover() {
   MMDB_RETURN_IF_ERROR(
       log_->OpenExisting(result.log_valid_bytes, result.last_lsn + 1));
   clock_.AdvanceBy(result.stats.total_seconds);
+  TickSampler();
   crashed_ = false;
   // Resume checkpoint numbering from what was actually restored. Without
   // this, a checkpoint completed in the log but not yet in the metadata
@@ -486,6 +542,14 @@ std::string Engine::DumpMetricsJson() const {
   w.Key("trace");
   if (tracer_ != nullptr) {
     tracer_->ToJson(&w);
+  } else {
+    w.Null();
+  }
+  // Sampled counter/gauge series (null unless timeseries_epoch > 0);
+  // becomes Perfetto counter tracks in mmdb_trace_report output.
+  w.Key("timeseries");
+  if (sampler_ != nullptr) {
+    sampler_->ToJson(&w);
   } else {
     w.Null();
   }

@@ -13,6 +13,7 @@
 #include "core/options.h"
 #include "env/env.h"
 #include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "recovery/recovery_manager.h"
 #include "sim/cpu_meter.h"
@@ -178,6 +179,15 @@ class Engine {
   const MetricsRegistry* metrics() const { return metrics_; }
   Tracer* tracer() { return tracer_.get(); }
   const Tracer* tracer() const { return tracer_.get(); }
+  // Null unless options.timeseries_epoch > 0 (and metrics are enabled).
+  const TimeSeriesSampler* timeseries() const { return sampler_.get(); }
+  // Cumulative admission-stall time by cause (virtual seconds) since the
+  // engine opened: time client calls spent blocked on the COU quiesce
+  // barrier vs on checkpoint-held segment locks. Deterministic; the
+  // workload driver reads deltas around each call to attribute a
+  // transaction's latency to its cause.
+  double stall_quiesce_seconds() const { return stall_quiesce_seconds_; }
+  double stall_ckpt_lock_seconds() const { return stall_ckpt_lock_seconds_; }
   // One self-describing JSON object: configuration, the metrics registry
   // snapshot (per-phase checkpoint timers, log flush stats, recovery phase
   // split, device accounting), the trace ring, and the retained checkpoint
@@ -198,6 +208,10 @@ class Engine {
 
   // Waits (advances the clock) until a transaction may touch `segments`.
   Status WaitForAdmission(const std::vector<SegmentId>& segments);
+  // Samples the time series (if enabled) up to the current clock.
+  void TickSampler() {
+    if (sampler_ != nullptr) sampler_->SampleUpTo(clock_.now());
+  }
   // Flushes the log if the tail exceeds the group-commit threshold.
   Status MaybeGroupFlush();
   // Aborts the in-progress checkpoint after `error` and records it.
@@ -214,6 +228,14 @@ class Engine {
   MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<Tracer> tracer_;
   Timer* m_admission_wait_ = nullptr;
+  Timer* m_stall_quiesce_ = nullptr;
+  Timer* m_stall_ckpt_lock_ = nullptr;
+  double stall_quiesce_seconds_ = 0.0;
+  double stall_ckpt_lock_seconds_ = 0.0;
+  // Built at Init when options.timeseries_epoch > 0; ticked whenever the
+  // virtual clock advances (AdvanceTime events, checkpoint steps,
+  // recovery).
+  std::unique_ptr<TimeSeriesSampler> sampler_;
   // Set at Init when env_ is (or wraps into) a FaultInjectionEnv; the
   // engine's fault listener is registered on it and removed on destruction.
   FaultInjectionEnv* fault_env_ = nullptr;

@@ -79,6 +79,18 @@ struct EngineOptions {
   // 0 = unbounded (the historical behaviour, for long diagnostic runs).
   size_t checkpoint_history_cap = 256;
 
+  // Virtual-clock sampling epoch (seconds) for the engine's time-series
+  // sampler: every `timeseries_epoch` of virtual time, a fixed set of
+  // instruments (commits, aborts by cause, checkpoint progress, admission
+  // stalls, log tail) is snapshotted into a bounded ring, exported in
+  // DumpMetricsJson's "timeseries" member and as Perfetto counter tracks
+  // by mmdb_trace_report. 0 disables sampling (the default; the dump's
+  // member is then null). Requires enable_metrics.
+  double timeseries_epoch = 0.0;
+  // Max retained samples; beyond this the oldest samples are dropped
+  // (with a drop count), bounding the dump size of long runs.
+  size_t timeseries_capacity = 512;
+
   // Worker threads for Recover()'s parallel pipeline (concurrent backup
   // segment reloads, pipelined log scan, partitioned REDO replay —
   // DESIGN.md §14). 0 = hardware concurrency; 1 = the exact legacy

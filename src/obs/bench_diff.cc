@@ -155,8 +155,8 @@ bool IsTimingField(std::string_view key) {
   // Trace-ring virtual times, timer summaries, and the model oracle.
   static constexpr std::string_view kTimingKeys[] = {
       "t",        "done", "durable_at", "until", "now",      "begin",
-      "end",      "mean", "min",        "max",   "p50",      "p99",
-      "predicted", "measured",
+      "end",      "mean", "min",        "max",   "p50",      "p90",
+      "p99",      "p999", "predicted",  "measured",
   };
   for (std::string_view timing : kTimingKeys) {
     if (key == timing) return true;

@@ -30,6 +30,16 @@ Timer* MetricsRegistry::timer(std::string_view name) {
   return FindOrCreate<decltype(timers_), Timer>(mu_, timers_, name);
 }
 
+Timer* MetricsRegistry::timer(std::string_view name, double bucket_ratio) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>(bucket_ratio))
+             .first;
+  }
+  return it->second.get();
+}
+
 void MetricsRegistry::ToJson(JsonWriter* writer) const {
   std::lock_guard<std::mutex> lock(mu_);
   writer->BeginObject();
@@ -63,8 +73,12 @@ void MetricsRegistry::ToJson(JsonWriter* writer) const {
     writer->Double(h.max());
     writer->Key("p50");
     writer->Double(h.Percentile(50.0));
+    writer->Key("p90");
+    writer->Double(h.Percentile(90.0));
     writer->Key("p99");
     writer->Double(h.Percentile(99.0));
+    writer->Key("p999");
+    writer->Double(h.Percentile(99.9));
     writer->EndObject();
   }
   writer->EndObject();

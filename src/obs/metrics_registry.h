@@ -56,6 +56,10 @@ class Gauge {
 // Distribution of durations (or any non-negative samples).
 class Timer {
  public:
+  Timer() = default;
+  // Finer histogram ratio for tail-sensitive timers (see Histogram).
+  explicit Timer(double bucket_ratio) : hist_(bucket_ratio) {}
+
   void Record(double value) {
     std::lock_guard<std::mutex> lock(mu_);
     hist_.Add(value);
@@ -86,10 +90,14 @@ class MetricsRegistry {
   Counter* counter(std::string_view name);
   Gauge* gauge(std::string_view name);
   Timer* timer(std::string_view name);
+  // Find-or-create with a specific histogram bucket ratio. The ratio only
+  // applies on creation; an existing timer keeps its original buckets, so
+  // the first caller for a name decides its resolution.
+  Timer* timer(std::string_view name, double bucket_ratio);
 
   // {"counters":{name:n}, "gauges":{name:x},
-  //  "timers":{name:{count,mean,min,max,p50,p99}}}. Names are emitted in
-  // sorted order so output is stable across runs.
+  //  "timers":{name:{count,mean,min,max,p50,p90,p99,p999}}}. Names are
+  // emitted in sorted order so output is stable across runs.
   void ToJson(JsonWriter* writer) const;
   std::string ToJsonString() const;
 

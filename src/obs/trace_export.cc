@@ -263,7 +263,70 @@ Status AppendChromeTraceEvents(const JsonValue& trace_doc, int pid,
   return Status();
 }
 
+Status AppendCounterTrackEvents(const JsonValue& timeseries_doc, int pid,
+                                JsonWriter* writer, TraceExportStats* stats) {
+  const JsonValue* series = timeseries_doc.Find("series");
+  const JsonValue* samples = timeseries_doc.Find("samples");
+  if (series == nullptr || !series->is_array() || samples == nullptr ||
+      !samples->is_array()) {
+    return InvalidArgumentError(
+        "timeseries document has no \"series\"/\"samples\" arrays");
+  }
+  TraceExportStats local;
+  for (const JsonValue& sample : samples->array_items()) {
+    const JsonValue* t_v = sample.Find("t");
+    const JsonValue* values = sample.Find("v");
+    if (t_v == nullptr || !t_v->is_number() || values == nullptr ||
+        !values->is_array() ||
+        values->array_items().size() != series->array_items().size()) {
+      ++local.events_skipped;
+      continue;
+    }
+    double ts = Micros(t_v->number_value());
+    for (size_t i = 0; i < series->array_items().size(); ++i) {
+      const JsonValue& name = series->array_items()[i];
+      const JsonValue& value = values->array_items()[i];
+      if (!name.is_string() || !value.is_number()) {
+        ++local.events_skipped;
+        continue;
+      }
+      writer->BeginObject();
+      writer->Key("name");
+      writer->String(name.string_value());
+      writer->Key("cat");
+      writer->String("timeseries");
+      writer->Key("ph");
+      writer->String("C");
+      writer->Key("ts");
+      writer->Double(ts);
+      writer->Key("pid");
+      writer->Int(pid);
+      writer->Key("args");
+      writer->BeginObject();
+      writer->Key("value");
+      writer->Double(value.number_value());
+      writer->EndObject();
+      writer->EndObject();
+      ++local.events_exported;
+    }
+  }
+  if (stats != nullptr) {
+    stats->events_exported += local.events_exported;
+    stats->events_skipped += local.events_skipped;
+  }
+  return Status();
+}
+
 namespace {
+
+// Appends the counter tracks for an engine dump's "timeseries" member when
+// present and populated (null when sampling is disabled).
+Status MaybeAppendTimeseries(const JsonValue& engine_doc, int pid,
+                             JsonWriter* writer, TraceExportStats* stats) {
+  const JsonValue* timeseries = engine_doc.Find("timeseries");
+  if (timeseries == nullptr || !timeseries->is_object()) return Status();
+  return AppendCounterTrackEvents(*timeseries, pid, writer, stats);
+}
 
 // Process name for a single engine dump: "FUZZYCOPY/partial" when the
 // document carries its identity, else the fallback.
@@ -305,6 +368,9 @@ StatusOr<std::string> ChromeTraceFromMetricsDoc(const JsonValue& doc,
                              : "point " + std::to_string(pid);
       AppendProcessName(pid, name, &w);
       MMDB_RETURN_IF_ERROR(AppendChromeTraceEvents(*trace, pid, &w, stats));
+      if (const JsonValue* engine = point.Find("engine"); engine != nullptr) {
+        MMDB_RETURN_IF_ERROR(MaybeAppendTimeseries(*engine, pid, &w, stats));
+      }
       ++engines;
     }
   } else if (const JsonValue* trace = doc.Find("trace");
@@ -312,6 +378,7 @@ StatusOr<std::string> ChromeTraceFromMetricsDoc(const JsonValue& doc,
     // Single Engine::DumpMetricsJson document.
     AppendProcessName(1, EngineProcessName(doc, "engine"), &w);
     MMDB_RETURN_IF_ERROR(AppendChromeTraceEvents(*trace, 1, &w, stats));
+    MMDB_RETURN_IF_ERROR(MaybeAppendTimeseries(doc, 1, &w, stats));
     ++engines;
   } else if (doc.Find("events") != nullptr) {
     // Bare Tracer::ToJson document.

@@ -52,6 +52,16 @@ Status AppendChromeTraceEvents(const JsonValue& trace_doc, int pid,
 // Emits the process_name metadata event for `pid`.
 void AppendProcessName(int pid, std::string_view name, JsonWriter* writer);
 
+// Appends ph:"C" counter-track events for one time-series document (the
+// "timeseries" member of an engine dump, in TimeSeriesSampler::ToJson
+// shape: {"series":[names...],"samples":[{"t":t,"v":[...]}...]}). Each
+// registered series becomes one counter track next to the slice tracks,
+// so checkpoint phases can be visually correlated with commit/stall/abort
+// rates. `writer` must be inside an open JSON array.
+Status AppendCounterTrackEvents(const JsonValue& timeseries_doc, int pid,
+                                JsonWriter* writer,
+                                TraceExportStats* stats = nullptr);
+
 // Converts a whole metrics document — either one engine dump
 // (Engine::DumpMetricsJson) or a bench sidecar ({"bench","points":[...]})
 // — into a complete {"traceEvents":[...],"displayTimeUnit":"ms"} document.

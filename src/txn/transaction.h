@@ -17,6 +17,16 @@ enum class TxnState : uint8_t {
   kAborted,
 };
 
+// Why the last ABORTED status was returned for this transaction. Lock
+// conflicts and two-color violations surface as the same ABORTED Status
+// code, so the TxnManager tags the transaction at the failure point and
+// retry drivers read the tag to attribute the retry latency to its cause.
+enum class TxnAbortCause : uint8_t {
+  kNone,
+  kLockConflict,    // no-wait lock table conflict
+  kColorViolation,  // two-color constraint (checkpoint-induced)
+};
+
 // A transaction under the paper's shadow-copy update scheme (Section 2.6):
 // writes are buffered privately in `pending` and installed into the primary
 // database only at commit, so no UNDO information is ever needed. REDO log
@@ -50,6 +60,9 @@ struct Transaction {
   // 1 on the first execution attempt; incremented by checkpoint-induced
   // restarts (simulation path).
   int attempt = 1;
+
+  // Set by the TxnManager when Read/Write/WriteDelta return ABORTED.
+  TxnAbortCause abort_cause = TxnAbortCause::kNone;
 
   size_t num_updates() const { return pending.size() + pending_deltas.size(); }
 };

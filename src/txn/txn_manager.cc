@@ -36,10 +36,13 @@ void TxnManager::set_obs(MetricsRegistry* registry, Tracer* tracer) {
 Status TxnManager::AcquireLock(Transaction* txn, RecordId record,
                                LockManager::Mode mode, double now) {
   Status lock = locks_.Acquire(txn->id, record, mode);
-  if (!lock.ok() && tracer_ != nullptr) {
-    tracer_->Record(TraceEventType::kLockConflict, now, 0.0,
-                    static_cast<int64_t>(txn->id),
-                    static_cast<int64_t>(record));
+  if (!lock.ok()) {
+    txn->abort_cause = TxnAbortCause::kLockConflict;
+    if (tracer_ != nullptr) {
+      tracer_->Record(TraceEventType::kLockConflict, now, 0.0,
+                      static_cast<int64_t>(txn->id),
+                      static_cast<int64_t>(record));
+    }
   }
   return lock;
 }
@@ -61,6 +64,7 @@ Status TxnManager::CheckColors(Transaction* txn, SegmentId segment,
     txn->touched_segments.push_back(segment);
   }
   if (!hooks_->AdmitAccess(txn->touched_segments, now)) {
+    txn->abort_cause = TxnAbortCause::kColorViolation;
     return AbortedError(StringPrintf(
         "txn %llu violates the two-color constraint",
         static_cast<unsigned long long>(txn->id)));

@@ -1,13 +1,30 @@
 #include "util/histogram.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <limits>
 
 namespace mmdb {
 
-Histogram::Histogram() : buckets_(kNumBuckets, 0) { Clear(); }
+int Histogram::NumBucketsFor(double ratio) {
+  // Bucket 0 holds values < 1; bucket b >= 1 covers [ratio^(b-1), ratio^b).
+  // Size the array so the top bucket reaches ~2.5e17, the ceiling of the
+  // original fixed 180-bucket/1.25 layout.
+  return 2 + static_cast<int>(std::ceil(std::log(2.5e17) / std::log(ratio)));
+}
+
+Histogram::Histogram() : Histogram(kDefaultRatio) {}
+
+Histogram::Histogram(double ratio)
+    : ratio_(ratio),
+      inv_log_ratio_(1.0 / std::log(ratio)),
+      num_buckets_(NumBucketsFor(ratio)),
+      buckets_(static_cast<size_t>(num_buckets_), 0) {
+  assert(ratio > 1.0);
+  Clear();
+}
 
 void Histogram::Clear() {
   count_ = 0;
@@ -18,20 +35,20 @@ void Histogram::Clear() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
 }
 
-int Histogram::BucketFor(double value) {
+int Histogram::BucketFor(double value) const {
   if (value < 1.0) return 0;
-  int b = 1 + static_cast<int>(std::log(value) / std::log(kRatio));
-  return std::min(b, kNumBuckets - 1);
+  int b = 1 + static_cast<int>(std::log(value) * inv_log_ratio_);
+  return std::min(b, num_buckets_ - 1);
 }
 
-double Histogram::BucketLower(int b) {
+double Histogram::BucketLower(int b) const {
   if (b <= 0) return 0.0;
-  return std::pow(kRatio, b - 1);
+  return std::pow(ratio_, b - 1);
 }
 
-double Histogram::BucketUpper(int b) {
+double Histogram::BucketUpper(int b) const {
   if (b <= 0) return 1.0;
-  return std::pow(kRatio, b);
+  return std::pow(ratio_, b);
 }
 
 void Histogram::Add(double value) {
@@ -45,12 +62,13 @@ void Histogram::Add(double value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
+  assert(ratio_ == other.ratio_);
   count_ += other.count_;
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
   sum_ += other.sum_;
   sum_squares_ += other.sum_squares_;
-  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  for (int i = 0; i < num_buckets_; ++i) buckets_[i] += other.buckets_[i];
 }
 
 double Histogram::Mean() const {
@@ -70,7 +88,7 @@ double Histogram::Percentile(double p) const {
   if (p >= 100.0) return max_;
   double threshold = static_cast<double>(count_) * (p / 100.0);
   uint64_t seen = 0;
-  for (int b = 0; b < kNumBuckets; ++b) {
+  for (int b = 0; b < num_buckets_; ++b) {
     if (buckets_[b] == 0) continue;
     if (static_cast<double>(seen + buckets_[b]) >= threshold) {
       double within = (threshold - static_cast<double>(seen)) /
@@ -86,13 +104,13 @@ double Histogram::Percentile(double p) const {
 }
 
 std::string Histogram::ToString() const {
-  char buf[200];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "count=%llu mean=%.3f stddev=%.3f min=%.3f p50=%.3f "
-                "p99=%.3f max=%.3f",
+                "p90=%.3f p99=%.3f p999=%.3f max=%.3f",
                 static_cast<unsigned long long>(count_), Mean(),
-                StandardDeviation(), min(), Percentile(50.0),
-                Percentile(99.0), max_);
+                StandardDeviation(), min(), Percentile(50.0), Percentile(90.0),
+                Percentile(99.0), Percentile(99.9), max_);
   return buf;
 }
 

@@ -8,14 +8,29 @@
 namespace mmdb {
 
 // Running scalar statistics (count/mean/min/max/stddev) plus approximate
-// percentiles via geometric bucketing (ratio 1.25, starting at 1.0; one
-// underflow bucket for values < 1). Used by the metrics layer to summarize
-// latencies and per-transaction overheads. Values must be non-negative.
+// percentiles via geometric bucketing (default ratio 1.25, starting at 1.0;
+// one underflow bucket for values < 1). Used by the metrics layer to
+// summarize latencies and per-transaction overheads. Values must be
+// non-negative.
+//
+// The bucket ratio bounds the relative percentile error: a value reported
+// from bucket b is within a factor of `ratio` of the true order statistic,
+// so ratio 1.25 gives ~±12% at p999 while ratio 1.02 gives ~±1%. Latency
+// histograms use a finer ratio (see kLatencyRatio); counters of modeled
+// quantities keep the coarse default, whose memory footprint is 4x smaller.
 class Histogram {
  public:
+  static constexpr double kDefaultRatio = 1.25;
+  // Finer ratio for tail-latency histograms (~±1% at p999, ~2 KB extra).
+  static constexpr double kLatencyRatio = 1.02;
+
   Histogram();
+  // Finer (or coarser) geometric ratio; must be > 1. All constructors cover
+  // the same value range (~2.5e17); only the resolution changes.
+  explicit Histogram(double ratio);
 
   void Add(double value);
+  // Requires the same bucket ratio on both sides.
   void Merge(const Histogram& other);
   void Clear();
 
@@ -25,6 +40,7 @@ class Histogram {
   double sum() const { return sum_; }
   double Mean() const;
   double StandardDeviation() const;
+  double bucket_ratio() const { return ratio_; }
 
   // Approximate p-th percentile, p in [0, 100]. Linear interpolation within
   // the containing bucket; exact at the extremes (min/max).
@@ -35,14 +51,16 @@ class Histogram {
   std::string ToString() const;
 
  private:
-  static constexpr int kNumBuckets = 180;  // covers up to ~1.25^179 ≈ 2.5e17
-  static constexpr double kRatio = 1.25;
+  static int NumBucketsFor(double ratio);
 
-  static int BucketFor(double value);
+  int BucketFor(double value) const;
   // Inclusive lower / exclusive upper value bounds of bucket b.
-  static double BucketLower(int b);
-  static double BucketUpper(int b);
+  double BucketLower(int b) const;
+  double BucketUpper(int b) const;
 
+  double ratio_;
+  double inv_log_ratio_;
+  int num_buckets_;
   uint64_t count_;
   double min_;
   double max_;

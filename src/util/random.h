@@ -75,6 +75,58 @@ class Random {
   uint64_t state_[2];
 };
 
+// Deterministic Zipf(theta) rank generator over [0, n), rank 0 most popular:
+// P(rank = k) proportional to 1/(k+1)^theta. Uses the Gray et al. inversion
+// (the YCSB formulation): the harmonic normalizer zeta(n, theta) is
+// precomputed once at construction, and each draw consumes exactly one
+// uniform variate from the caller's Random, so adversarial workloads stay
+// replayable bit-for-bit and skew does not perturb unrelated draw streams.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta)
+      : n_(n),
+        theta_(theta),
+        zetan_(Zeta(n, theta)),
+        zeta2_(Zeta(2, theta)),
+        alpha_(1.0 / (1.0 - theta)),
+        eta_((1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+             (1.0 - zeta2_ / zetan_)) {
+    assert(n > 0);
+    assert(theta > 0.0 && theta < 1.0);
+  }
+
+  // Next rank in [0, n); consumes exactly one rng->NextDouble().
+  uint64_t Next(Random* rng) {
+    double u = rng->NextDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    uint64_t rank = static_cast<uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Generalized harmonic number sum_{i=1..n} 1/i^theta.
+  static double Zeta(uint64_t n, double theta) {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
 }  // namespace mmdb
 
 #endif  // MMDB_UTIL_RANDOM_H_

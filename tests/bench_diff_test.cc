@@ -16,7 +16,8 @@ const char kSidecar[] =
     R"({"bench":"fig4a","points":[)"
     R"({"label":"FUZZYCOPY","engine":{)"
     R"("now":2.839446,"metrics":{"counters":{"txn.committed":23002},)"
-    R"("timers":{"ckpt.flush":{"count":12,"mean":0.031,"p99":0.04}}},)"
+    R"("timers":{"ckpt.flush":{"count":12,"mean":0.031,"p90":0.035,)"
+    R"("p99":0.04,"p999":0.044}}},)"
     R"("trace":{"recorded":320,"dropped":256,"events":[)"
     R"({"seq":300,"kind":"log.flush","t":2.71,"durable_at":2.72,)"
     R"("durable_lsn":900,"bytes":4096}]}},)"
@@ -63,6 +64,18 @@ TEST(BenchDiffTest, TimingDriftWithinToleranceMatches) {
   auto result = DiffBenchJson(kSidecar, drifted);
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->equal());
+}
+
+TEST(BenchDiffTest, TailPercentileLeavesGetTolerance) {
+  // p90/p999 are timing leaves: +2% drift passes, +15% fails.
+  std::string small = Mutated(R"("p999":0.044)", R"("p999":0.0449)");
+  auto ok = DiffBenchJson(kSidecar, small);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->equal());
+  std::string large = Mutated(R"("p999":0.044)", R"("p999":0.0506)");
+  auto bad = DiffBenchJson(kSidecar, large);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->equal());
 }
 
 TEST(BenchDiffTest, TimingDriftBeyondToleranceFails) {
@@ -162,8 +175,8 @@ TEST(BenchDiffTest, MalformedInputsAreErrorsNotMismatches) {
 TEST(BenchDiffTest, TimingFieldClassification) {
   for (const char* timing :
        {"t", "done", "durable_at", "until", "now", "begin", "end", "mean",
-        "min", "max", "p50", "p99", "predicted", "measured", "residual",
-        "wall_seconds", "total_seconds", "lock_held_seconds",
+        "min", "max", "p50", "p90", "p99", "p999", "predicted", "measured",
+        "residual", "wall_seconds", "total_seconds", "lock_held_seconds",
         "mean_abs_residual", "max_abs_residual", "overhead_s"}) {
     EXPECT_TRUE(IsTimingField(timing)) << timing;
   }

@@ -11,7 +11,9 @@
 #include "gtest/gtest.h"
 #include "obs/metered_env.h"
 #include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "util/histogram.h"
 #include "tests/test_util.h"
 #include "util/json.h"
 
@@ -166,6 +168,86 @@ TEST(MeteredEnvTest, CountsErrors) {
   auto missing = env.NewRandomAccessFile("dir/backup_0.db");
   EXPECT_FALSE(missing.ok());
   EXPECT_EQ(reg.counter("env.backup.errors")->value(), 1u);
+}
+
+TEST(TimerRatioTest, FirstCallerPinsBucketRatio) {
+  MetricsRegistry reg;
+  Timer* fine = reg.timer("lat", Histogram::kLatencyRatio);
+  EXPECT_EQ(fine, reg.timer("lat"));  // same instrument either way
+  EXPECT_DOUBLE_EQ(fine->Snapshot().bucket_ratio(), Histogram::kLatencyRatio);
+  // Plain timers keep the coarse default.
+  EXPECT_DOUBLE_EQ(reg.timer("other")->Snapshot().bucket_ratio(),
+                   Histogram::kDefaultRatio);
+}
+
+TEST(TimeSeriesSamplerTest, SamplesOnEpochBoundaries) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("commits");
+  TimeSeriesSampler::Options opt;
+  opt.epoch = 0.1;
+  TimeSeriesSampler sampler(opt);
+  sampler.AddCounter("commits", c);
+  double g = 0.0;
+  sampler.AddGauge("depth", [&g] { return g; });
+
+  sampler.SampleUpTo(0.05);  // before the first boundary: nothing
+  EXPECT_EQ(sampler.num_samples(), 0u);
+  c->Increment(3);
+  g = 7.0;
+  sampler.SampleUpTo(0.1);  // exactly on the boundary
+  EXPECT_EQ(sampler.num_samples(), 1u);
+  c->Increment(2);
+  sampler.SampleUpTo(0.45);  // crosses 0.2, 0.3, 0.4 at once
+  EXPECT_EQ(sampler.num_samples(), 4u);
+  EXPECT_EQ(sampler.recorded(), 4u);
+  EXPECT_EQ(sampler.dropped(), 0u);
+
+  JsonWriter w;
+  sampler.ToJson(&w);
+  auto doc = JsonValue::Parse(w.str());
+  MMDB_ASSERT_OK(doc);
+  const auto& samples = doc->Find("samples")->array_items();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(samples[0].Find("t")->number_value(), 0.1);
+  EXPECT_DOUBLE_EQ(samples[3].Find("t")->number_value(), 0.4);
+  // First sample sees the values at the first clock movement past its
+  // boundary; the catch-up samples repeat the then-current values.
+  EXPECT_DOUBLE_EQ(samples[0].Find("v")->array_items()[0].number_value(), 3.0);
+  EXPECT_DOUBLE_EQ(samples[0].Find("v")->array_items()[1].number_value(), 7.0);
+  EXPECT_DOUBLE_EQ(samples[1].Find("v")->array_items()[0].number_value(), 5.0);
+  const auto& series = doc->Find("series")->array_items();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].string_value(), "commits");
+  EXPECT_EQ(series[1].string_value(), "depth");
+  // Wall-clock cost lives under "wall" so sidecar stripping removes it.
+  EXPECT_TRUE(doc->Find("wall")->Find("sample_seconds")->is_number());
+}
+
+TEST(TimeSeriesSamplerTest, RingDropsOldestBeyondCapacity) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("n");
+  TimeSeriesSampler::Options opt;
+  opt.epoch = 1.0;
+  opt.capacity = 3;
+  TimeSeriesSampler sampler(opt);
+  sampler.AddCounter("n", c);
+  for (int t = 1; t <= 5; ++t) {
+    c->Increment(1);
+    sampler.SampleUpTo(static_cast<double>(t));
+  }
+  EXPECT_EQ(sampler.num_samples(), 3u);
+  EXPECT_EQ(sampler.recorded(), 5u);
+  EXPECT_EQ(sampler.dropped(), 2u);
+  JsonWriter w;
+  sampler.ToJson(&w);
+  auto doc = JsonValue::Parse(w.str());
+  MMDB_ASSERT_OK(doc);
+  const auto& samples = doc->Find("samples")->array_items();
+  ASSERT_EQ(samples.size(), 3u);
+  // Oldest first, and only the newest three boundaries survive.
+  EXPECT_DOUBLE_EQ(samples[0].Find("t")->number_value(), 3.0);
+  EXPECT_DOUBLE_EQ(samples[2].Find("t")->number_value(), 5.0);
+  EXPECT_DOUBLE_EQ(doc->Find("dropped")->number_value(), 2.0);
 }
 
 }  // namespace

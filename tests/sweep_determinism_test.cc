@@ -42,6 +42,30 @@ std::vector<SweepPoint> TestPoints() {
           }});
     }
   }
+  // An adversarial-workload point with the time-series sampler on: the
+  // zipf/churn/read-mix draw streams are deterministic, and the sampler's
+  // wall-clock member must be stripped rather than leak nondeterminism
+  // into the compared view.
+  points.push_back(
+      SweepPoint{"adversarial/zipf", []() -> StatusOr<MeasuredPoint> {
+                   EngineOptions opt =
+                       SmallOptions(Algorithm::kTwoColorCopy, 3);
+                   opt.timeseries_epoch = 0.05;
+                   std::unique_ptr<Env> env = NewMemEnv();
+                   MMDB_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                                         Engine::Open(opt, env.get()));
+                   WorkloadOptions wopt;
+                   wopt.duration = 0.3;
+                   wopt.key_dist = WorkloadOptions::KeyDist::kZipf;
+                   wopt.zipf_theta = 0.99;
+                   wopt.hot_churn_interval = 0.1;
+                   wopt.read_fraction = 0.25;
+                   WorkloadDriver driver(engine.get(), wopt);
+                   MeasuredPoint point;
+                   MMDB_ASSIGN_OR_RETURN(point.workload, driver.Run());
+                   point.metrics_json = engine->DumpMetricsJson();
+                   return point;
+                 }});
   // A deterministically failing point: must print/merge identically at any
   // width (skipped by the sidecar, reported via AnyFailed) in both runs.
   points.push_back(SweepPoint{"always_fails", []() -> StatusOr<MeasuredPoint> {
@@ -127,6 +151,11 @@ TEST(SweepDeterminismTest, Jobs4SidecarEqualsJobs1) {
   // both widths, since the whole views already compared equal above).
   EXPECT_NE(serial_view->find("always_fails"), std::string::npos);
   EXPECT_NE(serial_view->find("deterministic failure"), std::string::npos);
+  // The adversarial point's time series survives, minus its wall cost.
+  EXPECT_NE(serial_view->find("adversarial/zipf"), std::string::npos);
+  EXPECT_NE(serial_view->find("\"timeseries\""), std::string::npos);
+  EXPECT_NE(serial_view->find("\"samples\""), std::string::npos);
+  EXPECT_EQ(serial_view->find("sample_seconds"), std::string::npos);
 }
 
 TEST(SweepDeterminismTest, DeterministicViewStripsOnlyRun) {

@@ -276,5 +276,65 @@ TEST(TraceExportTest, UnknownKindsAreCountedNotExported) {
   EXPECT_EQ(stats.events_skipped, 2u);
 }
 
+TEST(TraceExportTest, CounterTrackEventsFromTimeseries) {
+  std::string ts_doc =
+      R"({"epoch":0.1,"capacity":8,"series":["txn.commits","ckpt.in_progress"],)"
+      R"("samples":[{"t":0.1,"v":[5,0]},{"t":0.2,"v":[11,1]},)"
+      R"({"t":0.3,"v":[11]}],)"  // malformed width: skipped, not exported
+      R"("recorded":3,"dropped":0,"wall":{"sample_seconds":0.001}})";
+  StatusOr<JsonValue> parsed = JsonValue::Parse(ts_doc);
+  ASSERT_TRUE(parsed.ok());
+  JsonWriter w;
+  w.BeginArray();
+  TraceExportStats stats;
+  ASSERT_TRUE(AppendCounterTrackEvents(*parsed, 3, &w, &stats).ok());
+  w.EndArray();
+  StatusOr<JsonValue> events = JsonValue::Parse(w.str());
+  ASSERT_TRUE(events.ok());
+  const auto& items = events->array_items();
+  // Two well-formed samples * two series = four counter events.
+  ASSERT_EQ(items.size(), 4u);
+  for (const JsonValue& e : items) {
+    EXPECT_EQ(e.Find("ph")->string_value(), "C");
+    EXPECT_EQ(e.Find("cat")->string_value(), "timeseries");
+    EXPECT_DOUBLE_EQ(e.Find("pid")->number_value(), 3.0);
+    ASSERT_NE(e.FindPath({"args", "value"}), nullptr);
+  }
+  EXPECT_EQ(items[0].Find("name")->string_value(), "txn.commits");
+  EXPECT_DOUBLE_EQ(items[0].Find("ts")->number_value(), 0.1e6);  // µs
+  EXPECT_DOUBLE_EQ(items[0].FindPath({"args", "value"})->number_value(), 5.0);
+  EXPECT_DOUBLE_EQ(items[3].FindPath({"args", "value"})->number_value(), 1.0);
+  EXPECT_EQ(stats.events_skipped, 1u);  // the short sample
+}
+
+TEST(TraceExportTest, SidecarPointsCarryCounterTracks) {
+  Tracer tracer(64);
+  Script(&tracer);
+  std::string trace_json = tracer.ToJsonString();
+  std::string ts_doc =
+      R"({"epoch":0.5,"capacity":4,"series":["txn.commits"],)"
+      R"("samples":[{"t":0.5,"v":[9]}],"recorded":1,"dropped":0,)"
+      R"("wall":{"sample_seconds":0}})";
+  std::string sidecar =
+      R"({"bench":"t","points":[{"label":"A","engine":{"trace":)" +
+      trace_json + R"(,"timeseries":)" + ts_doc +
+      R"(}},{"label":"no_ts","engine":{"trace":)" + trace_json +
+      R"(,"timeseries":null}}]})";
+  StatusOr<std::string> exported = ChromeTraceFromMetricsJson(sidecar);
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  StatusOr<JsonValue> doc = JsonValue::Parse(*exported);
+  ASSERT_TRUE(doc.ok());
+  int counter_events = 0;
+  for (const JsonValue& e : doc->Find("traceEvents")->array_items()) {
+    if (e.Find("ph")->string_value() != "C") continue;
+    ++counter_events;
+    // Counter tracks live in the same per-point process as the slices.
+    EXPECT_DOUBLE_EQ(e.Find("pid")->number_value(), 1.0);
+    EXPECT_EQ(e.Find("name")->string_value(), "txn.commits");
+    EXPECT_DOUBLE_EQ(e.FindPath({"args", "value"})->number_value(), 9.0);
+  }
+  EXPECT_EQ(counter_events, 1);  // the null-timeseries point adds none
+}
+
 }  // namespace
 }  // namespace mmdb

@@ -1,7 +1,10 @@
 // Workload driver tests: arrival statistics, metric plumbing, determinism,
 // and qualitative overhead ordering across algorithms at engine scale.
 
+#include <algorithm>
 #include <memory>
+#include <tuple>
+#include <utility>
 
 #include "gtest/gtest.h"
 #include "tests/test_util.h"
@@ -151,6 +154,171 @@ TEST(WorkloadTest, LongerIntervalLowersOverhead) {
   double fast = measure(0.0);
   double slow = measure(0.5);
   EXPECT_LT(slow, fast);
+}
+
+// The virtual-clock attribution identity: for every algorithm, the five
+// per-cause components must reproduce the summed arrival-to-commit latency
+// (the clock only advances between arrival and commit during admission
+// stalls, retry waits, and head-of-line queueing behind a stalled
+// predecessor).
+TEST(WorkloadTest, AttributionIdentityHoldsPerAlgorithm) {
+  for (Algorithm a : kAllAlgorithms) {
+    std::unique_ptr<Env> env;
+    auto engine = OpenEngine(env, a, /*stable=*/a == Algorithm::kFastFuzzy);
+    WorkloadOptions wopt;
+    wopt.duration = 1.0;
+    WorkloadDriver driver(engine.get(), wopt);
+    auto result = driver.Run();
+    MMDB_ASSERT_OK(result);
+    const double sum =
+        result->stall_quiesce_seconds + result->stall_ckpt_lock_seconds +
+        result->backoff_color_seconds + result->backoff_lock_seconds +
+        result->queue_seconds;
+    EXPECT_NEAR(sum, result->latency_total_seconds,
+                1e-9 * std::max(1.0, result->latency_total_seconds))
+        << AlgorithmName(a);
+    // The histogram records the same population (in microseconds).
+    EXPECT_EQ(result->latency.count(), result->committed) << AlgorithmName(a);
+    EXPECT_NEAR(result->latency.sum() / 1e6, result->latency_total_seconds,
+                1e-6 * std::max(1.0, result->latency_total_seconds))
+        << AlgorithmName(a);
+  }
+}
+
+TEST(WorkloadTest, QuiesceStallsAttributedOnlyToCou) {
+  // COUCOPY is the only quiesce-at-begin algorithm: its checkpoints drain
+  // transactions behind an admission barrier, which must surface as the
+  // quiesce cause — and never as color backoff (COU has no color aborts).
+  std::unique_ptr<Env> env;
+  auto engine = OpenEngine(env, Algorithm::kCouCopy);
+  WorkloadOptions wopt;
+  wopt.duration = 1.0;
+  WorkloadDriver driver(engine.get(), wopt);
+  auto result = driver.Run();
+  MMDB_ASSERT_OK(result);
+  EXPECT_GT(result->stall_quiesce_seconds, 0.0);
+  EXPECT_EQ(result->backoff_color_seconds, 0.0);
+  EXPECT_EQ(result->color_restarts, 0u);
+}
+
+TEST(WorkloadTest, ColorBackoffAttributedToTwoColor) {
+  std::unique_ptr<Env> env;
+  auto engine = OpenEngine(env, Algorithm::kTwoColorCopy);
+  WorkloadOptions wopt;
+  wopt.duration = 1.0;
+  WorkloadDriver driver(engine.get(), wopt);
+  auto result = driver.Run();
+  MMDB_ASSERT_OK(result);
+  EXPECT_GT(result->color_restarts, 0u);
+  EXPECT_GT(result->backoff_color_seconds, 0.0);
+  EXPECT_EQ(result->stall_quiesce_seconds, 0.0);
+}
+
+TEST(WorkloadTest, AdversarialZipfDeterministicAndSkewed) {
+  // Two-color checkpointing reacts to key placement (aborts depend on the
+  // sweep position vs the written segments), so zipf skew must visibly
+  // change the run, and replaying it must be bit-for-bit identical.
+  auto run = [](WorkloadOptions::KeyDist dist) {
+    std::unique_ptr<Env> env;
+    auto engine = OpenEngine(env, Algorithm::kTwoColorCopy);
+    WorkloadOptions wopt;
+    wopt.duration = 1.0;
+    wopt.key_dist = dist;
+    WorkloadDriver driver(engine.get(), wopt);
+    auto result = driver.Run();
+    EXPECT_TRUE(result.ok());
+    return std::make_tuple(result->committed, result->color_restarts,
+                           result->latency_total_seconds);
+  };
+  auto zipf1 = run(WorkloadOptions::KeyDist::kZipf);
+  auto zipf2 = run(WorkloadOptions::KeyDist::kZipf);
+  auto uniform = run(WorkloadOptions::KeyDist::kUniform);
+  EXPECT_EQ(zipf1, zipf2);  // bit-for-bit replayable
+  // Skew changes the draw stream, so the runs must actually differ.
+  EXPECT_NE(zipf1, uniform);
+}
+
+TEST(WorkloadTest, AdversarialModesKeepAttributionIdentity) {
+  // Zipf skew + hot churn + read mix together, under the most
+  // interference-prone algorithms.
+  for (Algorithm a : {Algorithm::kCouCopy, Algorithm::kTwoColorCopy}) {
+    std::unique_ptr<Env> env;
+    auto engine = OpenEngine(env, a);
+    WorkloadOptions wopt;
+    wopt.duration = 1.0;
+    wopt.key_dist = WorkloadOptions::KeyDist::kZipf;
+    wopt.zipf_theta = 0.99;
+    wopt.hot_churn_interval = 0.25;
+    wopt.read_fraction = 0.3;
+    WorkloadDriver driver(engine.get(), wopt);
+    auto result = driver.Run();
+    MMDB_ASSERT_OK(result);
+    EXPECT_GT(result->committed, 0u);
+    EXPECT_GT(result->read_txns, 0u);
+    EXPECT_LT(result->read_txns, result->committed);
+    const double sum =
+        result->stall_quiesce_seconds + result->stall_ckpt_lock_seconds +
+        result->backoff_color_seconds + result->backoff_lock_seconds +
+        result->queue_seconds;
+    EXPECT_NEAR(sum, result->latency_total_seconds,
+                1e-9 * std::max(1.0, result->latency_total_seconds))
+        << AlgorithmName(a);
+  }
+}
+
+TEST(WorkloadTest, QueueingAmplifiesCheckpointStalls) {
+  // Flush-during-lock algorithms hold segment locks across disk writes; in
+  // the serial open-loop driver one such stall delays every arrival queued
+  // behind it, so the aggregate queueing time must dwarf the stalls that
+  // caused it — the interference amplification the fifth attribution
+  // component exists to expose.
+  std::unique_ptr<Env> env;
+  auto engine = OpenEngine(env, Algorithm::kTwoColorFlush);
+  WorkloadOptions wopt;
+  wopt.duration = 1.0;
+  WorkloadDriver driver(engine.get(), wopt);
+  auto result = driver.Run();
+  MMDB_ASSERT_OK(result);
+  EXPECT_GT(result->stall_ckpt_lock_seconds, 0.0);
+  EXPECT_GT(result->queue_seconds, result->stall_ckpt_lock_seconds);
+}
+
+TEST(WorkloadTest, ReadOnlyTxnsLeaveNoHistory) {
+  // A 100% read workload commits transactions but never updates the
+  // oracle: recovery verification would expect an all-zero database.
+  std::unique_ptr<Env> env;
+  auto engine = OpenEngine(env, Algorithm::kFuzzyCopy);
+  WorkloadOptions wopt;
+  wopt.duration = 0.5;
+  wopt.read_fraction = 1.0;
+  wopt.run_checkpoints = false;
+  WorkloadDriver driver(engine.get(), wopt);
+  auto result = driver.Run();
+  MMDB_ASSERT_OK(result);
+  EXPECT_GT(result->committed, 0u);
+  EXPECT_EQ(result->read_txns, result->committed);
+  EXPECT_TRUE(driver.history().empty());
+}
+
+TEST(WorkloadTest, DefaultDrawStreamUnchangedByAdversarialPlumbing) {
+  // The adversarial controls must not perturb the default workload's RNG
+  // stream: explicit defaults and the implicit ones must agree exactly.
+  auto run = [](bool set_defaults_explicitly) {
+    std::unique_ptr<Env> env;
+    auto engine = OpenEngine(env, Algorithm::kTwoColorCopy);
+    WorkloadOptions wopt;
+    wopt.duration = 0.5;
+    if (set_defaults_explicitly) {
+      wopt.key_dist = WorkloadOptions::KeyDist::kUniform;
+      wopt.hot_churn_interval = 0.0;
+      wopt.read_fraction = 0.0;
+    }
+    WorkloadDriver driver(engine.get(), wopt);
+    auto result = driver.Run();
+    EXPECT_TRUE(result.ok());
+    return std::make_pair(result->committed, result->latency_total_seconds);
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 TEST(WorkloadTest, MakeRecordImageDeterministicAndDistinct) {

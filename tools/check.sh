@@ -13,25 +13,29 @@
 # engines themselves are single-threaded, so the full suite under TSan
 # would just re-test serial code at 10x the cost.
 #
-# The bench-smoke gate replays fig4a, fig_modern, and recovery_bench at
-# --jobs=2 with a shrunken trace ring (MMDB_TRACE_CAPACITY=64 — the
-# capacity the committed baselines were recorded at; ring drop counts
-# depend on it) and diffs each fresh sidecar against
-# bench/baselines/*.json with mmdb_bench_diff: deterministic leaves must
-# match exactly, timing leaves within 5%. fig4a and fig_modern
-# additionally pin MMDB_RECOVERY_THREADS=2 — their engines use the
-# automatic (hardware-dependent) recovery width, and the recovery fan-out
-# trace event records the thread count, so the baseline must be replayed
-# at the width it was recorded at. recovery_bench is the opposite: every
-# point sets its own recovery_threads, so the variable must be UNSET
-# there (it would override all of them). Regenerate the baselines after
-# an intentional engine/model change with
+# The bench-smoke gate replays fig4a, fig_modern, fig_interference, and
+# recovery_bench at --jobs=2 with a shrunken trace ring
+# (MMDB_TRACE_CAPACITY=64 — the capacity the committed baselines were
+# recorded at; ring drop counts depend on it) and diffs each fresh
+# sidecar against bench/baselines/*.json with mmdb_bench_diff:
+# deterministic leaves must match exactly, timing leaves within 5%.
+# fig4a and fig_modern additionally pin MMDB_RECOVERY_THREADS=2 — their
+# engines use the automatic (hardware-dependent) recovery width, and the
+# recovery fan-out trace event records the thread count, so the baseline
+# must be replayed at the width it was recorded at. recovery_bench is
+# the opposite: every point sets its own recovery_threads, so the
+# variable must be UNSET there (it would override all of them).
+# fig_interference never recovers, so the variable is irrelevant to it.
+# Regenerate the baselines after an intentional engine/model change with
 #   MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
 #       MMDB_METRICS_SIDECAR=bench/baselines/fig4a.json \
 #       ./build/bench/fig4a_overhead_recovery --jobs=2 > /dev/null
 #   MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
 #       MMDB_METRICS_SIDECAR=bench/baselines/modern.json \
 #       ./build/bench/fig_modern --jobs=2 > /dev/null
+#   MMDB_TRACE_CAPACITY=64 \
+#       MMDB_METRICS_SIDECAR=bench/baselines/interference.json \
+#       ./build/bench/fig_interference --jobs=2 > /dev/null
 #   MMDB_TRACE_CAPACITY=64 MMDB_METRICS_SIDECAR=bench/baselines/recovery.json \
 #       ./build/bench/recovery_bench --jobs=2 > /dev/null
 set -euo pipefail
@@ -57,13 +61,16 @@ run_sanitize() {
   MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build-sanitize/fig_modern_asan_smoke.json \
       ./build-sanitize/bench/fig_modern --quick --jobs=2 > /dev/null
+  echo "check.sh: sanitize bench smoke (fig_interference --quick --jobs=2)"
+  MMDB_METRICS_SIDECAR=build-sanitize/fig_interference_asan_smoke.json \
+      ./build-sanitize/bench/fig_interference --quick --jobs=2 > /dev/null
 }
 
 run_tsan() {
   cmake -B build-tsan -S . -DMMDB_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
       --target parallel_test recovery_parallel_test fig4a_overhead_recovery \
-      fig_modern recovery_bench
+      fig_modern fig_interference recovery_bench
   ctest --test-dir build-tsan --output-on-failure \
       -R '^(parallel_test|recovery_parallel_test)$'
   echo "check.sh: tsan bench smoke (fig4a --jobs=2)"
@@ -74,6 +81,9 @@ run_tsan() {
   MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build-tsan/fig_modern_tsan_smoke.json \
       ./build-tsan/bench/fig_modern --quick --jobs=2 > /dev/null
+  echo "check.sh: tsan bench smoke (fig_interference --quick --jobs=2)"
+  MMDB_METRICS_SIDECAR=build-tsan/fig_interference_tsan_smoke.json \
+      ./build-tsan/bench/fig_interference --quick --jobs=2 > /dev/null
   echo "check.sh: tsan bench smoke (recovery_bench --quick --jobs=2)"
   env -u MMDB_RECOVERY_THREADS \
       MMDB_METRICS_SIDECAR=build-tsan/recovery_tsan_smoke.json \
@@ -83,8 +93,8 @@ run_tsan() {
 run_bench_smoke() {
   cmake -B build -S .
   cmake --build build -j "$jobs" \
-      --target fig4a_overhead_recovery fig_modern recovery_bench \
-      mmdb_bench_diff
+      --target fig4a_overhead_recovery fig_modern fig_interference \
+      recovery_bench mmdb_bench_diff
   echo "check.sh: bench smoke (fig4a --jobs=2 vs bench/baselines/fig4a.json)"
   MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build/fig4a_bench_smoke.json \
@@ -97,6 +107,12 @@ run_bench_smoke() {
       ./build/bench/fig_modern --jobs=2 > /dev/null
   ./build/tools/mmdb_bench_diff bench/baselines/modern.json \
       build/fig_modern_bench_smoke.json
+  echo "check.sh: bench smoke (fig_interference --jobs=2 vs bench/baselines/interference.json)"
+  MMDB_TRACE_CAPACITY=64 \
+      MMDB_METRICS_SIDECAR=build/fig_interference_bench_smoke.json \
+      ./build/bench/fig_interference --jobs=2 > /dev/null
+  ./build/tools/mmdb_bench_diff bench/baselines/interference.json \
+      build/fig_interference_bench_smoke.json
   echo "check.sh: bench smoke (recovery_bench --jobs=2 vs bench/baselines/recovery.json)"
   env -u MMDB_RECOVERY_THREADS MMDB_TRACE_CAPACITY=64 \
       MMDB_METRICS_SIDECAR=build/recovery_bench_smoke.json \

@@ -7,6 +7,9 @@
 //
 //   mmdb_stats <metrics.json>            counters, timers, checkpoint phases
 //   mmdb_stats <metrics.json> --trace    also print every retained trace event
+//   mmdb_stats <metrics.json> --percentiles
+//       per-timer tail table (count, p50/p90/p99/p999, max) — the quick way
+//       to read an interference sidecar's latency tails per point
 //   mmdb_stats <metrics.json> --raw      re-emit the parsed document compactly
 //   mmdb_stats <metrics.json> --deterministic
 //       re-emit with the sidecar's "run" member stripped
@@ -58,6 +61,44 @@ void PrintSection(const JsonValue& doc, const char* key) {
                   NumberOr(value.Find("max"), 0));
     }
   }
+}
+
+// Tail table across every timer of the metrics section; relies on the
+// registry dump's p90/p999 members (Timer::ToJson).
+void PrintPercentiles(const JsonValue& metrics) {
+  const JsonValue* timers = metrics.Find("timers");
+  if (timers == nullptr || !timers->is_object() ||
+      timers->object_items().empty()) {
+    return;
+  }
+  std::printf("percentiles:\n");
+  std::printf("  %-32s %8s %10s %10s %10s %10s %10s\n", "timer", "count",
+              "p50", "p90", "p99", "p999", "max");
+  for (const auto& [name, value] : timers->object_items()) {
+    if (!value.is_object()) continue;
+    std::printf("  %-32s %8.0f %10.4g %10.4g %10.4g %10.4g %10.4g\n",
+                name.c_str(), NumberOr(value.Find("count"), 0),
+                NumberOr(value.Find("p50"), 0),
+                NumberOr(value.Find("p90"), 0),
+                NumberOr(value.Find("p99"), 0),
+                NumberOr(value.Find("p999"), 0),
+                NumberOr(value.Find("max"), 0));
+  }
+}
+
+// Time-series sampler summary: ring occupancy plus the sampled series
+// names (values live in the dump / Perfetto counter tracks).
+void PrintTimeSeries(const JsonValue& engine) {
+  const JsonValue* ts = engine.Find("timeseries");
+  if (ts == nullptr || !ts->is_object()) return;
+  std::printf("timeseries: epoch=%.4gs series=%zu recorded=%.0f "
+              "dropped=%.0f\n",
+              NumberOr(ts->Find("epoch"), 0),
+              ts->Find("series") != nullptr && ts->Find("series")->is_array()
+                  ? ts->Find("series")->array_items().size()
+                  : 0,
+              NumberOr(ts->Find("recorded"), 0),
+              NumberOr(ts->Find("dropped"), 0));
 }
 
 // Last-recovery block: deterministic counters, then the modeled
@@ -186,7 +227,7 @@ void PrintValidation(const JsonValue& validation, const char* title) {
   }
 }
 
-void PrintEngineDoc(const JsonValue& engine, bool events) {
+void PrintEngineDoc(const JsonValue& engine, bool events, bool percentiles) {
   const JsonValue* algorithm = engine.Find("algorithm");
   const JsonValue* mode = engine.Find("mode");
   if (algorithm != nullptr && algorithm->is_string()) {
@@ -202,13 +243,16 @@ void PrintEngineDoc(const JsonValue& engine, bool events) {
     PrintSection(*metrics, "counters");
     PrintSection(*metrics, "gauges");
     PrintSection(*metrics, "timers");
+    if (percentiles) PrintPercentiles(*metrics);
   }
+  PrintTimeSeries(engine);
   PrintRecovery(engine);
   PrintCheckpoints(engine);
   PrintTrace(engine, events);
 }
 
-int Run(const std::string& path, bool events, bool raw, bool deterministic) {
+int Run(const std::string& path, bool events, bool raw, bool deterministic,
+        bool percentiles) {
   std::string contents;
   Status read = Env::Posix()->ReadFileToString(path, &contents);
   if (!read.ok()) {
@@ -256,7 +300,7 @@ int Run(const std::string& path, bool events, bool raw, bool deterministic) {
         continue;
       }
       const JsonValue* engine = point.Find("engine");
-      if (engine != nullptr) PrintEngineDoc(*engine, events);
+      if (engine != nullptr) PrintEngineDoc(*engine, events, percentiles);
       const JsonValue* validation = point.Find("validation");
       if (validation != nullptr) {
         PrintValidation(*validation, "model validation");
@@ -269,7 +313,7 @@ int Run(const std::string& path, bool events, bool raw, bool deterministic) {
     }
     return 0;
   }
-  PrintEngineDoc(*doc, events);
+  PrintEngineDoc(*doc, events, percentiles);
   return 0;
 }
 
@@ -279,14 +323,15 @@ int Run(const std::string& path, bool events, bool raw, bool deterministic) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <metrics.json> [--trace] [--raw] "
-                 "[--deterministic]\n",
+                 "usage: %s <metrics.json> [--trace] [--percentiles] "
+                 "[--raw] [--deterministic]\n",
                  argv[0]);
     return 2;
   }
   bool events = false;
   bool raw = false;
   bool deterministic = false;
+  bool percentiles = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       events = true;
@@ -294,10 +339,12 @@ int main(int argc, char** argv) {
       raw = true;
     } else if (std::strcmp(argv[i], "--deterministic") == 0) {
       deterministic = true;
+    } else if (std::strcmp(argv[i], "--percentiles") == 0) {
+      percentiles = true;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return 2;
     }
   }
-  return mmdb::Run(argv[1], events, raw, deterministic);
+  return mmdb::Run(argv[1], events, raw, deterministic, percentiles);
 }
