@@ -96,9 +96,16 @@ Status Engine::Init(bool fresh) {
   segments_ = std::make_unique<SegmentTable>(p.db.num_segments());
   buffers_ = std::make_unique<BufferPool>(p.db.segment_bytes(),
                                           options_.max_snapshot_buffers);
+  shards_ = ShardLayout(
+      ResolveShards(options_.shards,
+                    static_cast<uint32_t>(p.db.num_segments())),
+      static_cast<uint32_t>(p.db.num_segments()));
+  shard_stall_quiesce_.assign(shards_.shards, 0.0);
+  shard_stall_ckpt_lock_.assign(shards_.shards, 0.0);
   log_ = std::make_unique<LogManager>(env_, LogPath(), p, &meter_,
                                       options_.stable_log_tail,
-                                      options_.log_flush_interval);
+                                      options_.log_flush_interval,
+                                      shards_.shards);
   log_->set_obs(metrics_, tracer_.get());
   if (fresh) {
     MMDB_RETURN_IF_ERROR(log_->Open());
@@ -108,7 +115,7 @@ Status Engine::Init(bool fresh) {
   backup_->set_obs(metrics_);
   MMDB_RETURN_IF_ERROR(backup_->Open());
   txns_ = std::make_unique<TxnManager>(db_.get(), segments_.get(), log_.get(),
-                                       &timestamps_, &meter_, p);
+                                       &timestamps_, &meter_, p, &shards_);
   txns_->set_obs(metrics_, tracer_.get());
 
   Checkpointer::Context ctx;
@@ -124,6 +131,7 @@ Status Engine::Init(bool fresh) {
   ctx.metrics = metrics_;
   ctx.tracer = tracer_.get();
   ctx.history_cap = options_.checkpoint_history_cap;
+  ctx.shards = shards_.shards;
   MMDB_ASSIGN_OR_RETURN(
       checkpointer_,
       Checkpointer::Create(options_.algorithm, ctx, options_.checkpoint_mode));
@@ -183,13 +191,17 @@ Status Engine::WaitForAdmission(const std::vector<SegmentId>& segs) {
     double wait = t - clock_.now();
     if (m_admission_wait_) m_admission_wait_->Record(wait);
     // Attribute the stall to its cause for the latency breakdown.
+    const uint32_t stall_shard =
+        segs.empty() ? 0 : shards_.ShardOfSegment(segs.front());
     switch (checkpointer_->ClassifyStall(segs, clock_.now())) {
       case Checkpointer::StallCause::kQuiesce:
         stall_quiesce_seconds_ += wait;
+        shard_stall_quiesce_[stall_shard] += wait;
         if (m_stall_quiesce_) m_stall_quiesce_->Record(wait);
         break;
       case Checkpointer::StallCause::kCheckpointLock:
         stall_ckpt_lock_seconds_ += wait;
+        shard_stall_ckpt_lock_[stall_shard] += wait;
         if (m_stall_ckpt_lock_) m_stall_ckpt_lock_->Record(wait);
         break;
       case Checkpointer::StallCause::kNone:
@@ -500,12 +512,12 @@ StatusOr<RecoveryStats> Engine::Recover() {
                      threads > 1 ? recovery_pool_.get() : nullptr);
   MMDB_ASSIGN_OR_RETURN(
       RecoveryResult result,
-      rm.Recover(backup_.get(), LogPath(), db_.get(), segments_.get(),
+      rm.Recover(backup_.get(), LogPaths(), db_.get(), segments_.get(),
                  clock_.now()));
   last_recovery_ = result.stats;
   has_last_recovery_ = true;
   MMDB_RETURN_IF_ERROR(
-      log_->OpenExisting(result.log_valid_bytes, result.last_lsn + 1));
+      log_->OpenExisting(result.stream_valid_bytes, result.last_lsn + 1));
   clock_.AdvanceBy(result.stats.total_seconds);
   TickSampler();
   crashed_ = false;
@@ -608,6 +620,40 @@ std::string Engine::DumpMetricsJson() const {
   } else {
     w.Null();
   }
+  // Per-shard breakdown of the partitioned engine: segment-range sizes,
+  // home-shard commits, per-stream WAL volume, stall attribution, and
+  // checkpoint flush counts. Present at every shard count (shards=1 shows
+  // one row covering the whole database).
+  w.Key("shards");
+  w.BeginObject();
+  w.Key("count");
+  w.Uint(shards_.shards);
+  w.Key("durable_epoch");
+  w.Uint(log_->DurableEpoch(clock_.now()));
+  w.Key("per_shard");
+  w.BeginArray();
+  for (uint32_t k = 0; k < shards_.shards; ++k) {
+    w.BeginObject();
+    w.Key("shard");
+    w.Uint(k);
+    w.Key("segments");
+    w.Uint(shards_.ShardSize(k));
+    w.Key("txn_commits");
+    w.Uint(txns_->shard_commits()[k]);
+    w.Key("log_appends");
+    w.Uint(log_->StreamAppends(k));
+    w.Key("log_bytes");
+    w.Uint(log_->StreamAppendBytes(k));
+    w.Key("stall_quiesce_seconds");
+    w.Double(shard_stall_quiesce_[k]);
+    w.Key("stall_ckpt_lock_seconds");
+    w.Double(shard_stall_ckpt_lock_[k]);
+    w.Key("ckpt_segments_flushed");
+    w.Uint(checkpointer_->shard_segments_flushed()[k]);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
   w.Key("checkpoints");
   w.BeginObject();
   w.Key("history_cap");

@@ -102,6 +102,18 @@ struct EngineOptions {
   // thread count recorded in trace baselines.
   uint32_t recovery_threads = 0;
 
+  // Number of engine shards (DESIGN.md §17): segment-range partitions,
+  // each with its own WAL stream file, lock-table stripe, and per-shard
+  // commit/stall/checkpoint accounting. The simulation stays ONE logical
+  // engine on one virtual clock at every shard count — sharding
+  // partitions the mechanical subsystems, so shards=1 (the default)
+  // reproduces the legacy modeled stats bit-for-bit and shards>1 yields
+  // the identical modeled view with per-shard breakdowns. Clamped to
+  // [1, num_segments]. The MMDB_SHARDS environment variable, when set to
+  // a positive integer, overrides this value for every engine
+  // (ResolveShards) — used by check.sh's shards=4 TSan lane.
+  uint32_t shards = 1;
+
   // Optional externally owned registry, e.g. shared by every engine of a
   // bench sweep so their counters aggregate. Must outlive the engine.
   // When null (and enable_metrics is set) the engine owns a private one.
@@ -121,6 +133,7 @@ struct EngineOptions {
           "FASTFUZZY requires stable_log_tail=true");
     }
     if (dir.empty()) return InvalidArgumentError("dir must be non-empty");
+    if (shards == 0) return InvalidArgumentError("shards must be >= 1");
     return Status::OK();
   }
 };

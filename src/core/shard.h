@@ -1,0 +1,75 @@
+#ifndef MMDB_CORE_SHARD_H_
+#define MMDB_CORE_SHARD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+namespace mmdb {
+
+// Segment-range partitioning of the primary database into N shards
+// (DESIGN.md §17). Shard k owns the contiguous segment range
+// [ShardBegin(k), ShardBegin(k+1)): the first `num_segments % shards`
+// shards own one extra segment. Everything per-shard in the engine —
+// the WAL stream a segment's REDO records go to, the lock-table stripe
+// map, per-shard stall/commit accounting, the per-shard checkpoint sweep
+// counters — derives from this one mapping, so the assignment is total,
+// static, and identical at every shard count for the segments a shard
+// owns.
+//
+// The layout is pure arithmetic over (shards, num_segments): it holds no
+// engine state and is freely copyable, so subsystems can either hold a
+// copy or a pointer to the Engine's instance.
+struct ShardLayout {
+  uint32_t shards = 1;
+  uint32_t num_segments = 0;
+
+  ShardLayout() = default;
+  ShardLayout(uint32_t shards_in, uint32_t num_segments_in)
+      : shards(shards_in == 0 ? 1 : shards_in),
+        num_segments(num_segments_in) {}
+
+  // First segment owned by shard k (== num_segments for k == shards).
+  uint32_t ShardBegin(uint32_t k) const {
+    uint32_t base = num_segments / shards;
+    uint32_t rem = num_segments % shards;
+    return k * base + std::min(k, rem);
+  }
+
+  // Number of segments shard k owns.
+  uint32_t ShardSize(uint32_t k) const {
+    return ShardBegin(k + 1) - ShardBegin(k);
+  }
+
+  // Owning shard of segment s (s < num_segments).
+  uint32_t ShardOfSegment(uint32_t s) const {
+    if (shards <= 1) return 0;
+    uint32_t base = num_segments / shards;
+    uint32_t rem = num_segments % shards;
+    uint64_t wide_end = static_cast<uint64_t>(rem) * (base + 1);
+    if (s < wide_end) return s / (base + 1);
+    return rem + static_cast<uint32_t>((s - wide_end) / base);
+  }
+};
+
+// Effective shard count: the MMDB_SHARDS environment variable (positive
+// integer) overrides `configured` for every engine — mirroring
+// MMDB_RECOVERY_THREADS — and the result is clamped to
+// [1, num_segments] so every shard owns at least one segment.
+inline uint32_t ResolveShards(uint32_t configured, uint32_t num_segments) {
+  uint32_t shards = configured;
+  if (const char* env = std::getenv("MMDB_SHARDS"); env != nullptr) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      shards = static_cast<uint32_t>(v);
+    }
+  }
+  if (shards == 0) shards = 1;
+  if (num_segments > 0 && shards > num_segments) shards = num_segments;
+  return shards;
+}
+
+}  // namespace mmdb
+
+#endif  // MMDB_CORE_SHARD_H_

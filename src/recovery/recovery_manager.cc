@@ -141,11 +141,9 @@ void RecoveryManager::Publish(const RecoveryStats& stats, double now,
   }
 }
 
-StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
-                                                  const std::string& log_path,
-                                                  Database* db,
-                                                  SegmentTable* segments,
-                                                  double now) {
+StatusOr<RecoveryResult> RecoveryManager::Recover(
+    BackupStore* backup, const std::vector<std::string>& log_paths,
+    Database* db, SegmentTable* segments, double now) {
   RecoveryResult result;
   RecoveryStats& stats = result.stats;
   const uint32_t threads =
@@ -169,7 +167,9 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(BackupStore* backup,
   // its end marker was cut), so the log wins. Metadata NEWER than the
   // log's last end marker is corruption.
   db->Clear();
-  MMDB_ASSIGN_OR_RETURN(LogReader reader, LogReader::Open(env_, log_path));
+  MMDB_ASSIGN_OR_RETURN(
+      LogReader reader,
+      LogReader::OpenStreams(env_, log_paths, &result.stream_valid_bytes));
   result.log_valid_bytes = reader.valid_bytes();
 
   StatusOr<CheckpointMeta> meta = backup->ReadMeta();

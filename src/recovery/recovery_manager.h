@@ -77,6 +77,10 @@ struct RecoveryResult {
   RecoveryStats stats;
   Lsn last_lsn = kInvalidLsn;      // highest LSN found in the log
   uint64_t log_valid_bytes = 0;    // well-formed log prefix length
+  // Per-stream logical end offsets of the merged prefix (one entry per
+  // log stream; see LogReader::OpenStreams) — what LogManager needs to
+  // reopen the stream files after recovery.
+  std::vector<uint64_t> stream_valid_bytes;
   // Id of the newest end-checkpoint marker in the log (0 if none). Equals
   // stats.checkpoint_id except when recovery fell back to the older copy;
   // the engine must then skip past this id so a stale end marker is never
@@ -117,9 +121,23 @@ class RecoveryManager {
 
   // `backup` must be Open()ed; `db`/`segments` are overwritten. `now` is
   // the virtual time at which recovery starts (the crash instant).
+  // `log_paths` is the per-shard stream file list (one path = the classic
+  // single log); the streams are LSN-merged into one logical log before
+  // the usual three-phase replay, so every downstream step — marker
+  // reconciliation, offset arithmetic, partitioned REDO — is stream-count
+  // agnostic.
+  StatusOr<RecoveryResult> Recover(BackupStore* backup,
+                                   const std::vector<std::string>& log_paths,
+                                   Database* db, SegmentTable* segments,
+                                   double now);
+
+  // Single-stream convenience overload (the pre-shard signature).
   StatusOr<RecoveryResult> Recover(BackupStore* backup,
                                    const std::string& log_path, Database* db,
-                                   SegmentTable* segments, double now);
+                                   SegmentTable* segments, double now) {
+    return Recover(backup, std::vector<std::string>{log_path}, db, segments,
+                   now);
+  }
 
   // The worker count recovery should use: the MMDB_RECOVERY_THREADS
   // environment variable (a positive count) when set and parseable,

@@ -41,6 +41,26 @@ class LogReader {
   // unsupported version, bit-flipped header) or has mid-log damage.
   static StatusOr<LogReader> Open(Env* env, const std::string& path);
 
+  // Opens N per-shard stream files (LogManager::StreamPath layout) and
+  // k-way merges their frames by LSN into ONE logical log view, exactly
+  // as if the engine had written a single stream: the merged base offset
+  // is the sum of the per-stream bases, frames appear in global LSN
+  // order, and every global offset published in checkpoint metadata
+  // resolves because gang flushes preserve "append order == LSN order"
+  // per stream. The merge stops at the first LSN gap — a gang batch torn
+  // across streams at crash time; frames past the gap in any stream were
+  // never globally promised and are dropped (a torn tail, not an error).
+  // A duplicate or out-of-order LSN across streams is CORRUPTION, as is a
+  // missing stream file when stream 0 exists (e.g. the engine was
+  // reopened with a different shard count). NOT_FOUND if stream 0 is
+  // missing. If `stream_valid_bytes` is non-null it receives, per
+  // stream, the logical end offset (base-inclusive) of that stream's
+  // merged prefix — what LogManager::OpenExisting needs to reopen the
+  // streams. A single path delegates to Open().
+  static StatusOr<LogReader> OpenStreams(
+      Env* env, const std::vector<std::string>& paths,
+      std::vector<uint64_t>* stream_valid_bytes);
+
   // OK, or Corruption when frames were damaged mid-log (intact frames
   // exist past the first bad one, so this is not a torn tail).
   const Status& status() const { return status_; }

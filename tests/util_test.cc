@@ -352,6 +352,42 @@ TEST(HistogramTest, MergeEdgeCases) {
   }
 }
 
+TEST(HistogramTest, ShardOrderMergeIsBitExact) {
+  // The workload driver's per-shard latency histograms are merged in shard
+  // order into the global histogram. Because Merge adds bucket counts and
+  // running sums, partitioning samples across any number of histograms and
+  // merging them back must reproduce the direct accumulation bit-for-bit —
+  // the property the shards=1-vs-N determinism gate relies on. Exercised at
+  // the latency ratio, the exact production configuration.
+  constexpr int kShards = 4;
+  std::vector<Histogram> parts(kShards, Histogram(Histogram::kLatencyRatio));
+  Histogram direct(Histogram::kLatencyRatio);
+  Random rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    // Heavy body with a sparse far tail, like a real latency population.
+    double v = rng.NextDouble() < 0.99 ? rng.NextDouble() * 50.0
+                                       : 1e4 + rng.NextDouble() * 1e6;
+    parts[i % kShards].Add(v);
+    direct.Add(v);
+  }
+  Histogram merged(Histogram::kLatencyRatio);
+  for (const Histogram& h : parts) merged.Merge(h);
+  // Bucket counts, count, and extremes are integers/order statistics:
+  // partitioning cannot perturb them, so percentiles match bit-for-bit.
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_DOUBLE_EQ(merged.min(), direct.min());
+  EXPECT_DOUBLE_EQ(merged.max(), direct.max());
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.Percentile(p), direct.Percentile(p)) << p;
+  }
+  // The running sums are accumulated in a different order, so they are
+  // only near-exact (float addition is not associative).
+  EXPECT_NEAR(merged.sum(), direct.sum(), 1e-9 * direct.sum());
+  EXPECT_NEAR(merged.Mean(), direct.Mean(), 1e-9 * direct.Mean());
+  EXPECT_NEAR(merged.StandardDeviation(), direct.StandardDeviation(),
+              1e-9 * direct.StandardDeviation());
+}
+
 TEST(HistogramTest, FinerRatioBoundsTailError) {
   // The geometric bucket ratio bounds the relative percentile error: a
   // reported percentile lies within a factor of `ratio` of the true order

@@ -11,21 +11,28 @@
 # The TSan gate builds only the parallel subsystem's tests plus the
 # figure benches and runs them at --jobs=2 as a threaded smoke; the
 # engines themselves are single-threaded, so the full suite under TSan
-# would just re-test serial code at 10x the cost.
+# would just re-test serial code at 10x the cost. The one exception is
+# the MMDB_SHARDS=4 lane: the engine/txn/recovery suites re-run under
+# TSan with every engine forced to four shards, exercising the striped
+# lock table, the N WAL stream files, and merged-stream recovery in the
+# partitioned configuration (DESIGN.md §17).
 #
-# The bench-smoke gate replays fig4a, fig_modern, fig_interference, and
-# recovery_bench at --jobs=2 with a shrunken trace ring
+# The bench-smoke gate replays fig4a, fig_modern, fig_interference,
+# fig_shard_scaling --quick, and recovery_bench at --jobs=2 with a
+# shrunken trace ring
 # (MMDB_TRACE_CAPACITY=64 — the capacity the committed baselines were
 # recorded at; ring drop counts depend on it) and diffs each fresh
 # sidecar against bench/baselines/*.json with mmdb_bench_diff:
 # deterministic leaves must match exactly, timing leaves within 5%.
-# fig4a and fig_modern additionally pin MMDB_RECOVERY_THREADS=2 — their
-# engines use the automatic (hardware-dependent) recovery width, and the
-# recovery fan-out trace event records the thread count, so the baseline
-# must be replayed at the width it was recorded at. recovery_bench is
-# the opposite: every point sets its own recovery_threads, so the
-# variable must be UNSET there (it would override all of them).
-# fig_interference never recovers, so the variable is irrelevant to it.
+# fig4a, fig_modern, and fig_shard_scaling additionally pin
+# MMDB_RECOVERY_THREADS=2 — their engines use the automatic
+# (hardware-dependent) recovery width, and the recovery fan-out trace
+# event records the thread count, so the baseline must be replayed at
+# the width it was recorded at. recovery_bench is the opposite: every
+# point sets its own recovery_threads, so the variable must be UNSET
+# there (it would override all of them). fig_interference never
+# recovers, so the variable is irrelevant to it. fig_shard_scaling
+# unsets MMDB_SHARDS itself (the shard count is its swept axis).
 # Regenerate the baselines after an intentional engine/model change with
 #   MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
 #       MMDB_METRICS_SIDECAR=bench/baselines/fig4a.json \
@@ -38,6 +45,9 @@
 #       ./build/bench/fig_interference --jobs=2 > /dev/null
 #   MMDB_TRACE_CAPACITY=64 MMDB_METRICS_SIDECAR=bench/baselines/recovery.json \
 #       ./build/bench/recovery_bench --jobs=2 > /dev/null
+#   MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
+#       MMDB_METRICS_SIDECAR=bench/baselines/shard.json \
+#       ./build/bench/fig_shard_scaling --quick --jobs=2 > /dev/null
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -69,10 +79,18 @@ run_sanitize() {
 run_tsan() {
   cmake -B build-tsan -S . -DMMDB_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
-      --target parallel_test recovery_parallel_test fig4a_overhead_recovery \
-      fig_modern fig_interference recovery_bench
+      --target parallel_test recovery_parallel_test engine_test txn_test \
+      recovery_test consistency_test restart_test fig4a_overhead_recovery \
+      fig_modern fig_interference fig_shard_scaling recovery_bench
   ctest --test-dir build-tsan --output-on-failure \
       -R '^(parallel_test|recovery_parallel_test)$'
+  echo "check.sh: tsan shard lane (MMDB_SHARDS=4 engine/txn/recovery suites)"
+  MMDB_SHARDS=4 ctest --test-dir build-tsan --output-on-failure \
+      -R '^(engine_test|txn_test|recovery_test|recovery_parallel_test|consistency_test|restart_test)$'
+  echo "check.sh: tsan bench smoke (fig_shard_scaling --quick --jobs=2)"
+  MMDB_RECOVERY_THREADS=2 \
+      MMDB_METRICS_SIDECAR=build-tsan/fig_shard_tsan_smoke.json \
+      ./build-tsan/bench/fig_shard_scaling --quick --jobs=2 > /dev/null
   echo "check.sh: tsan bench smoke (fig4a --jobs=2)"
   MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build-tsan/fig4a_tsan_smoke.json \
@@ -94,7 +112,7 @@ run_bench_smoke() {
   cmake -B build -S .
   cmake --build build -j "$jobs" \
       --target fig4a_overhead_recovery fig_modern fig_interference \
-      recovery_bench mmdb_bench_diff
+      fig_shard_scaling recovery_bench mmdb_bench_diff
   echo "check.sh: bench smoke (fig4a --jobs=2 vs bench/baselines/fig4a.json)"
   MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build/fig4a_bench_smoke.json \
@@ -119,6 +137,12 @@ run_bench_smoke() {
       ./build/bench/recovery_bench --jobs=2 > /dev/null
   ./build/tools/mmdb_bench_diff bench/baselines/recovery.json \
       build/recovery_bench_smoke.json
+  echo "check.sh: bench smoke (fig_shard_scaling --quick --jobs=2 vs bench/baselines/shard.json)"
+  MMDB_TRACE_CAPACITY=64 MMDB_RECOVERY_THREADS=2 \
+      MMDB_METRICS_SIDECAR=build/fig_shard_bench_smoke.json \
+      ./build/bench/fig_shard_scaling --quick --jobs=2 > /dev/null
+  ./build/tools/mmdb_bench_diff bench/baselines/shard.json \
+      build/fig_shard_bench_smoke.json
 }
 
 case "$what" in

@@ -151,6 +151,32 @@ void PrintRecovery(const JsonValue& engine) {
   }
 }
 
+// Per-shard breakdown of the partitioned engine (the dump's "shards"
+// member): segment-range sizes, home-shard commits, per-stream WAL volume,
+// stall attribution, and checkpoint flush counts.
+void PrintShards(const JsonValue& engine) {
+  const JsonValue* shards = engine.Find("shards");
+  if (shards == nullptr || !shards->is_object()) return;
+  std::printf("shards: count=%.0f durable_epoch=%.0f\n",
+              NumberOr(shards->Find("count"), 1),
+              NumberOr(shards->Find("durable_epoch"), 0));
+  const JsonValue* per = shards->Find("per_shard");
+  if (per == nullptr || !per->is_array()) return;
+  std::printf("  %-5s %7s %10s %10s %12s %10s %10s %9s\n", "shard", "segs",
+              "commits", "appends", "log_bytes", "quiesce_s", "cklock_s",
+              "flushed");
+  for (const JsonValue& s : per->array_items()) {
+    std::printf("  %-5.0f %7.0f %10.0f %10.0f %12.0f %10.4f %10.4f %9.0f\n",
+                NumberOr(s.Find("shard"), 0), NumberOr(s.Find("segments"), 0),
+                NumberOr(s.Find("txn_commits"), 0),
+                NumberOr(s.Find("log_appends"), 0),
+                NumberOr(s.Find("log_bytes"), 0),
+                NumberOr(s.Find("stall_quiesce_seconds"), 0),
+                NumberOr(s.Find("stall_ckpt_lock_seconds"), 0),
+                NumberOr(s.Find("ckpt_segments_flushed"), 0));
+  }
+}
+
 void PrintCheckpoints(const JsonValue& engine) {
   const JsonValue* ckpts = engine.Find("checkpoints");
   if (ckpts == nullptr || !ckpts->is_object()) return;
@@ -247,6 +273,7 @@ void PrintEngineDoc(const JsonValue& engine, bool events, bool percentiles) {
   }
   PrintTimeSeries(engine);
   PrintRecovery(engine);
+  PrintShards(engine);
   PrintCheckpoints(engine);
   PrintTrace(engine, events);
 }
