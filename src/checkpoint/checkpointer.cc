@@ -173,6 +173,22 @@ Status Checkpointer::Begin(CheckpointId id, double now) {
     stats_.quiesce_seconds = sweep_start_ - now;
   }
   state_ = State::kSweeping;
+  if (ctx_.audit != nullptr) {
+    ctx_.audit->Record("ckpt.begin", now, [this](JsonWriter& w) {
+      w.Key("ckpt");
+      w.Uint(id_);
+      w.Key("algorithm");
+      w.String(name());
+      w.Key("mode");
+      w.String(mode_ == CheckpointMode::kFull ? "full" : "partial");
+      w.Key("copy");
+      w.Uint(copy());
+      w.Key("begin_lsn");
+      w.Uint(begin_marker_lsn_);
+      w.Key("begin_offset");
+      w.Uint(begin_marker_offset_);
+    });
+  }
   return Status::OK();
 }
 
@@ -211,6 +227,24 @@ StatusOr<double> Checkpointer::SubmitWrite(SegmentId s, std::string_view data,
                         static_cast<int64_t>(s),
                         static_cast<int64_t>(copy()),
                         static_cast<int64_t>(data.size()));
+  }
+  if (ctx_.audit != nullptr) {
+    // The segment's update LSN at flush time tells recovery auditing what
+    // log position this backup image reflects (at most).
+    const Lsn lsn = ctx_.segments->update_lsn(s);
+    const uint64_t bytes = data.size();
+    ctx_.audit->Record("ckpt.flush", now, [&](JsonWriter& w) {
+      w.Key("ckpt");
+      w.Uint(id_);
+      w.Key("segment");
+      w.Uint(s);
+      w.Key("copy");
+      w.Uint(copy());
+      w.Key("lsn");
+      w.Uint(lsn);
+      w.Key("bytes");
+      w.Uint(bytes);
+    });
   }
   return done;
 }
@@ -321,6 +355,19 @@ StatusOr<double> Checkpointer::Step(double now) {
                             static_cast<int64_t>(stats_.segments_flushed),
                             static_cast<int64_t>(stats_.segments_skipped));
       }
+      if (ctx_.audit != nullptr) {
+        ctx_.audit->Record("ckpt.end", now, [this](JsonWriter& w) {
+          w.Key("ckpt");
+          w.Uint(id_);
+          w.Key("copy");
+          w.Uint(copy());
+          w.Key("flushed");
+          w.Uint(stats_.segments_flushed);
+          w.Key("skipped");
+          w.Uint(stats_.segments_skipped);
+        });
+        ctx_.audit->Sync();
+      }
       state_ = State::kIdle;
       MMDB_RETURN_IF_ERROR(OnComplete(now));
       CheckpointMeta meta;
@@ -359,7 +406,7 @@ void Checkpointer::Reset() {
   state_ = State::kIdle;
 }
 
-void Checkpointer::Abort(double now) {
+void Checkpointer::Abort(double now, std::string_view cause) {
   if (!InProgress()) return;
   // Re-dirty everything this attempt flushed: the copy now holds a mix of
   // this attempt's and stale images, and the retry (same id, same copy)
@@ -369,17 +416,27 @@ void Checkpointer::Abort(double now) {
   }
   ++aborted_count_;
   if (m_aborted_ != nullptr) m_aborted_->Increment();
+  // Any negative `now` is the "no clock" sentinel; fall back to the
+  // begin time, which Begin() guarantees non-negative. The outer clamp
+  // keeps the invariant even if stats_ was never populated, so the
+  // trace export can never emit a negative timestamp.
+  const double when = std::max(0.0, now >= 0.0 ? now : stats_.begin_time);
   if (ctx_.tracer != nullptr) {
-    // Any negative `now` is the "no clock" sentinel; fall back to the
-    // begin time, which Begin() guarantees non-negative. The outer clamp
-    // keeps the invariant even if stats_ was never populated, so the
-    // trace export can never emit a negative timestamp.
-    const double when =
-        std::max(0.0, now >= 0.0 ? now : stats_.begin_time);
     ctx_.tracer->Record(TraceEventType::kCheckpointAbort, when, 0.0,
                         static_cast<int64_t>(id_),
                         static_cast<int64_t>(stats_.segments_flushed),
                         static_cast<int64_t>(stats_.segments_skipped));
+  }
+  if (ctx_.audit != nullptr) {
+    ctx_.audit->Record("ckpt.abort", when, [&](JsonWriter& w) {
+      w.Key("ckpt");
+      w.Uint(id_);
+      w.Key("cause");
+      w.String(cause.empty() ? std::string_view("unspecified") : cause);
+      w.Key("flushed");
+      w.Uint(stats_.segments_flushed);
+    });
+    ctx_.audit->Sync();
   }
   Reset();
 }

@@ -14,6 +14,7 @@
 
 #include "backup/backup_store.h"
 #include "core/shard.h"
+#include "obs/audit.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "sim/cost_model.h"
@@ -154,9 +155,12 @@ class Checkpointer : public CheckpointHooks {
     TimestampOracle* timestamps = nullptr;
     CpuMeter* meter = nullptr;
     SystemParams params;
-    // Optional observability sinks (either may stay null).
+    // Optional observability sinks (any may stay null).
     MetricsRegistry* metrics = nullptr;
     Tracer* tracer = nullptr;
+    // Provenance journal (DESIGN.md §18): begin/flush/degraded/end/abort
+    // events are appended for every checkpoint attempt.
+    AuditJournal* audit = nullptr;
     // Completed-checkpoint stats retained by history(); older entries are
     // discarded once the cap is exceeded (0 = unbounded).
     size_t history_cap = 256;
@@ -219,8 +223,10 @@ class Checkpointer : public CheckpointHooks {
   // The previous complete copy is never touched by a failed attempt, so a
   // readable backup exists throughout. No-op when idle. `now` is only for
   // the trace timeline; callers without a clock may omit it (the event is
-  // then stamped with the checkpoint's begin time).
-  void Abort(double now = -1.0);
+  // then stamped with the checkpoint's begin time). `cause` (the failing
+  // Status, rendered) is journaled with the ckpt.abort provenance event so
+  // an abort/retry chain explains *why* each attempt died.
+  void Abort(double now = -1.0, std::string_view cause = {});
   // Checkpoints abandoned via Abort() since construction.
   uint64_t aborted_count() const { return aborted_count_; }
 

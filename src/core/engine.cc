@@ -61,6 +61,15 @@ Status Engine::Init(bool fresh) {
   const SystemParams& p = options_.params;
   MMDB_RETURN_IF_ERROR(env_->CreateDirIfMissing(options_.dir));
 
+  if (options_.audit_journal) {
+    // The provenance journal opens before any subsystem that might emit to
+    // it. On a restart the existing journal is resumed (its valid prefix
+    // kept) so checkpoint lineage survives crashes; a journal that cannot
+    // open degrades to a disabled sink rather than failing the engine.
+    audit_ = std::make_unique<AuditJournal>(env_, AuditLogPath());
+    audit_->Open(fresh);
+  }
+
   if (options_.enable_metrics) {
     if (options_.shared_metrics != nullptr) {
       metrics_ = options_.shared_metrics;
@@ -132,6 +141,7 @@ Status Engine::Init(bool fresh) {
   ctx.tracer = tracer_.get();
   ctx.history_cap = options_.checkpoint_history_cap;
   ctx.shards = shards_.shards;
+  ctx.audit = audit_.get();
   MMDB_ASSIGN_OR_RETURN(
       checkpointer_,
       Checkpointer::Create(options_.algorithm, ctx, options_.checkpoint_mode));
@@ -348,7 +358,7 @@ Status Engine::FailCheckpoint(Status error) {
   // untouched, so a readable backup still exists. The scheduler's
   // completed count is unchanged, so the next StartCheckpoint reuses the
   // same id and rewrites the same torn ping-pong copy.
-  checkpointer_->Abort(clock_.now());
+  checkpointer_->Abort(clock_.now(), error.ToString());
   last_checkpoint_error_ = error;
   if (logical_deltas_logged_) {
     // Retrying is only sound because replaying full-image REDO records is
@@ -465,12 +475,27 @@ Status Engine::MaybeTruncateLog() {
   }
   // Everything before the newest complete checkpoint's begin marker is
   // unreachable by recovery (which replays forward from that marker).
-  Status st = log_->TruncateBefore(meta->log_offset).status();
+  StatusOr<uint64_t> reclaimed = log_->TruncateBefore(meta->log_offset);
+  if (reclaimed.ok() && audit_ != nullptr) {
+    const uint64_t cut = meta->log_offset;
+    audit_->Record("ckpt.log_cut", clock_.now(), [&](JsonWriter& w) {
+      w.Key("cut");
+      w.Uint(cut);
+      w.Key("reclaimed");
+      w.Uint(*reclaimed);
+      w.Key("stream_bases");
+      w.BeginArray();
+      for (uint32_t k = 0; k < log_->num_streams(); ++k) {
+        w.Uint(log_->StreamBaseOffset(k));
+      }
+      w.EndArray();
+    });
+  }
   // Truncation is purely an optimization, and a failed rewrite leaves the
   // original file intact (temp + rename): degrade by keeping the longer
   // log and retrying after the next checkpoint.
-  if (st.IsIoError()) return Status::OK();
-  return st;
+  if (!reclaimed.ok() && reclaimed.status().IsIoError()) return Status::OK();
+  return reclaimed.status();
 }
 
 Status Engine::MaybeGroupFlush() {
@@ -502,6 +527,13 @@ StatusOr<RecoveryStats> Engine::Recover() {
     tracer_->Record(TraceEventType::kRecoveryBegin, clock_.now(), 0.0,
                     restarting_ ? 1 : 0);
   }
+  if (audit_ != nullptr) {
+    const bool restart = restarting_;
+    audit_->Record("recovery.begin", clock_.now(), [&](JsonWriter& w) {
+      w.Key("restart");
+      w.Bool(restart);
+    });
+  }
   restarting_ = false;
   uint32_t threads = RecoveryManager::ResolveThreads(options_.recovery_threads);
   if (threads > 1 &&
@@ -510,12 +542,14 @@ StatusOr<RecoveryStats> Engine::Recover() {
   }
   RecoveryManager rm(env_, options_.params, &meter_, metrics_, tracer_.get(),
                      threads > 1 ? recovery_pool_.get() : nullptr);
+  rm.set_audit(audit_.get());
   MMDB_ASSIGN_OR_RETURN(
       RecoveryResult result,
       rm.Recover(backup_.get(), LogPaths(), db_.get(), segments_.get(),
                  clock_.now()));
   last_recovery_ = result.stats;
   has_last_recovery_ = true;
+  last_lineage_ = std::move(result.lineage);
   MMDB_RETURN_IF_ERROR(
       log_->OpenExisting(result.stream_valid_bytes, result.last_lsn + 1));
   clock_.AdvanceBy(result.stats.total_seconds);
@@ -692,6 +726,41 @@ std::string Engine::DumpMetricsJson() const {
   }
   w.EndArray();
   w.EndObject();
+  // Provenance journal state (DESIGN.md §18). Deliberately the LAST member
+  // and excluded from every determinism comparison (bench_diff strips it,
+  // like "run" and "shards"): lineage stream sets legitimately vary with
+  // the shard count, and journal byte counts vary with event volume.
+  w.Key("audit");
+  if (audit_ != nullptr) {
+    const AuditJournal::Counters& c = audit_->counters();
+    w.BeginObject();
+    w.Key("journal");
+    w.BeginObject();
+    w.Key("path");
+    w.String(audit_->path());
+    w.Key("entries");
+    w.Uint(c.entries);
+    w.Key("bytes");
+    w.Uint(c.bytes);
+    w.Key("syncs");
+    w.Uint(c.syncs);
+    w.Key("append_errors");
+    w.Uint(c.append_errors);
+    w.Key("sync_errors");
+    w.Uint(c.sync_errors);
+    w.Key("next_seq");
+    w.Uint(audit_->next_seq());
+    w.EndObject();
+    w.Key("lineage");
+    if (last_lineage_.empty()) {
+      w.Null();
+    } else {
+      WriteLineageJson(last_lineage_, &w);
+    }
+    w.EndObject();
+  } else {
+    w.Null();
+  }
   w.EndObject();
   return w.TakeString();
 }

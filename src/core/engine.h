@@ -199,9 +199,21 @@ class Engine {
   // observability is disabled.
   std::string DumpMetricsJson() const;
 
+  // Provenance journal (DESIGN.md §18); null when options.audit_journal is
+  // false. The journal is an audit artifact, never a recovery input.
+  AuditJournal* audit() { return audit_.get(); }
+  const AuditJournal* audit() const { return audit_.get(); }
+  // Per-segment lineage of the most recent successful Recover() (empty
+  // before any recovery) — the data behind DumpMetricsJson()'s
+  // "audit.lineage" member and mmdb_audit's verify cross-check.
+  const std::vector<SegmentLineage>& last_lineage() const {
+    return last_lineage_;
+  }
+
   // Paths within the Env. LogPath() is stream 0 (the classic single log);
   // LogPaths() lists every per-shard stream file.
   std::string LogPath() const { return options_.dir + "/wal.log"; }
+  std::string AuditLogPath() const { return options_.dir + "/audit.log"; }
   std::vector<std::string> LogPaths() const {
     std::vector<std::string> paths;
     for (uint32_t k = 0; k < shards_.shards; ++k) {
@@ -280,6 +292,10 @@ class Engine {
   // DumpMetricsJson()'s "recovery" member (wall vs modeled breakdown).
   RecoveryStats last_recovery_;
   bool has_last_recovery_ = false;
+  // Provenance journal (null when options.audit_journal is false) and the
+  // per-segment lineage of the most recent successful recovery.
+  std::unique_ptr<AuditJournal> audit_;
+  std::vector<SegmentLineage> last_lineage_;
 
   uint64_t apply_seed_ = 0x6d6d6462;  // backoff jitter for Apply retries
   bool crashed_ = false;

@@ -66,6 +66,16 @@ struct EngineOptions {
   // emits null metric/trace sections.
   bool enable_metrics = true;
 
+  // Append every checkpoint lifecycle event and recovery decision to a
+  // durable provenance journal (`<dir>/audit.log`, DESIGN.md §18),
+  // queryable and machine-checkable with the `mmdb_audit` tool. The
+  // journal carries no registry instruments and consumes no virtual time,
+  // so every modeled stat and the registry snapshot are bit-identical
+  // with it on or off; its own health appears only in DumpMetricsJson's
+  // top-level "audit" member (stripped by bench_diff). Independent of
+  // enable_metrics.
+  bool audit_journal = true;
+
   // Trace ring size in events; the oldest events are overwritten (and
   // counted as dropped) beyond this. Default Tracer::kDefaultCapacity =
   // 8192 events (~300 KiB of ring). The MMDB_TRACE_CAPACITY environment

@@ -1,0 +1,540 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/crc32c.h"
+
+namespace mmdb {
+namespace {
+
+// Validates one complete journal line (no trailing newline): the crc member
+// must be present, must be the literal splice Record() appended, and must
+// cover the line with that splice removed.
+bool ParseLine(std::string_view line, AuditEntry* out) {
+  size_t pos = line.rfind(",\"crc\":");
+  if (pos == std::string_view::npos) return false;
+  std::string body(line.substr(0, pos));
+  body += '}';
+  StatusOr<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok() || !parsed->is_object()) return false;
+  const JsonValue* crc = parsed->Find("crc");
+  const JsonValue* seq = parsed->Find("seq");
+  const JsonValue* t = parsed->Find("t");
+  const JsonValue* event = parsed->Find("event");
+  if (crc == nullptr || !crc->is_number() || seq == nullptr ||
+      !seq->is_number() || t == nullptr || !t->is_number() ||
+      event == nullptr || !event->is_string()) {
+    return false;
+  }
+  if (crc32c::Value(body) != static_cast<uint32_t>(crc->number_value())) {
+    return false;
+  }
+  out->seq = static_cast<uint64_t>(seq->number_value());
+  out->t = t->number_value();
+  out->event = event->string_value();
+  out->object = std::move(*parsed);
+  return true;
+}
+
+uint64_t AsU64(const JsonValue& v) {
+  return static_cast<uint64_t>(v.number_value());
+}
+
+}  // namespace
+
+AuditJournal::AuditJournal(Env* env, std::string path)
+    : env_(env), path_(std::move(path)) {}
+
+void AuditJournal::Open(bool fresh) {
+  std::string prefix;
+  if (!fresh) {
+    std::string existing;
+    if (env_->ReadFileToString(path_, &existing).ok()) {
+      // Keep the longest prefix of complete, CRC-clean, gap-free lines;
+      // anything after the first damaged line (a torn append from a crash
+      // or an injected fault) is dropped before numbering resumes.
+      size_t kept = 0;
+      uint64_t last_seq = 0;
+      size_t pos = 0;
+      while (pos < existing.size()) {
+        size_t nl = existing.find('\n', pos);
+        if (nl == std::string::npos) break;
+        AuditEntry e;
+        if (!ParseLine({existing.data() + pos, nl - pos}, &e) ||
+            e.seq != last_seq + 1) {
+          break;
+        }
+        last_seq = e.seq;
+        kept = nl + 1;
+        pos = nl + 1;
+      }
+      prefix = existing.substr(0, kept);
+      next_seq_ = last_seq + 1;
+    }
+  }
+  StatusOr<std::unique_ptr<WritableFile>> file = env_->NewWritableFile(path_);
+  if (!file.ok()) {
+    ++counters_.append_errors;
+    return;
+  }
+  file_ = std::move(*file);
+  if (!prefix.empty() && !file_->Append(prefix).ok()) {
+    ++counters_.append_errors;
+    file_.reset();
+  }
+}
+
+void AuditJournal::Record(std::string_view event, double t,
+                          const std::function<void(JsonWriter&)>& fields) {
+  if (file_ == nullptr) return;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("seq");
+  w.Uint(next_seq_);
+  w.Key("t");
+  w.Double(t);
+  w.Key("event");
+  w.String(event);
+  if (fields) fields(w);
+  w.EndObject();
+  std::string line = w.TakeString();
+  uint32_t crc = crc32c::Value(line);
+  line.pop_back();
+  line += ",\"crc\":";
+  line += std::to_string(crc);
+  line += "}\n";
+  if (Status st = file_->Append(line); !st.ok()) {
+    // The line may have torn mid-append; nothing may be written after it.
+    ++counters_.append_errors;
+    file_.reset();
+    return;
+  }
+  ++next_seq_;
+  ++counters_.entries;
+  counters_.bytes += line.size();
+}
+
+void AuditJournal::Sync() {
+  if (file_ == nullptr) return;
+  ++counters_.syncs;
+  if (!file_->Sync().ok()) ++counters_.sync_errors;
+}
+
+void WriteLineageJson(const std::vector<SegmentLineage>& lineage,
+                      JsonWriter* w) {
+  w->BeginObject();
+  w->Key("segments");
+  w->Uint(lineage.size());
+  w->Key("checkpoint");
+  w->BeginArray();
+  for (const SegmentLineage& l : lineage) w->Uint(l.checkpoint_id);
+  w->EndArray();
+  w->Key("copy");
+  w->BeginArray();
+  for (const SegmentLineage& l : lineage) w->Uint(l.copy);
+  w->EndArray();
+  w->Key("retried");
+  w->BeginArray();
+  for (const SegmentLineage& l : lineage) w->Bool(l.retried);
+  w->EndArray();
+  w->Key("frames");
+  w->BeginArray();
+  for (const SegmentLineage& l : lineage) w->Uint(l.frames);
+  w->EndArray();
+  w->Key("first_lsn");
+  w->BeginArray();
+  for (const SegmentLineage& l : lineage) w->Uint(l.first_lsn);
+  w->EndArray();
+  w->Key("last_lsn");
+  w->BeginArray();
+  for (const SegmentLineage& l : lineage) w->Uint(l.last_lsn);
+  w->EndArray();
+  w->Key("streams");
+  w->BeginArray();
+  for (const SegmentLineage& l : lineage) {
+    w->BeginArray();
+    for (uint32_t s : l.streams) w->Uint(s);
+    w->EndArray();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+StatusOr<std::vector<AuditEntry>> ParseAuditJournal(std::string_view text) {
+  std::vector<AuditEntry> entries;
+  size_t pos = 0;
+  uint64_t line_no = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) break;  // torn trailing append: legal
+    ++line_no;
+    AuditEntry e;
+    if (!ParseLine(text.substr(pos, nl - pos), &e)) {
+      return CorruptionError("audit journal line " + std::to_string(line_no) +
+                             ": bad checksum or malformed entry");
+    }
+    if (e.seq != entries.size() + 1) {
+      return CorruptionError(
+          "audit journal line " + std::to_string(line_no) + ": sequence " +
+          std::to_string(e.seq) + " where " +
+          std::to_string(entries.size() + 1) +
+          " was expected (lost or reordered entries)");
+    }
+    entries.push_back(std::move(e));
+    pos = nl + 1;
+  }
+  return entries;
+}
+
+namespace {
+
+// Required payload members per event (beyond seq/t/event/crc).
+struct EventSpec {
+  std::string_view event;
+  std::vector<std::string_view> fields;
+};
+
+const std::vector<EventSpec>& EventSpecs() {
+  static const std::vector<EventSpec>* specs = new std::vector<EventSpec>{
+      {"ckpt.begin",
+       {"ckpt", "algorithm", "mode", "copy", "begin_lsn", "begin_offset"}},
+      {"ckpt.flush", {"ckpt", "segment", "copy", "lsn", "bytes"}},
+      {"ckpt.degraded", {"ckpt", "segment"}},
+      {"ckpt.end", {"ckpt", "copy", "flushed", "skipped"}},
+      {"ckpt.abort", {"ckpt", "cause", "flushed"}},
+      {"ckpt.log_cut", {"cut", "reclaimed", "stream_bases"}},
+      {"recovery.begin", {"restart"}},
+      {"recovery.streams",
+       {"valid_bytes", "dropped_frames", "torn_gang", "gap_lsn"}},
+      {"recovery.plan", {"checkpoint", "copy", "begin_offset", "source"}},
+      {"recovery.fallback",
+       {"from_checkpoint", "from_copy", "to_checkpoint", "to_copy", "trigger",
+        "failed_segments", "full_reload"}},
+      {"recovery.lineage", {"lineage"}},
+      {"recovery.end",
+       {"checkpoint", "copy", "fell_back", "last_lsn", "applies", "txns"}},
+      {"recovery.error", {"error"}},
+  };
+  return *specs;
+}
+
+}  // namespace
+
+Status VerifyAuditStructure(const std::vector<AuditEntry>& entries) {
+  bool ckpt_open = false;
+  uint64_t ckpt_id = 0;
+  bool rec_open = false;
+  for (const AuditEntry& e : entries) {
+    auto fail = [&e](std::string_view why) {
+      return CorruptionError("audit seq " + std::to_string(e.seq) + " (" +
+                             e.event + "): " + std::string(why));
+    };
+    const EventSpec* spec = nullptr;
+    for (const EventSpec& s : EventSpecs()) {
+      if (s.event == e.event) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) return fail("unknown event");
+    for (std::string_view f : spec->fields) {
+      if (e.object.Find(f) == nullptr) {
+        return fail("missing field '" + std::string(f) + "'");
+      }
+    }
+    bool is_ckpt = e.event.rfind("ckpt.", 0) == 0;
+    if (is_ckpt && rec_open) {
+      return fail("checkpoint event inside an open recovery chain");
+    }
+    if (e.event == "ckpt.begin") {
+      if (ckpt_open) return fail("nested checkpoint begin");
+      ckpt_open = true;
+      ckpt_id = AsU64(*e.object.Find("ckpt"));
+    } else if (e.event == "ckpt.flush" || e.event == "ckpt.degraded" ||
+               e.event == "ckpt.end" || e.event == "ckpt.abort") {
+      if (!ckpt_open) return fail("no open checkpoint chain");
+      if (AsU64(*e.object.Find("ckpt")) != ckpt_id) {
+        return fail("checkpoint id does not match the open chain (" +
+                    std::to_string(ckpt_id) + ")");
+      }
+      if (e.event == "ckpt.end" || e.event == "ckpt.abort") ckpt_open = false;
+    } else if (e.event == "ckpt.log_cut") {
+      // Runs after the chain committed; legal anywhere outside recovery.
+    } else if (e.event == "recovery.begin") {
+      if (rec_open) return fail("nested recovery begin");
+      // A crash severs an in-flight checkpoint before its abort/end could
+      // be journaled; recovery implicitly closes the chain.
+      ckpt_open = false;
+      rec_open = true;
+    } else {  // recovery.* other than begin
+      if (!rec_open) return fail("recovery event outside a recovery chain");
+      if (e.event == "recovery.end" || e.event == "recovery.error") {
+        rec_open = false;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Dump-side member lookup that reports what was missing instead of
+// defaulting: the cross-check must not silently pass on a malformed dump.
+StatusOr<const JsonValue*> Member(const JsonValue& obj, std::string_view key,
+                                  std::string_view where) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr) {
+    return CorruptionError("dump member " + std::string(where) + "." +
+                           std::string(key) + " is missing");
+  }
+  return v;
+}
+
+}  // namespace
+
+Status VerifyAuditAgainstDump(const std::vector<AuditEntry>& entries,
+                              const JsonValue& dump) {
+  const JsonValue* audit = dump.Find("audit");
+  if (audit == nullptr || audit->is_null()) {
+    return CorruptionError(
+        "dump has no audit member: engine ran without the provenance "
+        "journal, nothing to cross-check");
+  }
+  const JsonValue* next_seq = audit->FindPath({"journal", "next_seq"});
+  if (next_seq == nullptr || !next_seq->is_number()) {
+    return CorruptionError("dump member audit.journal.next_seq is missing");
+  }
+  uint64_t last_seq = entries.empty() ? 0 : entries.back().seq;
+  if (AsU64(*next_seq) != last_seq + 1) {
+    return CorruptionError(
+        "journal ends at seq " + std::to_string(last_seq) +
+        " but the engine's next sequence is " +
+        std::to_string(AsU64(*next_seq)) + ": lost or foreign entries");
+  }
+
+  // Locate the last completed recovery chain's claims. Lineage and end
+  // events are only journaled on success, so the last of each belongs to
+  // the same chain the engine's dump.recovery member describes.
+  const AuditEntry* end = nullptr;
+  const AuditEntry* lineage = nullptr;
+  for (const AuditEntry& e : entries) {
+    if (e.event == "recovery.end") end = &e;
+    if (e.event == "recovery.lineage") lineage = &e;
+  }
+
+  const JsonValue* rec = dump.Find("recovery");
+  if (rec == nullptr || rec->is_null()) {
+    if (end != nullptr) {
+      return CorruptionError(
+          "journal claims a completed recovery (seq " +
+          std::to_string(end->seq) + ") but the engine has performed none");
+    }
+    return Status::OK();
+  }
+  if (end == nullptr || lineage == nullptr) {
+    return CorruptionError(
+        "engine recovered but the journal holds no completed recovery "
+        "chain (recovery.lineage + recovery.end)");
+  }
+
+  // recovery.end vs the engine's own RecoveryStats.
+  struct Pair {
+    std::string_view journal_key;
+    std::string_view dump_key;
+  };
+  for (Pair p : {Pair{"checkpoint", "checkpoint"}, Pair{"copy", "copy"},
+                 Pair{"applies", "updates_applied"},
+                 Pair{"txns", "txns_redone"}}) {
+    MMDB_ASSIGN_OR_RETURN(const JsonValue* want,
+                          Member(*rec, p.dump_key, "recovery"));
+    const JsonValue* got = end->object.Find(p.journal_key);
+    if (got == nullptr || AsU64(*got) != AsU64(*want)) {
+      return CorruptionError(
+          "recovery.end." + std::string(p.journal_key) + " = " +
+          (got != nullptr ? std::to_string(AsU64(*got)) : "<missing>") +
+          " diverges from the engine's " + std::string(p.dump_key) + " = " +
+          std::to_string(AsU64(*want)));
+    }
+  }
+  MMDB_ASSIGN_OR_RETURN(const JsonValue* fell_back,
+                        Member(*rec, "fell_back", "recovery"));
+  const JsonValue* jfb = end->object.Find("fell_back");
+  if (jfb == nullptr || jfb->bool_value() != fell_back->bool_value()) {
+    return CorruptionError(
+        "recovery.end.fell_back diverges from the engine's fallback record");
+  }
+
+  // The journal's lineage must be byte-identical (after a parse round
+  // trip) to the lineage the engine actually recovered.
+  const JsonValue* dump_lineage = audit->Find("lineage");
+  if (dump_lineage == nullptr || dump_lineage->is_null()) {
+    return CorruptionError(
+        "engine recovered but dump member audit.lineage is null");
+  }
+  const JsonValue* journal_lineage = lineage->object.Find("lineage");
+  if (journal_lineage == nullptr ||
+      journal_lineage->Dump() != dump_lineage->Dump()) {
+    return CorruptionError(
+        "recovery.lineage (seq " + std::to_string(lineage->seq) +
+        ") diverges from the engine's recovered per-segment lineage");
+  }
+
+  // Independent tallies: the lineage's applied-frame total and retry flags
+  // are accumulated per segment bucket during replay, while
+  // updates_applied / segments_retried are counted by separate code paths.
+  const JsonValue* frames = journal_lineage->Find("frames");
+  const JsonValue* retried = journal_lineage->Find("retried");
+  const JsonValue* last_lsn = journal_lineage->Find("last_lsn");
+  if (frames == nullptr || retried == nullptr || last_lsn == nullptr) {
+    return CorruptionError("recovery.lineage arrays are incomplete");
+  }
+  uint64_t frame_total = 0;
+  for (const JsonValue& f : frames->array_items()) frame_total += AsU64(f);
+  MMDB_ASSIGN_OR_RETURN(const JsonValue* applied,
+                        Member(*rec, "updates_applied", "recovery"));
+  if (frame_total != AsU64(*applied)) {
+    return CorruptionError("lineage claims " + std::to_string(frame_total) +
+                           " applied frames but the engine applied " +
+                           std::to_string(AsU64(*applied)));
+  }
+  uint64_t retried_total = 0;
+  for (const JsonValue& r : retried->array_items()) {
+    if (r.bool_value()) ++retried_total;
+  }
+  MMDB_ASSIGN_OR_RETURN(const JsonValue* retried_want,
+                        Member(*rec, "segments_retried", "recovery"));
+  if (retried_total != AsU64(*retried_want)) {
+    return CorruptionError("lineage marks " + std::to_string(retried_total) +
+                           " segments retried but the engine retried " +
+                           std::to_string(AsU64(*retried_want)));
+  }
+  const JsonValue* end_lsn = end->object.Find("last_lsn");
+  for (const JsonValue& l : last_lsn->array_items()) {
+    if (AsU64(l) > AsU64(*end_lsn)) {
+      return CorruptionError(
+          "lineage replays past the recovery's last LSN " +
+          std::to_string(AsU64(*end_lsn)));
+    }
+  }
+
+  // Without a fallback every segment must come from the one restored copy.
+  if (!fell_back->bool_value()) {
+    const JsonValue* ckpts = journal_lineage->Find("checkpoint");
+    const JsonValue* copies = journal_lineage->Find("copy");
+    if (ckpts == nullptr || copies == nullptr) {
+      return CorruptionError("recovery.lineage arrays are incomplete");
+    }
+    uint64_t want_ckpt = AsU64(*rec->Find("checkpoint"));
+    uint64_t want_copy = AsU64(*rec->Find("copy"));
+    for (size_t i = 0; i < ckpts->array_items().size(); ++i) {
+      if (AsU64(ckpts->array_items()[i]) != want_ckpt ||
+          AsU64(copies->array_items()[i]) != want_copy ||
+          retried->array_items()[i].bool_value()) {
+        return CorruptionError(
+            "segment " + std::to_string(i) +
+            " claims a provenance other than the restored checkpoint, but "
+            "no fallback was recorded");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VerifyAuditJournal(std::string_view journal_text,
+                          const JsonValue* dump) {
+  if (dump != nullptr) {
+    const JsonValue* errs =
+        dump->FindPath({"audit", "journal", "append_errors"});
+    if (errs != nullptr && errs->number_value() > 0) {
+      // A fault landed on the journal itself; its tail is untrustworthy by
+      // the engine's own admission, so there is nothing sound to verify.
+      return Status::OK();
+    }
+  }
+  MMDB_ASSIGN_OR_RETURN(std::vector<AuditEntry> entries,
+                        ParseAuditJournal(journal_text));
+  MMDB_RETURN_IF_ERROR(VerifyAuditStructure(entries));
+  if (dump != nullptr) {
+    MMDB_RETURN_IF_ERROR(VerifyAuditAgainstDump(entries, *dump));
+  }
+  return Status::OK();
+}
+
+StatusOr<SegmentProvenance> ExplainSegment(
+    const std::vector<AuditEntry>& entries, SegmentId segment) {
+  const AuditEntry* lineage = nullptr;
+  double chain_begin_t = 0.0;
+  double recovered_t = 0.0;
+  for (const AuditEntry& e : entries) {
+    if (e.event == "recovery.begin") chain_begin_t = e.t;
+    if (e.event == "recovery.lineage") {
+      lineage = &e;
+      recovered_t = chain_begin_t;
+    }
+  }
+  if (lineage == nullptr) {
+    return NotFoundError(
+        "journal holds no recovery lineage; nothing to explain");
+  }
+  const JsonValue* l = lineage->object.Find("lineage");
+  if (l == nullptr) return CorruptionError("recovery.lineage has no payload");
+  const JsonValue* ckpts = l->Find("checkpoint");
+  const JsonValue* copies = l->Find("copy");
+  const JsonValue* retried = l->Find("retried");
+  const JsonValue* frames = l->Find("frames");
+  const JsonValue* first_lsn = l->Find("first_lsn");
+  const JsonValue* last_lsn = l->Find("last_lsn");
+  const JsonValue* streams = l->Find("streams");
+  if (ckpts == nullptr || copies == nullptr || retried == nullptr ||
+      frames == nullptr || first_lsn == nullptr || last_lsn == nullptr ||
+      streams == nullptr) {
+    return CorruptionError("recovery.lineage arrays are incomplete");
+  }
+  if (segment >= ckpts->array_items().size()) {
+    return OutOfRangeError("segment " + std::to_string(segment) +
+                           " out of range: lineage covers " +
+                           std::to_string(ckpts->array_items().size()) +
+                           " segments");
+  }
+  SegmentProvenance p;
+  p.segment = segment;
+  p.recovered_t = recovered_t;
+  p.lineage.checkpoint_id = AsU64(ckpts->array_items()[segment]);
+  p.lineage.copy = static_cast<uint32_t>(AsU64(copies->array_items()[segment]));
+  p.lineage.retried = retried->array_items()[segment].bool_value();
+  p.lineage.frames = AsU64(frames->array_items()[segment]);
+  p.lineage.first_lsn = AsU64(first_lsn->array_items()[segment]);
+  p.lineage.last_lsn = AsU64(last_lsn->array_items()[segment]);
+  for (const JsonValue& s : streams->array_items()[segment].array_items()) {
+    p.lineage.streams.push_back(static_cast<uint32_t>(AsU64(s)));
+  }
+
+  // Walk back through the journal for the restored checkpoint's own chain:
+  // its begin/end times, algorithm, and how many aborted attempts preceded
+  // the completed one (retries reuse the id).
+  if (p.lineage.checkpoint_id != 0) {
+    double begin_t = 0.0;
+    std::string algorithm;
+    for (const AuditEntry& e : entries) {
+      if (e.seq >= lineage->seq) break;
+      const JsonValue* id = e.object.Find("ckpt");
+      if (id == nullptr || AsU64(*id) != p.lineage.checkpoint_id) continue;
+      if (e.event == "ckpt.begin") {
+        begin_t = e.t;
+        const JsonValue* algo = e.object.Find("algorithm");
+        if (algo != nullptr) algorithm = algo->string_value();
+      } else if (e.event == "ckpt.abort") {
+        ++p.checkpoint_aborted_attempts;
+      } else if (e.event == "ckpt.end") {
+        p.checkpoint_in_journal = true;
+        p.checkpoint_begin_t = begin_t;
+        p.checkpoint_end_t = e.t;
+        p.checkpoint_algorithm = algorithm;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace mmdb

@@ -88,6 +88,11 @@ class Differ {
     for (const auto& [key, value] : a.object_items()) {
       if (path.empty() && key == "run") continue;  // sanctioned drift
       if (IsWallClockField(key)) continue;         // machine-dependent
+      // Provenance-journal state (any depth: sidecar top level and each
+      // point's engine dump): lineage stream sets vary with the shard
+      // count and journal volume varies with event history — sanctioned,
+      // like "run".
+      if (key == "audit") continue;
       std::string child = path.empty() ? key : path + "." + key;
       const JsonValue* other = b.Find(key);
       if (other == nullptr) {
@@ -101,6 +106,7 @@ class Differ {
     for (const auto& [key, value] : b.object_items()) {
       if (path.empty() && key == "run") continue;
       if (IsWallClockField(key)) continue;
+      if (key == "audit") continue;
       if (a.Find(key) == nullptr) {
         std::string child = path.empty() ? key : path + "." + key;
         Mismatch(child, "<missing>", Preview(value));

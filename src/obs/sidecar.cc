@@ -66,6 +66,46 @@ void MetricsSidecar::Write() const {
     w.Key("validation_summary");
     w.RawValue(validation_summary_json_);
   }
+  // Aggregate provenance-journal traffic across the sweep's engines —
+  // how many audit entries/bytes/syncs the run produced and whether any
+  // journal degraded (append/sync errors). bench_diff treats "audit" as
+  // sanctioned drift, like "run".
+  {
+    uint64_t entries = 0, bytes = 0, syncs = 0;
+    uint64_t append_errors = 0, sync_errors = 0, journals = 0;
+    for (const Point& point : points_) {
+      if (point.engine_json.empty()) continue;
+      StatusOr<JsonValue> doc = JsonValue::Parse(point.engine_json);
+      if (!doc.ok()) continue;
+      const JsonValue* journal = doc->FindPath({"audit", "journal"});
+      if (journal == nullptr || !journal->is_object()) continue;
+      ++journals;
+      auto add = [&](const char* key, uint64_t* acc) {
+        const JsonValue* v = journal->Find(key);
+        if (v != nullptr) *acc += static_cast<uint64_t>(v->number_value());
+      };
+      add("entries", &entries);
+      add("bytes", &bytes);
+      add("syncs", &syncs);
+      add("append_errors", &append_errors);
+      add("sync_errors", &sync_errors);
+    }
+    w.Key("audit");
+    w.BeginObject();
+    w.Key("journals");
+    w.Uint(journals);
+    w.Key("entries");
+    w.Uint(entries);
+    w.Key("bytes");
+    w.Uint(bytes);
+    w.Key("syncs");
+    w.Uint(syncs);
+    w.Key("append_errors");
+    w.Uint(append_errors);
+    w.Key("sync_errors");
+    w.Uint(sync_errors);
+    w.EndObject();
+  }
   if (jobs_ != 0) {
     w.Key("run");
     w.BeginObject();

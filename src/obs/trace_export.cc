@@ -125,6 +125,35 @@ void AppendEvent(std::string_view name, std::string_view cat,
   w->EndObject();
 }
 
+// Perfetto flow events tie each checkpoint span to the recovery spans that
+// consumed it: an "s" at the checkpoint's completion instant and an "f"
+// (binding point "e": attach to the enclosing slice's end) at each
+// recovery that restored it, sharing the checkpoint id. The viewer then
+// draws a provenance arrow from the checkpoint to its consumers.
+void AppendFlowEvent(std::string_view ph, uint64_t id, double ts_us, int pid,
+                     int tid, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name");
+  w->String("checkpoint_provenance");
+  w->Key("cat");
+  w->String("flow");
+  w->Key("ph");
+  w->String(ph);
+  w->Key("id");
+  w->Uint(id);
+  w->Key("ts");
+  w->Double(ts_us);
+  w->Key("pid");
+  w->Int(pid);
+  w->Key("tid");
+  w->Int(tid);
+  if (ph == "f") {
+    w->Key("bp");
+    w->String("e");
+  }
+  w->EndObject();
+}
+
 }  // namespace
 
 void AppendProcessName(int pid, std::string_view name, JsonWriter* w) {
@@ -237,6 +266,15 @@ Status AppendChromeTraceEvents(const JsonValue& trace_doc, int pid,
           AppendEvent("checkpoint", cat, "E", ts, -1, pid, kTrackCheckpoint,
                       false, event, writer);
         }
+        if (type == TraceEventType::kCheckpointEnd) {
+          // Completed checkpoints start a provenance flow (aborts never
+          // become a recovery source, so they get no flow).
+          uint64_t ckpt =
+              static_cast<uint64_t>(NumberOr(event.Find("checkpoint"), 0));
+          if (ckpt > 0) {
+            AppendFlowEvent("s", ckpt, ts, pid, kTrackCheckpoint, writer);
+          }
+        }
         break;
       case TraceEventType::kCheckpointSegmentWrite: {
         int tid = kTrackCheckpointIo;
@@ -287,7 +325,7 @@ Status AppendChromeTraceEvents(const JsonValue& trace_doc, int pid,
         recovery_cursor += phase_seconds;
         break;
       }
-      case TraceEventType::kRecoveryEnd:
+      case TraceEventType::kRecoveryEnd: {
         // t2 = total recovery seconds; the slice closes when replay does.
         if (recovery_depth == 0) {
           AppendEvent(kind, cat, "i", Micros(t + t2), -1, pid,
@@ -297,7 +335,16 @@ Status AppendChromeTraceEvents(const JsonValue& trace_doc, int pid,
           AppendEvent("recovery", cat, "E", Micros(t + t2), -1, pid,
                       kTrackRecovery, false, event, writer);
         }
+        // Close the provenance flow from the restored checkpoint (0 =
+        // cold start, nothing was consumed).
+        uint64_t ckpt =
+            static_cast<uint64_t>(NumberOr(event.Find("checkpoint"), 0));
+        if (ckpt > 0) {
+          AppendFlowEvent("f", ckpt, Micros(t + t2), pid, kTrackRecovery,
+                          writer);
+        }
         break;
+      }
       case TraceEventType::kRecoveryFanout:
         AppendEvent(kind, cat, "i", ts, -1, pid, kTrackRecovery, true, event,
                     writer);

@@ -144,6 +144,45 @@ void RecoveryManager::Publish(const RecoveryStats& stats, double now,
 StatusOr<RecoveryResult> RecoveryManager::Recover(
     BackupStore* backup, const std::vector<std::string>& log_paths,
     Database* db, SegmentTable* segments, double now) {
+  StatusOr<RecoveryResult> result =
+      RecoverImpl(backup, log_paths, db, segments, now);
+  if (audit_ != nullptr) {
+    if (!result.ok()) {
+      const std::string error = result.status().ToString();
+      audit_->Record("recovery.error", now, [&](JsonWriter& w) {
+        w.Key("error");
+        w.String(error);
+      });
+      audit_->Sync();
+    } else {
+      const RecoveryResult& r = *result;
+      audit_->Record("recovery.lineage", now, [&](JsonWriter& w) {
+        w.Key("lineage");
+        WriteLineageJson(r.lineage, &w);
+      });
+      audit_->Record("recovery.end", now, [&](JsonWriter& w) {
+        w.Key("checkpoint");
+        w.Uint(r.stats.checkpoint_id);
+        w.Key("copy");
+        w.Uint(r.stats.copy);
+        w.Key("fell_back");
+        w.Bool(r.stats.fell_back_to_older_copy);
+        w.Key("last_lsn");
+        w.Uint(r.last_lsn);
+        w.Key("applies");
+        w.Uint(r.stats.updates_applied);
+        w.Key("txns");
+        w.Uint(r.stats.txns_redone);
+      });
+      audit_->Sync();
+    }
+  }
+  return result;
+}
+
+StatusOr<RecoveryResult> RecoveryManager::RecoverImpl(
+    BackupStore* backup, const std::vector<std::string>& log_paths,
+    Database* db, SegmentTable* segments, double now) {
   RecoveryResult result;
   RecoveryStats& stats = result.stats;
   const uint32_t threads =
@@ -171,6 +210,25 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
       LogReader reader,
       LogReader::OpenStreams(env_, log_paths, &result.stream_valid_bytes));
   result.log_valid_bytes = reader.valid_bytes();
+  if (audit_ != nullptr) {
+    // What the stream merge salvaged: the valid prefix per stream, the
+    // CRC-clean frames each stream lost past the merge frontier, and
+    // whether a gang batch was torn across streams at crash time.
+    audit_->Record("recovery.streams", now, [&](JsonWriter& w) {
+      w.Key("valid_bytes");
+      w.BeginArray();
+      for (uint64_t v : result.stream_valid_bytes) w.Uint(v);
+      w.EndArray();
+      w.Key("dropped_frames");
+      w.BeginArray();
+      for (uint64_t v : reader.stream_dropped_frames()) w.Uint(v);
+      w.EndArray();
+      w.Key("torn_gang");
+      w.Bool(reader.torn_gang());
+      w.Key("gap_lsn");
+      w.Uint(reader.torn_gang_lsn());
+    });
+  }
 
   StatusOr<CheckpointMeta> meta = backup->ReadMeta();
   if (!meta.ok() && !meta.status().IsNotFound()) return meta.status();
@@ -182,6 +240,10 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
   CheckpointId restore_id = 0;
   uint32_t restore_copy = 0;
   uint64_t replay_from_offset = 0;
+  // Which source named the restored checkpoint: "meta" when metadata and
+  // log agree, "log" when the log's end marker overruled lagging/missing
+  // metadata, "none" for a cold start.
+  const char* plan_source = "none";
   if (marker.ok()) {
     if (meta.ok() && meta->checkpoint_id == marker->checkpoint_id) {
       if (meta->log_offset != marker->begin_offset) {
@@ -193,6 +255,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
             static_cast<unsigned long long>(meta->checkpoint_id)));
       }
       restore_copy = meta->copy;
+      plan_source = "meta";
     } else if (!meta.ok() || meta->checkpoint_id < marker->checkpoint_id) {
       // Metadata lags the log (or is missing for the very first
       // checkpoint): a crash can land after the end marker reached stable
@@ -209,6 +272,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
       repaired.begin_lsn = marker->begin_record.lsn;
       repaired.tau = marker->begin_record.timestamp;
       MMDB_RETURN_IF_ERROR(backup->CommitCheckpoint(repaired));
+      plan_source = "log";
     } else {
       return CorruptionError(StringPrintf(
           "checkpoint metadata (id=%llu) and log (id=%llu) are "
@@ -238,6 +302,28 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
     return CorruptionError(
         "checkpoint metadata names a checkpoint but the log has no "
         "completed checkpoint");
+  }
+  if (audit_ != nullptr) {
+    audit_->Record("recovery.plan", now, [&](JsonWriter& w) {
+      w.Key("checkpoint");
+      w.Uint(restore_id);
+      w.Key("copy");
+      w.Uint(restore_copy);
+      w.Key("begin_offset");
+      w.Uint(replay_from_offset);
+      w.Key("source");
+      w.String(plan_source);
+    });
+  }
+
+  // Seed every segment's lineage with the plan; Phase 2's fallback and
+  // Phase 3's replay refine individual entries.
+  result.lineage.assign(db->num_segments(), SegmentLineage{});
+  if (have_checkpoint) {
+    for (SegmentLineage& l : result.lineage) {
+      l.checkpoint_id = restore_id;
+      l.copy = restore_copy;
+    }
   }
 
   // --- Phase 2: load the chosen backup copy -----------------------------
@@ -363,6 +449,35 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
         for (const SegmentFailure& f : failures) {
           retry_ids.push_back(f.segment);
         }
+      }
+      if (audit_ != nullptr) {
+        const std::string trigger = failures.front().status.ToString();
+        audit_->Record("recovery.fallback", now, [&](JsonWriter& w) {
+          w.Key("from_checkpoint");
+          w.Uint(restore_id);
+          w.Key("from_copy");
+          w.Uint(restore_copy);
+          w.Key("to_checkpoint");
+          w.Uint(prev_id);
+          w.Key("to_copy");
+          w.Uint(BackupStore::CopyFor(prev_id));
+          w.Key("trigger");
+          w.String(trigger);
+          w.Key("failed_segments");
+          w.BeginArray();
+          for (const SegmentFailure& f : failures) w.Uint(f.segment);
+          w.EndArray();
+          w.Key("full_reload");
+          w.Bool(suffix_has_delta);
+        });
+      }
+      // Every retried segment's bytes now come from the previous copy
+      // (mixed-copy provenance when the retry set is partial).
+      for (SegmentId s : retry_ids) {
+        SegmentLineage& l = result.lineage[s];
+        l.checkpoint_id = prev_id;
+        l.copy = BackupStore::CopyFor(prev_id);
+        l.retried = true;
       }
       restore_id = prev_id;
       restore_copy = BackupStore::CopyFor(prev_id);
@@ -501,6 +616,13 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
   struct BucketResult {
     uint64_t full_applies = 0;
     uint64_t delta_applies = 0;
+    // Replay lineage for this segment's bucket: applied-record count,
+    // LSN span, and source streams in first-touch (log) order. Frames
+    // within a bucket replay in log order on whichever worker owns the
+    // bucket, so these are identical for any thread count.
+    Lsn first_lsn = kInvalidLsn;
+    Lsn last_lsn = kInvalidLsn;
+    std::vector<uint32_t> streams;
     std::size_t error_frame = SIZE_MAX;
     Status status;
   };
@@ -520,6 +642,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
             }
             const LogRecord& r = *decoded;
             if (committed.count(r.txn_id) == 0) continue;
+            bool applied = false;
             if (r.type == LogRecordType::kUpdate) {
               if (r.record_id >= db->num_records() ||
                   r.image.size() != db->record_bytes()) {
@@ -531,6 +654,7 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
               }
               db->WriteRecord(r.record_id, r.image);
               ++out.full_applies;
+              applied = true;
             } else if (r.type == LogRecordType::kDelta) {
               // Logical REDO: NOT idempotent — correct exactly because
               // the restored backup is the snapshot at the replay start
@@ -549,6 +673,16 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
                             field + static_cast<uint64_t>(r.delta));
               db->WriteRecord(r.record_id, image);
               ++out.delta_applies;
+              applied = true;
+            }
+            if (applied) {
+              if (out.first_lsn == kInvalidLsn) out.first_lsn = r.lsn;
+              out.last_lsn = r.lsn;
+              const uint32_t stream = reader.FrameStream(frame);
+              if (std::find(out.streams.begin(), out.streams.end(),
+                            stream) == out.streams.end()) {
+                out.streams.push_back(stream);
+              }
             }
           }
         }
@@ -568,6 +702,16 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
     }
   }
   MMDB_RETURN_IF_ERROR(apply_status);
+  for (std::size_t bi = 0; bi < active_buckets.size(); ++bi) {
+    const std::size_t b = active_buckets[bi];
+    if (b >= result.lineage.size()) continue;  // overflow bucket
+    const BucketResult& br = bucket_results[bi];
+    SegmentLineage& l = result.lineage[b];
+    l.frames = br.full_applies + br.delta_applies;
+    l.first_lsn = br.first_lsn;
+    l.last_lsn = br.last_lsn;
+    l.streams = br.streams;
+  }
   stats.updates_applied = full_applies + delta_applies;
   stats.txns_redone = committed.size();
   stats.replay_wall_seconds = SecondsSince(replay_wall_start);

@@ -7,6 +7,7 @@
 
 #include "backup/backup_store.h"
 #include "env/env.h"
+#include "obs/audit.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
@@ -86,6 +87,11 @@ struct RecoveryResult {
   // the engine must then skip past this id so a stale end marker is never
   // paired with a half-overwritten backup copy.
   CheckpointId newest_end_id = 0;
+  // Per-segment provenance of the restored image (DESIGN.md §18): which
+  // checkpoint/copy supplied each segment's bytes, whether it was re-read
+  // from the older copy, and the frames/LSNs/streams replayed into it.
+  // Sized num_segments; empty only when recovery itself failed.
+  std::vector<SegmentLineage> lineage;
 };
 
 // Rebuilds the primary (memory-resident) database after a system failure
@@ -139,6 +145,12 @@ class RecoveryManager {
                    now);
   }
 
+  // Optional provenance journal (DESIGN.md §18). When set, Recover()
+  // journals the stream merge outcome, the restore plan, any older-copy
+  // fallback, the per-segment lineage, and the final outcome (or error).
+  // Journaling never changes modeled stats or the recovered bytes.
+  void set_audit(AuditJournal* audit) { audit_ = audit; }
+
   // The worker count recovery should use: the MMDB_RECOVERY_THREADS
   // environment variable (a positive count) when set and parseable,
   // otherwise `configured` (EngineOptions::recovery_threads), with 0
@@ -148,6 +160,12 @@ class RecoveryManager {
  private:
   void Publish(const RecoveryStats& stats, double now,
                uint64_t replay_buckets);
+  // The three-phase body; Recover() wraps it to journal the outcome
+  // (recovery.lineage + recovery.end on success, recovery.error on
+  // failure) exactly once per attempt.
+  StatusOr<RecoveryResult> RecoverImpl(
+      BackupStore* backup, const std::vector<std::string>& log_paths,
+      Database* db, SegmentTable* segments, double now);
 
   Env* env_;
   SystemParams params_;
@@ -155,6 +173,7 @@ class RecoveryManager {
   MetricsRegistry* metrics_;
   Tracer* tracer_;
   ThreadPool* pool_;
+  AuditJournal* audit_ = nullptr;
 };
 
 }  // namespace mmdb

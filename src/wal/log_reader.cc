@@ -101,6 +101,7 @@ StatusOr<LogReader> LogReader::OpenStreams(
 
   bool dropped_after_gap = false;
   Lsn prev_lsn = kInvalidLsn;
+  std::vector<uint32_t> frame_streams;
   for (;;) {
     size_t pick = streams.size();
     Lsn pick_lsn = kInvalidLsn;
@@ -131,6 +132,7 @@ StatusOr<LogReader> LogReader::OpenStreams(
     const FrameRef& f = s.index_[cursors[pick].next_frame];
     uint64_t frame_end = f.offset + 4 + f.payload_size + 8;
     merged.append(s.contents_, f.offset, frame_end - f.offset);
+    frame_streams.push_back(static_cast<uint32_t>(pick));
     cursors[pick].consumed_end = frame_end;
     ++cursors[pick].next_frame;
     prev_lsn = pick_lsn;
@@ -145,9 +147,20 @@ StatusOr<LogReader> LogReader::OpenStreams(
   }
   LogReader reader(std::move(merged));
   MMDB_RETURN_IF_ERROR(reader.status());
-  if (dropped_after_gap) reader.truncated_tail_ = true;
-  for (const LogReader& s : streams) {
-    if (s.truncated_tail()) reader.truncated_tail_ = true;
+  // The merged buffer holds exactly the frames appended above, all
+  // CRC-clean, so the fresh index aligns one-to-one with the merge order.
+  reader.frame_streams_ = std::move(frame_streams);
+  reader.num_streams_ = static_cast<uint32_t>(streams.size());
+  if (dropped_after_gap) {
+    reader.truncated_tail_ = true;
+    reader.torn_gang_ = true;
+    reader.torn_gang_lsn_ = prev_lsn + 1;
+  }
+  reader.stream_dropped_frames_.reserve(streams.size());
+  for (size_t k = 0; k < streams.size(); ++k) {
+    reader.stream_dropped_frames_.push_back(streams[k].num_frames() -
+                                            cursors[k].next_frame);
+    if (streams[k].truncated_tail()) reader.truncated_tail_ = true;
   }
   return reader;
 }

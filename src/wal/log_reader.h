@@ -88,6 +88,30 @@ class LogReader {
   // Logical offset (base included) of frame `i`. i < num_frames().
   uint64_t FrameOffset(size_t i) const { return base_offset_ + index_[i].offset; }
 
+  // Stream file that carried frame `i`, for readers built by the
+  // OpenStreams merge; always 0 for single-stream readers. Provenance
+  // (which WAL stream each replayed frame came from) and the log-dump
+  // tool's per-frame stream column both read this.
+  uint32_t FrameStream(size_t i) const {
+    return frame_streams_.empty() ? 0 : frame_streams_[i];
+  }
+
+  // Stream files merged into this view (1 for Open()).
+  uint32_t num_streams() const { return num_streams_; }
+
+  // Whether the merge stopped at a global LSN gap — a gang batch torn
+  // across streams at crash time — and the first LSN that never became
+  // globally durable. Distinct from a plain torn tail: the dropped frames
+  // may be CRC-clean in their own streams.
+  bool torn_gang() const { return torn_gang_; }
+  Lsn torn_gang_lsn() const { return torn_gang_lsn_; }
+
+  // Per stream, CRC-clean frames dropped beyond the merge frontier (the
+  // torn gang's casualties). Empty for single-stream readers.
+  const std::vector<uint64_t>& stream_dropped_frames() const {
+    return stream_dropped_frames_;
+  }
+
   // Index of the frame starting at logical byte `offset`, or
   // INVALID_ARGUMENT / NOT_FOUND when `offset` is not a frame boundary —
   // how recovery converts a checkpoint marker's saved offset into a replay
@@ -141,6 +165,14 @@ class LogReader {
   bool truncated_tail_ = false;
   uint64_t valid_bytes_ = 0;
   Status status_;
+  // Stream attribution, populated only by the OpenStreams merge:
+  // frame_streams_[i] is the source stream of index_[i] (they are built
+  // from the same merge sequence, so they align one-to-one).
+  std::vector<uint32_t> frame_streams_;
+  uint32_t num_streams_ = 1;
+  bool torn_gang_ = false;
+  Lsn torn_gang_lsn_ = kInvalidLsn;
+  std::vector<uint64_t> stream_dropped_frames_;
 };
 
 }  // namespace mmdb

@@ -1,0 +1,405 @@
+// Provenance-journal tests (DESIGN.md §18): the journal format itself
+// (self-checksummed lines, contiguous sequencing, torn-tail and resume
+// semantics), the lifecycle grammar, the engine-level cross-check that
+// `mmdb_audit verify --dump=` runs, segment explanation, and the
+// bit-identity guarantee that auditing never perturbs modeled results.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/fault_injection_env.h"
+#include "gtest/gtest.h"
+#include "obs/audit.h"
+#include "tests/test_util.h"
+#include "util/json.h"
+
+namespace mmdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// The journal format.
+// ---------------------------------------------------------------------------
+
+class AuditJournalTest : public testing::Test {
+ protected:
+  AuditJournalTest() : env_(NewMemEnv()) {}
+
+  // Appends `n` well-formed ckpt.log_cut events (the one event legal
+  // anywhere) and returns the journal text.
+  std::string WriteEvents(int n) {
+    AuditJournal journal(env_.get(), "audit.log");
+    journal.Open(/*fresh=*/true);
+    EXPECT_TRUE(journal.enabled());
+    for (int i = 0; i < n; ++i) {
+      journal.Record("ckpt.log_cut", 0.5 * i, [&](JsonWriter& w) {
+        w.Key("cut");
+        w.Uint(100 * i);
+        w.Key("reclaimed");
+        w.Uint(64);
+        w.Key("stream_bases");
+        w.BeginArray();
+        w.Uint(100 * i);
+        w.EndArray();
+      });
+    }
+    std::string text;
+    EXPECT_TRUE(env_->ReadFileToString("audit.log", &text).ok());
+    return text;
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(AuditJournalTest, RecordsSelfChecksummedContiguousLines) {
+  std::string text = WriteEvents(3);
+  auto entries = ParseAuditJournal(text);
+  MMDB_ASSERT_OK(entries);
+  ASSERT_EQ(entries->size(), 3u);
+  for (size_t i = 0; i < entries->size(); ++i) {
+    EXPECT_EQ((*entries)[i].seq, i + 1);
+    EXPECT_EQ((*entries)[i].event, "ckpt.log_cut");
+    EXPECT_DOUBLE_EQ((*entries)[i].t, 0.5 * static_cast<double>(i));
+  }
+  MMDB_EXPECT_OK(VerifyAuditStructure(*entries));
+}
+
+TEST_F(AuditJournalTest, CorruptedByteFailsTheLineCrc) {
+  std::string text = WriteEvents(3);
+  // Flip one byte inside the second line's payload: the line may still be
+  // valid JSON, but the checksum no longer covers it.
+  size_t second = text.find('\n') + 1;
+  size_t cut_pos = text.find("\"cut\":", second);
+  ASSERT_NE(cut_pos, std::string::npos);
+  text[cut_pos + 6] = text[cut_pos + 6] == '1' ? '2' : '1';
+  auto entries = ParseAuditJournal(text);
+  EXPECT_TRUE(entries.status().IsCorruption()) << entries.status();
+}
+
+TEST_F(AuditJournalTest, MissingLineIsASequenceGap) {
+  std::string text = WriteEvents(3);
+  size_t first_nl = text.find('\n');
+  size_t second_nl = text.find('\n', first_nl + 1);
+  std::string spliced =
+      text.substr(0, first_nl + 1) + text.substr(second_nl + 1);
+  auto entries = ParseAuditJournal(spliced);
+  EXPECT_TRUE(entries.status().IsCorruption()) << entries.status();
+}
+
+TEST_F(AuditJournalTest, TornTrailingLineIsIgnored) {
+  std::string text = WriteEvents(3);
+  // Chop the final newline and a few bytes before it: a torn append.
+  std::string torn = text.substr(0, text.size() - 5);
+  auto entries = ParseAuditJournal(torn);
+  MMDB_ASSERT_OK(entries);
+  EXPECT_EQ(entries->size(), 2u);
+}
+
+TEST_F(AuditJournalTest, ReopenDropsTornTailAndResumesNumbering) {
+  std::string text = WriteEvents(2);
+  // A crash tore a third line mid-append.
+  MMDB_ASSERT_OK(env_->WriteStringToFile(
+      "audit.log", text + "{\"seq\":3,\"t\":9.0,\"event\":\"ckp", false));
+
+  AuditJournal journal(env_.get(), "audit.log");
+  journal.Open(/*fresh=*/false);
+  ASSERT_TRUE(journal.enabled());
+  EXPECT_EQ(journal.next_seq(), 3u);
+  journal.Record("ckpt.log_cut", 2.0, [&](JsonWriter& w) {
+    w.Key("cut");
+    w.Uint(300);
+    w.Key("reclaimed");
+    w.Uint(64);
+    w.Key("stream_bases");
+    w.BeginArray();
+    w.EndArray();
+  });
+
+  std::string resumed;
+  MMDB_ASSERT_OK(env_->ReadFileToString("audit.log", &resumed));
+  auto entries = ParseAuditJournal(resumed);
+  MMDB_ASSERT_OK(entries);
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[2].seq, 3u);
+  EXPECT_DOUBLE_EQ((*entries)[2].t, 2.0);
+}
+
+TEST_F(AuditJournalTest, FirstAppendErrorDisablesTheJournal) {
+  FaultInjectionEnv fenv(env_.get());
+  AuditJournal journal(&fenv, "audit.log");
+  journal.Open(/*fresh=*/true);
+  ASSERT_TRUE(journal.enabled());
+  fenv.InjectFault({FaultKind::kWriteError, "audit", fenv.op_count(),
+                    /*times=*/1});
+  journal.Record("ckpt.log_cut", 1.0);
+  EXPECT_FALSE(journal.enabled());
+  EXPECT_EQ(journal.counters().append_errors, 1u);
+  // A torn line must never be followed by more lines.
+  journal.Record("ckpt.log_cut", 2.0);
+  EXPECT_EQ(journal.counters().entries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle grammar.
+// ---------------------------------------------------------------------------
+
+class AuditGrammarTest : public testing::Test {
+ protected:
+  AuditGrammarTest() : env_(NewMemEnv()) {}
+
+  // Runs `script` against a fresh journal and returns the structural
+  // verdict over what it wrote.
+  Status Verdict(const std::function<void(AuditJournal&)>& script) {
+    AuditJournal journal(env_.get(), "audit.log");
+    journal.Open(/*fresh=*/true);
+    script(journal);
+    std::string text;
+    EXPECT_TRUE(env_->ReadFileToString("audit.log", &text).ok());
+    auto entries = ParseAuditJournal(text);
+    if (!entries.ok()) return entries.status();
+    return VerifyAuditStructure(*entries);
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(AuditGrammarTest, FlushOutsideACheckpointChainIsRejected) {
+  Status st = Verdict([](AuditJournal& j) {
+    j.Record("ckpt.flush", 1.0, [](JsonWriter& w) {
+      w.Key("ckpt");
+      w.Uint(1);
+      w.Key("segment");
+      w.Uint(0);
+      w.Key("copy");
+      w.Uint(1);
+      w.Key("lsn");
+      w.Uint(5);
+      w.Key("bytes");
+      w.Uint(4096);
+    });
+  });
+  EXPECT_TRUE(st.IsCorruption()) << st;
+}
+
+TEST_F(AuditGrammarTest, MissingRequiredFieldIsRejected) {
+  Status st = Verdict([](AuditJournal& j) {
+    j.Record("recovery.begin", 1.0);  // no "restart"
+  });
+  EXPECT_TRUE(st.IsCorruption()) << st;
+}
+
+TEST_F(AuditGrammarTest, UnknownEventIsRejected) {
+  Status st = Verdict(
+      [](AuditJournal& j) { j.Record("ckpt.telepathy", 1.0); });
+  EXPECT_TRUE(st.IsCorruption()) << st;
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: the cross-check `mmdb_audit verify --dump=` runs.
+// ---------------------------------------------------------------------------
+
+class AuditEngineTest : public testing::Test {
+ protected:
+  AuditEngineTest() : env_(NewMemEnv()) {}
+
+  std::unique_ptr<Engine> MustOpen(const EngineOptions& opt) {
+    auto engine = Engine::Open(opt, env_.get());
+    EXPECT_TRUE(engine.ok()) << engine.status();
+    return std::move(*engine);
+  }
+
+  // Scripted life: populate, checkpoint, more commits, crash, recover.
+  void RunLife(Engine* engine) {
+    const size_t rec_bytes = engine->db().record_bytes();
+    const uint32_t rps = engine->params().db.records_per_segment();
+    for (SegmentId s = 0; s < engine->db().num_segments(); ++s) {
+      RecordId r = s * rps;
+      MMDB_ASSERT_OK(
+          engine->Apply({{r, MakeRecordImage(rec_bytes, r, 1)}}).status());
+    }
+    MMDB_ASSERT_OK(engine->RunCheckpointToCompletion());
+    // Post-checkpoint commits in the first and the middle segment, so
+    // replay has work in more than one shard at any shard count.
+    const RecordId mid =
+        static_cast<RecordId>(engine->db().num_segments() / 2) * rps;
+    MMDB_ASSERT_OK(
+        engine->Apply({{0, MakeRecordImage(rec_bytes, 0, 2)}}).status());
+    MMDB_ASSERT_OK(
+        engine->Apply({{mid, MakeRecordImage(rec_bytes, mid, 2)}}).status());
+    engine->FlushLog();
+    MMDB_ASSERT_OK(engine->AdvanceTime(1.0));
+    MMDB_ASSERT_OK(engine->Crash());
+    MMDB_ASSERT_OK(engine->Recover());
+  }
+
+  std::string JournalText(Engine* engine) {
+    std::string text;
+    EXPECT_TRUE(
+        env_->ReadFileToString(engine->AuditLogPath(), &text).ok());
+    return text;
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(AuditEngineTest, FullLifeVerifiesAgainstTheEngineDump) {
+  auto engine = MustOpen(TinyOptions());
+  RunLife(engine.get());
+
+  std::string text = JournalText(engine.get());
+  auto entries = ParseAuditJournal(text);
+  MMDB_ASSERT_OK(entries);
+
+  // Every lifecycle stage left its event.
+  for (const char* want :
+       {"ckpt.begin", "ckpt.flush", "ckpt.end", "recovery.begin",
+        "recovery.streams", "recovery.plan", "recovery.lineage",
+        "recovery.end"}) {
+    bool found = false;
+    for (const AuditEntry& e : *entries) {
+      if (e.event == want) found = true;
+    }
+    EXPECT_TRUE(found) << "journal never recorded " << want;
+  }
+
+  auto dump = JsonValue::Parse(engine->DumpMetricsJson());
+  MMDB_ASSERT_OK(dump);
+  MMDB_EXPECT_OK(VerifyAuditJournal(text, &*dump));
+}
+
+TEST_F(AuditEngineTest, CorruptedJournalEntryFailsVerify) {
+  auto engine = MustOpen(TinyOptions());
+  RunLife(engine.get());
+
+  std::string text = JournalText(engine.get());
+  auto dump = JsonValue::Parse(engine->DumpMetricsJson());
+  MMDB_ASSERT_OK(dump);
+  MMDB_ASSERT_OK(VerifyAuditJournal(text, &*dump));
+
+  // One flipped byte in a complete line must fail verification.
+  size_t pos = text.find("\"event\":\"ckpt.");
+  ASSERT_NE(pos, std::string::npos);
+  std::string tampered = text;
+  tampered[pos + 9] = 'x';  // ckpt. -> xkpt.
+  EXPECT_FALSE(VerifyAuditJournal(tampered, &*dump).ok());
+
+  // So must a silently dropped tail (the engine's sequence runs past it).
+  std::string truncated = text;
+  truncated.resize(truncated.rfind('\n', truncated.size() - 2) + 1);
+  EXPECT_FALSE(VerifyAuditJournal(truncated, &*dump).ok());
+}
+
+TEST_F(AuditEngineTest, ExplainSegmentTellsTheWholeStory) {
+  auto engine = MustOpen(TinyOptions());
+
+  // Before any recovery there is nothing to explain.
+  {
+    auto entries = ParseAuditJournal(JournalText(engine.get()));
+    MMDB_ASSERT_OK(entries);
+    auto none = ExplainSegment(*entries, 0);
+    EXPECT_TRUE(none.status().IsNotFound()) << none.status();
+  }
+
+  RunLife(engine.get());
+  auto entries = ParseAuditJournal(JournalText(engine.get()));
+  MMDB_ASSERT_OK(entries);
+
+  // Segment 0 took a post-checkpoint commit: restored from checkpoint 1,
+  // then repainted by replay, and the checkpoint's own chain is in the
+  // same journal.
+  auto p = ExplainSegment(*entries, 0);
+  MMDB_ASSERT_OK(p);
+  EXPECT_EQ(p->lineage.checkpoint_id, 1u);
+  EXPECT_EQ(p->lineage.copy, 1u);
+  EXPECT_FALSE(p->lineage.retried);
+  EXPECT_GT(p->lineage.frames, 0u);
+  EXPECT_NE(p->lineage.first_lsn, kInvalidLsn);
+  EXPECT_TRUE(p->checkpoint_in_journal);
+  EXPECT_EQ(p->checkpoint_aborted_attempts, 0u);
+  EXPECT_FALSE(p->checkpoint_algorithm.empty());
+
+  // A segment nothing touched after the checkpoint: same provenance, no
+  // replay.
+  auto quiet = ExplainSegment(*entries, engine->db().num_segments() - 1);
+  MMDB_ASSERT_OK(quiet);
+  EXPECT_EQ(quiet->lineage.checkpoint_id, 1u);
+  EXPECT_EQ(quiet->lineage.frames, 0u);
+
+  auto oor = ExplainSegment(*entries, engine->db().num_segments());
+  EXPECT_EQ(oor.status().code(), StatusCode::kOutOfRange) << oor.status();
+}
+
+TEST_F(AuditEngineTest, ShardedRecoveryAttributesStreams) {
+  EngineOptions opt = TinyOptions();
+  opt.shards = 4;
+  auto engine = MustOpen(opt);
+  RunLife(engine.get());
+
+  // The lineage must name real stream ids: with four streams and commits
+  // in every segment, replay touched more than stream 0.
+  bool beyond_stream0 = false;
+  uint64_t replayed = 0;
+  for (const SegmentLineage& l : engine->last_lineage()) {
+    if (l.frames > 0) ++replayed;
+    for (uint32_t s : l.streams) {
+      EXPECT_LT(s, 4u);
+      if (s > 0) beyond_stream0 = true;
+    }
+  }
+  EXPECT_GT(replayed, 0u);
+  EXPECT_TRUE(beyond_stream0);
+  VerifyAuditTrail(engine.get());
+}
+
+TEST_F(AuditEngineTest, AuditingNeverPerturbsModeledResults) {
+  // Identical lives with the journal on and off: everything outside the
+  // dump's "audit" member — metrics registry, trace, recovery stats,
+  // shard accounting — must be byte-identical. This is the determinism
+  // contract that lets bench_diff treat "audit" as the only sanctioned
+  // drift.
+  auto run = [&](bool audit_on) {
+    EngineOptions opt = TinyOptions();
+    opt.audit_journal = audit_on;
+    opt.dir = audit_on ? "with_audit" : "without_audit";
+    auto engine = MustOpen(opt);
+    RunLife(engine.get());
+    return engine->DumpMetricsJson();
+  };
+  // Drop "audit" (the one sanctioned difference) and "wall" (real
+  // wall-clock timings, stripped by every determinism gate) at any depth.
+  std::function<std::string(const JsonValue&)> strip_value =
+      [&](const JsonValue& v) -> std::string {
+    JsonWriter w;
+    if (v.is_object()) {
+      w.BeginObject();
+      for (const auto& [key, value] : v.object_items()) {
+        if (key == "audit" || key == "wall") continue;
+        w.Key(key);
+        w.RawValue(strip_value(value));
+      }
+      w.EndObject();
+    } else if (v.is_array()) {
+      w.BeginArray();
+      for (const JsonValue& item : v.array_items()) {
+        w.RawValue(strip_value(item));
+      }
+      w.EndArray();
+    } else {
+      return v.Dump();
+    }
+    return w.TakeString();
+  };
+  auto strip_audit = [&](const std::string& dump_text) {
+    auto doc = JsonValue::Parse(dump_text);
+    EXPECT_TRUE(doc.ok()) << doc.status();
+    return strip_value(*doc);
+  };
+  const std::string with = run(true);
+  const std::string without = run(false);
+  EXPECT_TRUE(JsonValue::Parse(with)->Find("audit") != nullptr);
+  EXPECT_EQ(strip_audit(with), strip_audit(without));
+}
+
+}  // namespace
+}  // namespace mmdb

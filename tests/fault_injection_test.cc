@@ -386,6 +386,24 @@ class RecoveryFallbackTest : public testing::Test {
     return engine_->options().dir + "/backup_" + std::to_string(copy) + ".db";
   }
 
+  // Reads the provenance journal through the base env so an armed fault
+  // cannot interfere with the inspection itself.
+  std::vector<AuditEntry> JournalEntries() {
+    std::string text;
+    EXPECT_TRUE(
+        base_->ReadFileToString(engine_->AuditLogPath(), &text).ok());
+    auto entries = ParseAuditJournal(text);
+    EXPECT_TRUE(entries.ok()) << entries.status();
+    return entries.ok() ? std::move(*entries) : std::vector<AuditEntry>{};
+  }
+
+  static uint64_t Field(const AuditEntry& e, const char* key) {
+    const JsonValue* v = e.object.Find(key);
+    return v != nullptr && v->is_number()
+               ? static_cast<uint64_t>(v->number_value())
+               : ~0ull;
+  }
+
   std::unique_ptr<Env> base_;
   FaultInjectionEnv fenv_;
   std::unique_ptr<Engine> engine_;
@@ -413,6 +431,37 @@ TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnCrcMismatch) {
   EXPECT_EQ(stats->copy, 1u);
   ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
 
+  // The journal must tell the whole fallback story: the plan named the
+  // newest checkpoint (the attempt that then failed), and the fallback
+  // event records both that failed source and the older copy recovery
+  // actually used, with the damaged segment called out.
+  {
+    std::vector<AuditEntry> entries = JournalEntries();
+    const AuditEntry* plan = nullptr;
+    const AuditEntry* fallback = nullptr;
+    for (const AuditEntry& e : entries) {
+      if (e.event == "recovery.plan") plan = &e;
+      if (e.event == "recovery.fallback") fallback = &e;
+    }
+    ASSERT_NE(plan, nullptr);
+    ASSERT_NE(fallback, nullptr);
+    EXPECT_EQ(Field(*plan, "checkpoint"), 2u);
+    EXPECT_EQ(Field(*fallback, "from_checkpoint"), 2u);
+    EXPECT_EQ(Field(*fallback, "from_copy"), 0u);
+    EXPECT_EQ(Field(*fallback, "to_checkpoint"), 1u);
+    EXPECT_EQ(Field(*fallback, "to_copy"), 1u);
+    const JsonValue* trigger = fallback->object.Find("trigger");
+    ASSERT_NE(trigger, nullptr);
+    EXPECT_FALSE(trigger->string_value().empty());
+    const JsonValue* failed = fallback->object.Find("failed_segments");
+    ASSERT_NE(failed, nullptr);
+    bool names_segment0 = false;
+    for (const JsonValue& s : failed->array_items()) {
+      if (s.number_value() == 0) names_segment0 = true;
+    }
+    EXPECT_TRUE(names_segment0);
+  }
+
   // The next checkpoint must skip past the stale end marker (id 2) so its
   // completion record can never be paired with the half-overwritten copy:
   // parity is preserved, so id 4 rewrites the bad copy 0.
@@ -431,6 +480,7 @@ TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnCrcMismatch) {
   EXPECT_FALSE(stats2->fell_back_to_older_copy);
   EXPECT_EQ(stats2->checkpoint_id, 4u);
   ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable2));
+  VerifyAuditTrail(engine_.get());
 }
 
 TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnReadError) {
@@ -451,6 +501,19 @@ TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnReadError) {
   EXPECT_TRUE(stats->fell_back_to_older_copy);
   EXPECT_EQ(stats->checkpoint_id, 1u);
   ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
+  // A device read error (as opposed to rotten bytes) takes the same
+  // fallback path and must leave the same journal trail.
+  {
+    std::vector<AuditEntry> entries = JournalEntries();
+    const AuditEntry* fallback = nullptr;
+    for (const AuditEntry& e : entries) {
+      if (e.event == "recovery.fallback") fallback = &e;
+    }
+    ASSERT_NE(fallback, nullptr);
+    EXPECT_EQ(Field(*fallback, "from_checkpoint"), 2u);
+    EXPECT_EQ(Field(*fallback, "to_checkpoint"), 1u);
+  }
+  VerifyAuditTrail(engine_.get());
 }
 
 TEST_F(RecoveryFallbackTest, FailsWhenNoOlderCompleteCheckpointExists) {
@@ -465,6 +528,18 @@ TEST_F(RecoveryFallbackTest, FailsWhenNoOlderCompleteCheckpointExists) {
   CorruptSegment(BackupPath(1), 0);
   auto stats = engine_->Recover();
   EXPECT_TRUE(stats.status().IsCorruption()) << stats.status();
+
+  // Even the refusal is journaled: the chain ends in recovery.error, not a
+  // dangling recovery.begin.
+  std::vector<AuditEntry> entries = JournalEntries();
+  ASSERT_FALSE(entries.empty());
+  const AuditEntry* last_recovery = nullptr;
+  for (const AuditEntry& e : entries) {
+    if (e.event.rfind("recovery.", 0) == 0) last_recovery = &e;
+  }
+  ASSERT_NE(last_recovery, nullptr);
+  EXPECT_EQ(last_recovery->event, "recovery.error");
+  MMDB_EXPECT_OK(VerifyAuditStructure(entries));
 }
 
 TEST_F(RecoveryFallbackTest, TornBackupWriteIsCaughtAtRecovery) {
@@ -496,6 +571,42 @@ TEST_F(RecoveryFallbackTest, TornBackupWriteIsCaughtAtRecovery) {
   EXPECT_TRUE(stats->fell_back_to_older_copy);
   EXPECT_EQ(stats->checkpoint_id, 1u);
   ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
+  VerifyAuditTrail(engine_.get());
+}
+
+TEST_F(RecoveryFallbackTest, AbortedCheckpointRetryChainIsJournaled) {
+  OpenEngine();
+  Commit(1, 1);
+  Settle();
+
+  // The first backup write dies mid-sweep: the checkpoint aborts, with the
+  // device error as the journaled cause. Once the (transient) fault is
+  // spent, the retry runs to completion — the journal must hold the whole
+  // chain: begin, abort, then the retry's begin and end.
+  fenv_.InjectFault(
+      {FaultKind::kWriteError, "backup_", fenv_.op_count(), /*times=*/1});
+  Status failed = engine_->RunCheckpointToCompletion();
+  EXPECT_TRUE(failed.IsIoError()) << failed;
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());
+
+  std::vector<AuditEntry> entries = JournalEntries();
+  const AuditEntry* abort = nullptr;
+  const AuditEntry* retry_end = nullptr;
+  uint64_t begins = 0;
+  for (const AuditEntry& e : entries) {
+    if (e.event == "ckpt.begin") ++begins;
+    if (e.event == "ckpt.abort" && abort == nullptr) abort = &e;
+    if (e.event == "ckpt.end" && abort != nullptr) retry_end = &e;
+  }
+  ASSERT_NE(abort, nullptr);
+  ASSERT_NE(retry_end, nullptr);
+  EXPECT_GE(begins, 2u);  // the aborted attempt and its retry
+  EXPECT_GT(retry_end->seq, abort->seq);
+  const JsonValue* cause = abort->object.Find("cause");
+  ASSERT_NE(cause, nullptr);
+  EXPECT_NE(cause->string_value().find("IO"), std::string::npos)
+      << cause->string_value();
+  VerifyAuditTrail(engine_.get());
 }
 
 TEST_F(RecoveryFallbackTest, TornLogAppendLosesOnlyTheTornSuffix) {
@@ -609,6 +720,20 @@ TEST_F(TruncationFaultTest, RecoveryFindsMarkerAfterSuccessfulTruncation) {
   MMDB_ASSERT_OK(stats);
   EXPECT_EQ(stats->checkpoint_id, 1u);
   ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
+
+  // A successful truncation leaves a ckpt.log_cut record naming the cut
+  // and the reclaimed bytes, and the journal survives the crash/recovery
+  // cross-check.
+  std::string text;
+  MMDB_ASSERT_OK(base_->ReadFileToString(engine_->AuditLogPath(), &text));
+  auto entries = ParseAuditJournal(text);
+  MMDB_ASSERT_OK(entries);
+  bool saw_cut = false;
+  for (const AuditEntry& e : *entries) {
+    if (e.event == "ckpt.log_cut") saw_cut = true;
+  }
+  EXPECT_TRUE(saw_cut);
+  VerifyAuditTrail(engine_.get());
 }
 
 // --- log-manager damage/repair under flush faults -------------------------

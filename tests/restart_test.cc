@@ -89,6 +89,7 @@ TEST_P(RestartTest, RestartRecoversDurableStateAndContinues) {
   MMDB_ASSERT_OK(meta);
   EXPECT_EQ(meta->checkpoint_id, 2u);
   EXPECT_EQ(meta->copy, 0u);
+  VerifyAuditTrail(&engine);
 }
 
 TEST_P(RestartTest, SecondRestartAfterMoreWork) {
@@ -111,6 +112,7 @@ TEST_P(RestartTest, SecondRestartAfterMoreWork) {
   MMDB_ASSERT_OK(engine);
   EXPECT_EQ((*engine)->ReadRecordRaw(10), std::string_view(a));
   EXPECT_EQ((*engine)->ReadRecordRaw(11), std::string_view(b));
+  VerifyAuditTrail(engine->get());
 }
 
 TEST_P(RestartTest, GeometryMismatchRejected) {
@@ -145,6 +147,7 @@ TEST_P(RestartTest, RestartAfterPowerFailureMatchesOracle) {
   auto reopened = Engine::OpenExisting(opt, env_.get());
   MMDB_ASSERT_OK(reopened);
   VerifyRecovered(**reopened, driver, durable);
+  VerifyAuditTrail(reopened->get());
 }
 
 TEST_P(RestartTest, RestartWithoutPowerFailureRecoversAtLeastDurable) {
@@ -192,6 +195,7 @@ TEST_P(RestartTest, RestartWithoutPowerFailureRecoversAtLeastDurable) {
     ASSERT_GE(actual_lsn, newest_durable)
         << "record " << record << " regressed below the durable state";
   }
+  VerifyAuditTrail(reopened->get());
 }
 
 TEST_P(RestartTest, TruncationBoundsLogAndKeepsRecoveryWorking) {
@@ -223,6 +227,7 @@ TEST_P(RestartTest, TruncationBoundsLogAndKeepsRecoveryWorking) {
   MMDB_ASSERT_OK(engine->Crash());
   MMDB_ASSERT_OK(engine->Recover());
   VerifyRecovered(*engine, driver, durable);
+  VerifyAuditTrail(engine.get());
 }
 
 TEST_P(RestartTest, TruncationThenRestart) {
@@ -242,6 +247,7 @@ TEST_P(RestartTest, TruncationThenRestart) {
   EXPECT_EQ((*engine)->ReadRecordRaw(5), std::string_view(image));
   // And the reopened log carries the base forward.
   EXPECT_GT((*engine)->log()->BaseOffset(), 0u);
+  VerifyAuditTrail(engine->get());
 }
 
 TEST_P(RestartTest, TruncatedPrefixIsGoneFromTheReader) {

@@ -1,6 +1,7 @@
 #ifndef MMDB_TESTS_TEST_UTIL_H_
 #define MMDB_TESTS_TEST_UTIL_H_
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
@@ -10,6 +11,8 @@
 #include "core/workload.h"
 #include "env/env.h"
 #include "gtest/gtest.h"
+#include "obs/audit.h"
+#include "util/json.h"
 
 // Fails the current test if `expr` (a Status or StatusOr) is not OK.
 // Binds by const reference so move-only StatusOr payloads work.
@@ -76,6 +79,51 @@ inline void VerifyRecovered(
     ASSERT_EQ(engine.ReadRecordRaw(r), expected)
         << "record " << r << " (durable lsn " << durable_lsn << ")";
   }
+}
+
+// Cross-checks the engine's provenance journal against its own metrics
+// dump (VerifyAuditJournal) — the same check `mmdb_audit verify --dump=`
+// runs offline. Call after any recovery. A journal that cannot be read
+// (auditing disabled, or an armed fault ate the write) is skipped, not a
+// failure: the journal is an audit artifact, never a recovery input.
+//
+// When MMDB_AUDIT_EXPORT_DIR is set, the journal and dump are also copied
+// to <dir>/<name>/ {audit.log, dump.json} via the real filesystem so CI
+// can re-verify every crash/recovery with the mmdb_audit binary.
+inline void VerifyAuditTrail(Engine* engine, const std::string& name) {
+  if (engine == nullptr || engine->audit() == nullptr) return;
+  std::string journal;
+  if (!engine->env()->ReadFileToString(engine->AuditLogPath(), &journal).ok()) {
+    return;
+  }
+  const std::string dump_text = engine->DumpMetricsJson();
+  StatusOr<JsonValue> dump = JsonValue::Parse(dump_text);
+  MMDB_ASSERT_OK(dump);
+  Status verdict = VerifyAuditJournal(journal, &*dump);
+  EXPECT_TRUE(verdict.ok()) << "audit verify (" << name
+                            << "): " << verdict.ToString();
+
+  const char* export_dir = std::getenv("MMDB_AUDIT_EXPORT_DIR");
+  if (export_dir == nullptr || export_dir[0] == '\0') return;
+  std::string safe = name;
+  for (char& c : safe) {
+    if (c == '/' || c == ' ') c = '_';
+  }
+  Env* posix = Env::Posix();
+  const std::string dir = std::string(export_dir) + "/" + safe;
+  if (!posix->CreateDirIfMissing(std::string(export_dir)).ok()) return;
+  if (!posix->CreateDirIfMissing(dir).ok()) return;
+  (void)posix->WriteStringToFile(dir + "/audit.log", journal, false);
+  (void)posix->WriteStringToFile(dir + "/dump.json", dump_text, false);
+}
+
+// Same, named after the running gtest case.
+inline void VerifyAuditTrail(Engine* engine) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  VerifyAuditTrail(engine, info != nullptr ? std::string(info->test_suite_name()) +
+                                                 "." + info->name()
+                                           : "unknown");
 }
 
 }  // namespace mmdb

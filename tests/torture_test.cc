@@ -166,6 +166,9 @@ TEST_P(TortureTest, RandomHistoryNeverLosesDurableData) {
   MMDB_ASSERT_OK(engine->Crash());
   MMDB_ASSERT_OK(engine->Recover());
   audit("final");
+  // The journal saw every checkpoint, crash and recovery of the whole
+  // walk; one structural + cross-check pass at the end covers them all.
+  VerifyAuditTrail(engine.get());
 }
 
 std::vector<TortureCase> AllCases() {
@@ -333,6 +336,7 @@ TEST_P(FaultTortureTest, TransientDeviceFaultsNeverLoseDurableData) {
   MMDB_ASSERT_OK(engine->Crash());
   MMDB_ASSERT_OK(engine->Recover());
   audit("final");
+  VerifyAuditTrail(engine.get());
 }
 
 std::vector<TortureCase> FaultCases() {

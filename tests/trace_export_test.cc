@@ -148,16 +148,32 @@ TEST(TraceExportTest, OutputIsStructurallyValidTraceEventJson) {
 
   std::set<std::string> cats;
   std::set<std::string> thread_names;
-  int begins = 0, ends = 0;
+  int begins = 0, ends = 0, flow_starts = 0, flow_finishes = 0;
   for (const JsonValue& e : events->array_items()) {
     const JsonValue* ph = e.Find("ph");
     ASSERT_NE(ph, nullptr);
     ASSERT_TRUE(ph->is_string());
     const std::string& phase = ph->string_value();
     ASSERT_TRUE(phase == "M" || phase == "B" || phase == "E" ||
-                phase == "X" || phase == "i")
+                phase == "X" || phase == "i" || phase == "s" || phase == "f")
         << phase;
     ASSERT_NE(e.Find("pid"), nullptr);
+    if (phase == "s" || phase == "f") {
+      // Provenance flow events: checkpoint id binds start to finish, and
+      // the finish attaches to the enclosing slice's end.
+      ASSERT_NE(e.Find("id"), nullptr);
+      EXPECT_GT(e.Find("id")->number_value(), 0.0);
+      EXPECT_EQ(e.Find("cat")->string_value(), "flow");
+      EXPECT_EQ(e.Find("name")->string_value(), "checkpoint_provenance");
+      if (phase == "f") {
+        ASSERT_NE(e.Find("bp"), nullptr);
+        EXPECT_EQ(e.Find("bp")->string_value(), "e");
+        ++flow_finishes;
+      } else {
+        ++flow_starts;
+      }
+      continue;
+    }
     ASSERT_NE(e.Find("args"), nullptr);
     if (phase == "M") {
       const JsonValue* name = e.Find("name");
@@ -195,6 +211,10 @@ TEST(TraceExportTest, OutputIsStructurallyValidTraceEventJson) {
   }
   // Slices balance: B/E pairs match (unmatched ends degrade to instants).
   EXPECT_EQ(begins, ends);
+  // Both scripted kCheckpointEnds start a flow; the single kRecoveryEnd
+  // (which restored checkpoint 2) finishes one.
+  EXPECT_EQ(flow_starts, 2);
+  EXPECT_EQ(flow_finishes, 1);
 }
 
 TEST(TraceExportTest, RecoveryPhasesLaidOutSequentially) {

@@ -12,10 +12,16 @@
 # figure benches and runs them at --jobs=2 as a threaded smoke; the
 # engines themselves are single-threaded, so the full suite under TSan
 # would just re-test serial code at 10x the cost. The one exception is
-# the MMDB_SHARDS=4 lane: the engine/txn/recovery suites re-run under
-# TSan with every engine forced to four shards, exercising the striped
-# lock table, the N WAL stream files, and merged-stream recovery in the
-# partitioned configuration (DESIGN.md §17).
+# the MMDB_SHARDS=4 lane: the engine/txn/recovery/torture suites re-run
+# under TSan with every engine forced to four shards, exercising the
+# striped lock table, the N WAL stream files, and merged-stream recovery
+# in the partitioned configuration (DESIGN.md §17).
+#
+# The sanitize full suite and the MMDB_SHARDS=4 tsan lane both run with
+# MMDB_AUDIT_EXPORT_DIR set, so every crash/recovery test exports its
+# provenance journal and engine dump; each pair is then re-verified with
+# the mmdb_audit binary (DESIGN.md §18), keeping the CLI verifier honest
+# against the in-process one.
 #
 # The bench-smoke gate replays fig4a, fig_modern, fig_interference,
 # fig_shard_scaling --quick, and recovery_bench at --jobs=2 with a
@@ -64,9 +70,31 @@ run_config() {
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
 }
 
+# Re-verifies every (journal, dump) pair the test suites exported via
+# MMDB_AUDIT_EXPORT_DIR with the mmdb_audit binary from $1, so the
+# in-process verifier and the CLI can never drift apart (DESIGN.md §18).
+verify_audit_exports() {
+  local tree=$1 dir=$2 n=0 d
+  for d in "$dir"/*/; do
+    [ -e "$d/audit.log" ] || continue
+    "./$tree/tools/mmdb_audit" verify "$d/audit.log" --dump="$d/dump.json"
+    n=$((n + 1))
+  done
+  if [ "$n" -eq 0 ]; then
+    echo "check.sh: no audit journals exported under $dir" >&2
+    return 1
+  fi
+  echo "check.sh: mmdb_audit verified $n exported journals from $dir"
+}
+
 run_sanitize() {
-  run_config build-sanitize -DMMDB_SANITIZE=address,undefined \
+  cmake -B build-sanitize -S . -DMMDB_SANITIZE=address,undefined \
       -DMMDB_WERROR_UNUSED_RESULT=ON
+  cmake --build build-sanitize -j "$jobs"
+  rm -rf build-sanitize/audit-export
+  MMDB_AUDIT_EXPORT_DIR="$PWD/build-sanitize/audit-export" \
+      ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
+  verify_audit_exports build-sanitize build-sanitize/audit-export
   echo "check.sh: sanitize bench smoke (fig_modern --quick --jobs=2)"
   MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build-sanitize/fig_modern_asan_smoke.json \
@@ -80,13 +108,17 @@ run_tsan() {
   cmake -B build-tsan -S . -DMMDB_SANITIZE=thread
   cmake --build build-tsan -j "$jobs" \
       --target parallel_test recovery_parallel_test engine_test txn_test \
-      recovery_test consistency_test restart_test fig4a_overhead_recovery \
+      recovery_test consistency_test restart_test torture_test mmdb_audit \
+      fig4a_overhead_recovery \
       fig_modern fig_interference fig_shard_scaling recovery_bench
   ctest --test-dir build-tsan --output-on-failure \
       -R '^(parallel_test|recovery_parallel_test)$'
   echo "check.sh: tsan shard lane (MMDB_SHARDS=4 engine/txn/recovery suites)"
-  MMDB_SHARDS=4 ctest --test-dir build-tsan --output-on-failure \
-      -R '^(engine_test|txn_test|recovery_test|recovery_parallel_test|consistency_test|restart_test)$'
+  rm -rf build-tsan/audit-export
+  MMDB_SHARDS=4 MMDB_AUDIT_EXPORT_DIR="$PWD/build-tsan/audit-export" \
+      ctest --test-dir build-tsan --output-on-failure \
+      -R '^(engine_test|txn_test|recovery_test|recovery_parallel_test|consistency_test|restart_test|torture_test)$'
+  verify_audit_exports build-tsan build-tsan/audit-export
   echo "check.sh: tsan bench smoke (fig_shard_scaling --quick --jobs=2)"
   MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build-tsan/fig_shard_tsan_smoke.json \

@@ -4,6 +4,12 @@
 //   mmdb_log_dump <wal.log> --summary   counts, checkpoints, torn-tail flag
 //   mmdb_log_dump <wal.log> --from=N    dump from logical offset N
 //   mmdb_log_dump <wal.log> --json      one JSON document (machine-readable)
+//
+// Sharded logs (wal.log.1, wal.log.2, ... beside the base file) are
+// discovered automatically and LSN-merged: each frame then carries its
+// owning stream id, stream hand-offs print gang-epoch boundary markers,
+// and a torn gang (a group commit torn across streams at crash) is
+// reported with the per-stream dropped-frame counts.
 
 #include <cstdio>
 #include <cstdlib>

@@ -10,6 +10,10 @@
 //   mmdb_stats <metrics.json> --percentiles
 //       per-timer tail table (count, p50/p90/p99/p999, max) — the quick way
 //       to read an interference sidecar's latency tails per point
+//   mmdb_stats <metrics.json> --filter=<prefix>
+//       print only matching metric subtrees — "--filter=recovery" the
+//       recovery block, "--filter=counters.txn" the txn_* counters,
+//       "--filter=audit" the provenance-journal account
 //   mmdb_stats <metrics.json> --raw      re-emit the parsed document compactly
 //   mmdb_stats <metrics.json> --deterministic
 //       re-emit with the sidecar's "run" member stripped
@@ -19,10 +23,12 @@
 // Exits non-zero (with a diagnostic) on malformed JSON, so it doubles as a
 // validator for the sidecar files.
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 
 #include "env/env.h"
 #include "obs/sidecar.h"
@@ -36,11 +42,34 @@ double NumberOr(const JsonValue* v, double fallback) {
   return v != nullptr && v->is_number() ? v->number_value() : fallback;
 }
 
+// --filter=<prefix> narrows the report to matching subtrees. Paths are
+// dotted: a bare section name ("recovery", "audit", "shards") selects a
+// whole block, "counters.txn" selects the txn_* counters, "timers.log"
+// the log_* timers. Matching is mutual-prefix so "counters.txn" still
+// prints the "counters:" heading on the way down. Empty = everything.
+std::string g_filter;
+
+bool Selected(std::string_view path) {
+  if (g_filter.empty()) return true;
+  const size_t n = std::min(g_filter.size(), path.size());
+  return std::string_view(g_filter).substr(0, n) == path.substr(0, n);
+}
+
 void PrintSection(const JsonValue& doc, const char* key) {
   const JsonValue* section = doc.Find(key);
   if (section == nullptr || !section->is_object()) return;
-  std::printf("%s:\n", key);
+  if (!Selected(key)) return;
+  bool printed_heading = false;
+  if (g_filter.empty()) {
+    std::printf("%s:\n", key);
+    printed_heading = true;
+  }
   for (const auto& [name, value] : section->object_items()) {
+    if (!Selected(std::string(key) + "." + name)) continue;
+    if (!printed_heading) {
+      std::printf("%s:\n", key);
+      printed_heading = true;
+    }
     if (value.is_number()) {
       double n = value.number_value();
       // Counters are integers; keep them out of scientific notation.
@@ -68,7 +97,7 @@ void PrintSection(const JsonValue& doc, const char* key) {
 void PrintPercentiles(const JsonValue& metrics) {
   const JsonValue* timers = metrics.Find("timers");
   if (timers == nullptr || !timers->is_object() ||
-      timers->object_items().empty()) {
+      timers->object_items().empty() || !Selected("timers")) {
     return;
   }
   std::printf("percentiles:\n");
@@ -76,6 +105,7 @@ void PrintPercentiles(const JsonValue& metrics) {
               "p50", "p90", "p99", "p999", "max");
   for (const auto& [name, value] : timers->object_items()) {
     if (!value.is_object()) continue;
+    if (!Selected("timers." + name)) continue;
     std::printf("  %-32s %8.0f %10.4g %10.4g %10.4g %10.4g %10.4g\n",
                 name.c_str(), NumberOr(value.Find("count"), 0),
                 NumberOr(value.Find("p50"), 0),
@@ -90,7 +120,7 @@ void PrintPercentiles(const JsonValue& metrics) {
 // names (values live in the dump / Perfetto counter tracks).
 void PrintTimeSeries(const JsonValue& engine) {
   const JsonValue* ts = engine.Find("timeseries");
-  if (ts == nullptr || !ts->is_object()) return;
+  if (ts == nullptr || !ts->is_object() || !Selected("timeseries")) return;
   std::printf("timeseries: epoch=%.4gs series=%zu recorded=%.0f "
               "dropped=%.0f\n",
               NumberOr(ts->Find("epoch"), 0),
@@ -106,7 +136,7 @@ void PrintTimeSeries(const JsonValue& engine) {
 // the parallel-pipeline speedup is visible at a glance.
 void PrintRecovery(const JsonValue& engine) {
   const JsonValue* r = engine.Find("recovery");
-  if (r == nullptr || !r->is_object()) return;
+  if (r == nullptr || !r->is_object() || !Selected("recovery")) return;
   std::printf("recovery: ckpt=%.0f copy=%.0f loaded=%.0f retried=%.0f "
               "scanned=%.0f applied=%.0f txns=%.0f%s\n",
               NumberOr(r->Find("checkpoint"), 0), NumberOr(r->Find("copy"), 0),
@@ -156,7 +186,7 @@ void PrintRecovery(const JsonValue& engine) {
 // stall attribution, and checkpoint flush counts.
 void PrintShards(const JsonValue& engine) {
   const JsonValue* shards = engine.Find("shards");
-  if (shards == nullptr || !shards->is_object()) return;
+  if (shards == nullptr || !shards->is_object() || !Selected("shards")) return;
   std::printf("shards: count=%.0f durable_epoch=%.0f\n",
               NumberOr(shards->Find("count"), 1),
               NumberOr(shards->Find("durable_epoch"), 0));
@@ -179,7 +209,9 @@ void PrintShards(const JsonValue& engine) {
 
 void PrintCheckpoints(const JsonValue& engine) {
   const JsonValue* ckpts = engine.Find("checkpoints");
-  if (ckpts == nullptr || !ckpts->is_object()) return;
+  if (ckpts == nullptr || !ckpts->is_object() || !Selected("checkpoints")) {
+    return;
+  }
   const JsonValue* history = ckpts->Find("history");
   std::printf("checkpoints: cap=%.0f dropped=%.0f retained=%zu\n",
               NumberOr(ckpts->Find("history_cap"), 0),
@@ -202,9 +234,47 @@ void PrintCheckpoints(const JsonValue& engine) {
   }
 }
 
+// Provenance-journal account (the dump's "audit" member, DESIGN.md §18):
+// journal traffic counters plus, after a recovery, a lineage digest.
+void PrintAudit(const JsonValue& engine) {
+  const JsonValue* audit = engine.Find("audit");
+  if (audit == nullptr || !audit->is_object() || !Selected("audit")) return;
+  const JsonValue* journal = audit->Find("journal");
+  if (journal != nullptr && journal->is_object()) {
+    std::printf("audit: entries=%.0f bytes=%.0f syncs=%.0f "
+                "append_errors=%.0f sync_errors=%.0f\n",
+                NumberOr(journal->Find("entries"), 0),
+                NumberOr(journal->Find("bytes"), 0),
+                NumberOr(journal->Find("syncs"), 0),
+                NumberOr(journal->Find("append_errors"), 0),
+                NumberOr(journal->Find("sync_errors"), 0));
+  }
+  const JsonValue* lineage = audit->Find("lineage");
+  if (lineage != nullptr && lineage->is_object()) {
+    uint64_t retried = 0, replayed = 0;
+    const JsonValue* retried_col = lineage->Find("retried");
+    if (retried_col != nullptr && retried_col->is_array()) {
+      for (const JsonValue& v : retried_col->array_items()) {
+        if (v.bool_value()) ++retried;
+      }
+    }
+    const JsonValue* frames_col = lineage->Find("frames");
+    if (frames_col != nullptr && frames_col->is_array()) {
+      for (const JsonValue& v : frames_col->array_items()) {
+        if (v.is_number() && v.number_value() > 0) ++replayed;
+      }
+    }
+    std::printf("  lineage: segments=%.0f retried=%llu touched_by_replay="
+                "%llu\n",
+                NumberOr(lineage->Find("segments"), 0),
+                static_cast<unsigned long long>(retried),
+                static_cast<unsigned long long>(replayed));
+  }
+}
+
 void PrintTrace(const JsonValue& engine, bool events) {
   const JsonValue* trace = engine.Find("trace");
-  if (trace == nullptr || !trace->is_object()) return;
+  if (trace == nullptr || !trace->is_object() || !Selected("trace")) return;
   std::printf("trace: recorded=%.0f dropped=%.0f\n",
               NumberOr(trace->Find("recorded"), 0),
               NumberOr(trace->Find("dropped"), 0));
@@ -275,6 +345,7 @@ void PrintEngineDoc(const JsonValue& engine, bool events, bool percentiles) {
   PrintRecovery(engine);
   PrintShards(engine);
   PrintCheckpoints(engine);
+  PrintAudit(engine);
   PrintTrace(engine, events);
 }
 
@@ -351,7 +422,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <metrics.json> [--trace] [--percentiles] "
-                 "[--raw] [--deterministic]\n",
+                 "[--filter=prefix] [--raw] [--deterministic]\n",
                  argv[0]);
     return 2;
   }
@@ -362,6 +433,8 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0) {
       events = true;
+    } else if (std::strncmp(argv[i], "--filter=", 9) == 0) {
+      mmdb::g_filter = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--raw") == 0) {
       raw = true;
     } else if (std::strcmp(argv[i], "--deterministic") == 0) {
