@@ -60,10 +60,13 @@ StatusOr<MeasuredPoint> MeasureInterference(Algorithm a, bool zipf,
   return point;
 }
 
-// The five causes must reproduce total latency on the virtual clock (see
-// WorkloadResult); tolerance covers float summation order only.
+// The six causes must reproduce total latency on the virtual clock (see
+// WorkloadResult); tolerance covers float summation order only. The
+// recovery-wait cause is zero here (no restart in this figure) but stays in
+// the identity so an attribution leak cannot hide behind the extra term.
 bool AttributionConsistent(const WorkloadResult& w) {
   const double sum = w.stall_quiesce_seconds + w.stall_ckpt_lock_seconds +
+                     w.stall_recovery_wait_seconds +
                      w.backoff_color_seconds + w.backoff_lock_seconds +
                      w.queue_seconds;
   const double tol = 1e-6 * std::max(1.0, w.latency_total_seconds);
@@ -116,8 +119,8 @@ void MeasuredSeries(double seconds, SweepRunner* runner,
               "latency attribution broken: causes sum to %.9f but "
               "latency_total=%.9f",
               w.stall_quiesce_seconds + w.stall_ckpt_lock_seconds +
-                  w.backoff_color_seconds + w.backoff_lock_seconds +
-                  w.queue_seconds,
+                  w.stall_recovery_wait_seconds + w.backoff_color_seconds +
+                  w.backoff_lock_seconds + w.queue_seconds,
               total)),
           sidecar);
     }

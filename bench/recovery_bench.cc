@@ -10,6 +10,16 @@
 // on stderr and in the sidecar's "recovery.wall" blocks (stripped from
 // every determinism comparison by IsWallClockField).
 //
+// Each size block also carries an "<size>/instant" row (DESIGN.md §19):
+// the same crash restarted with EngineOptions::instant_recovery, a probe
+// workload served against the half-recovered store, then DrainRecovery().
+// Its drained stats feed the same modeled-identity gate — instant
+// recovery must land on the blocking rows bit-for-bit — and it fills the
+// availability columns: t_first_s (time to first transaction), t_full_s
+// (time to full recovery; blocking rows print total_s for both) and the
+// p99 per-transaction recovery-latch wait in ms. On the large config the
+// bench additionally fails unless t_first_s <= 10% of t_full_s.
+//
 //   recovery_bench [--jobs=N] [--quick]
 //
 // --quick: small size and threads {1,2} only — the TSan smoke
@@ -52,13 +62,20 @@ struct RecoveryPoint {
   RecoveryStats stats;
   std::string metrics_json;
   double recover_wall = 0.0;  // real seconds around Engine::Recover()
+  // Availability columns (virtual clock). Blocking recovery serves its
+  // first transaction only when everything is back, so both equal
+  // total_seconds there; the instant row reports the real split.
+  double time_to_first_txn = 0.0;
+  double time_to_full_recovery = 0.0;
+  double recwait_p99_ms = 0.0;  // p99 per-txn recovery-latch wait, probe run
 };
 
 StatusOr<RecoveryPoint> MeasureRecovery(const SizeConfig& size,
-                                        uint32_t threads) {
+                                        uint32_t threads, bool instant) {
   EngineOptions opt;
   opt.params.db.db_words = size.db_words;
   opt.recovery_threads = threads;
+  opt.instant_recovery = instant;
   std::unique_ptr<Env> env = NewMemEnv();
   MMDB_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
                         Engine::Open(opt, env.get()));
@@ -81,6 +98,35 @@ StatusOr<RecoveryPoint> MeasureRecovery(const SizeConfig& size,
   std::chrono::duration<double> wall =
       std::chrono::steady_clock::now() - start;
   point.recover_wall = wall.count();
+  if (engine->instant_recovery_enabled()) {
+    point.time_to_first_txn = engine->time_to_first_txn();
+    // Serve a probe workload against the half-recovered store: first
+    // touches stall on the per-segment recovery latch (the sixth
+    // attribution cause), everything else proceeds — exactly the instant-
+    // restart service window the tentpole exists for.
+    WorkloadOptions probe;
+    probe.duration = size.workload_seconds / 4.0;
+    probe.run_checkpoints = false;
+    probe.seed = 43;
+    WorkloadDriver probe_driver(engine.get(), probe);
+    MMDB_RETURN_IF_ERROR(probe_driver.Run().status());
+    MMDB_RETURN_IF_ERROR(engine->DrainRecovery());
+    // The drained stats are the blocking-equivalence contract: Run() below
+    // gates on them matching the t1 blocking row bit-for-bit.
+    point.stats = engine->last_recovery();
+    point.time_to_full_recovery = engine->time_to_full_recovery();
+    if (engine->metrics() != nullptr) {
+      point.recwait_p99_ms =
+          engine->metrics()
+              ->timer("workload.stall_recovery_wait_seconds")
+              ->Snapshot()
+              .Percentile(99) *
+          1e3;
+    }
+  } else {
+    point.time_to_first_txn = point.stats.total_seconds;
+    point.time_to_full_recovery = point.stats.total_seconds;
+  }
   point.metrics_json = engine->DumpMetricsJson();
   return point;
 }
@@ -134,20 +180,29 @@ int Run(int argc, char** argv) {
     std::vector<std::string> labels;
     for (uint32_t t : thread_counts) {
       labels.push_back(std::string(size.name) + "/t" + std::to_string(t));
-      tasks.push_back([size, t]() { return MeasureRecovery(size, t); });
+      tasks.push_back(
+          [size, t]() { return MeasureRecovery(size, t, /*instant=*/false); });
     }
+    // Instant-recovery twin of the t1 row: same history, on-demand restart
+    // with a probe workload served mid-recovery, drained before its stats
+    // are read — so its modeled columns must still match the block.
+    labels.push_back(std::string(size.name) + "/instant");
+    tasks.push_back(
+        [size]() { return MeasureRecovery(size, 1, /*instant=*/true); });
     std::vector<StatusOr<RecoveryPoint>> results =
         RunSweep<RecoveryPoint>(jobs, tasks);
 
     std::printf("\n%s (%llu words, %.2fs workload)\n", size.name,
                 static_cast<unsigned long long>(size.db_words),
                 size.workload_seconds);
-    std::printf("%-10s %12s %12s %12s %12s %10s %10s %9s\n", "point",
-                "total_s", "backup_s", "log_s", "replay_s", "segments",
-                "updates", "txns");
+    std::printf("%-10s %12s %12s %12s %12s %10s %10s %9s %12s %12s %11s\n",
+                "point", "total_s", "backup_s", "log_s", "replay_s",
+                "segments", "updates", "txns", "t_first_s", "t_full_s",
+                "recwait_p99");
     const RecoveryPoint* first_ok = nullptr;
     double t1_wall = 0.0;
     for (std::size_t i = 0; i < results.size(); ++i) {
+      const bool is_instant = i >= thread_counts.size();
       if (!results[i].ok()) {
         runner.NoteFailure(labels[i].c_str(), results[i].status(), &sidecar);
         std::printf("%-10s %12s\n", labels[i].c_str(), "ERR");
@@ -155,21 +210,44 @@ int Run(int argc, char** argv) {
       }
       const RecoveryPoint& p = *results[i];
       const RecoveryStats& s = p.stats;
-      std::printf("%-10s %12.6f %12.6f %12.6f %12.6f %10llu %10llu %9llu\n",
+      std::printf("%-10s %12.6f %12.6f %12.6f %12.6f %10llu %10llu %9llu "
+                  "%12.6f %12.6f %11.4f\n",
                   labels[i].c_str(), s.total_seconds, s.backup_read_seconds,
                   s.log_read_seconds, s.replay_cpu_seconds,
                   static_cast<unsigned long long>(s.segments_loaded),
                   static_cast<unsigned long long>(s.updates_applied),
-                  static_cast<unsigned long long>(s.txns_redone));
+                  static_cast<unsigned long long>(s.txns_redone),
+                  p.time_to_first_txn, p.time_to_full_recovery,
+                  p.recwait_p99_ms);
       sidecar.Add(labels[i], std::string(p.metrics_json), std::string());
       if (first_ok == nullptr) {
         first_ok = &p;
       } else if (ModeledDiffers(first_ok->stats, s)) {
         std::fprintf(stderr,
                      "FAIL: %s modeled stats differ from the first row — "
-                     "parallel recovery broke determinism\n",
-                     labels[i].c_str());
+                     "%s broke determinism\n",
+                     labels[i].c_str(),
+                     is_instant ? "instant recovery (drained)"
+                                : "parallel recovery");
         rc = 1;
+      }
+      if (is_instant) {
+        // The availability contract on the large config: the engine is
+        // serving transactions within 10% of the full-recovery window.
+        if (std::strcmp(size.name, "large") == 0 &&
+            p.time_to_first_txn > 0.1 * p.time_to_full_recovery) {
+          std::fprintf(stderr,
+                       "FAIL: %s time_to_first_txn=%.6fs exceeds 10%% of "
+                       "time_to_full_recovery=%.6fs\n",
+                       labels[i].c_str(), p.time_to_first_txn,
+                       p.time_to_full_recovery);
+          rc = 1;
+        }
+        std::fprintf(stderr,
+                     "%s: recover_wall=%.4fs t_first=%.6fs t_full=%.6fs\n",
+                     labels[i].c_str(), p.recover_wall, p.time_to_first_txn,
+                     p.time_to_full_recovery);
+        continue;
       }
       if (thread_counts[i] == 1) t1_wall = p.recover_wall;
       std::fprintf(stderr,

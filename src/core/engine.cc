@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <limits>
 
 #include "env/fault_injection_env.h"
@@ -57,8 +58,21 @@ Engine::~Engine() {
   }
 }
 
+bool Engine::ResolveInstantRecovery(bool configured) {
+  const char* env = std::getenv("MMDB_INSTANT_RECOVERY");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    long parsed = std::strtol(env, &end, 10);
+    if (end != nullptr && *end == '\0' && (parsed == 0 || parsed == 1)) {
+      return parsed == 1;
+    }
+  }
+  return configured;
+}
+
 Status Engine::Init(bool fresh) {
   const SystemParams& p = options_.params;
+  instant_enabled_ = ResolveInstantRecovery(options_.instant_recovery);
   MMDB_RETURN_IF_ERROR(env_->CreateDirIfMissing(options_.dir));
 
   if (options_.audit_journal) {
@@ -82,6 +96,13 @@ Status Engine::Init(bool fresh) {
     m_admission_wait_ = metrics_->timer("engine.admission_wait_seconds");
     m_stall_quiesce_ = metrics_->timer("engine.stall_quiesce_seconds");
     m_stall_ckpt_lock_ = metrics_->timer("engine.stall_ckpt_lock_seconds");
+    if (instant_enabled_) {
+      // Registered only when instant recovery is on, so the registry
+      // snapshot — and therefore every instant-off baseline — stays
+      // byte-identical.
+      m_stall_recovery_wait_ =
+          metrics_->timer("engine.stall_recovery_wait_seconds");
+    }
     // If the caller wrapped the Env in fault injection, mirror every rule
     // firing into the trace so a failure's cause appears on the same
     // timeline as its effects (aborted checkpoints, flush errors).
@@ -111,6 +132,7 @@ Status Engine::Init(bool fresh) {
       static_cast<uint32_t>(p.db.num_segments()));
   shard_stall_quiesce_.assign(shards_.shards, 0.0);
   shard_stall_ckpt_lock_.assign(shards_.shards, 0.0);
+  shard_stall_recovery_wait_.assign(shards_.shards, 0.0);
   log_ = std::make_unique<LogManager>(env_, LogPath(), p, &meter_,
                                       options_.stable_log_tail,
                                       options_.log_flush_interval,
@@ -179,6 +201,13 @@ Status Engine::Init(bool fresh) {
                        [this] { return stall_quiesce_seconds_; });
     sampler_->AddGauge("engine.stall_ckpt_lock_seconds",
                        [this] { return stall_ckpt_lock_seconds_; });
+    if (instant_enabled_) {
+      sampler_->AddGauge("engine.stall_recovery_wait_seconds",
+                         [this] { return stall_recovery_wait_seconds_; });
+      sampler_->AddGauge("recovery.pending_segments", [this] {
+        return static_cast<double>(pending_recovery_segments());
+      });
+    }
   }
   return Status::OK();
 }
@@ -188,7 +217,41 @@ Transaction* Engine::Begin() {
   return txns_->Begin(clock_.now());
 }
 
+Status Engine::AdmitRecovery(const std::vector<SegmentId>& segs) {
+  if (instant_ == nullptr) return Status::OK();
+  for (SegmentId s : segs) {
+    if (instant_ == nullptr) break;  // drain finished mid-loop
+    const double now = clock_.now();
+    const double available = instant_->Touch(s, now);
+    const double wait = available - now;
+    // Materialize BEFORE advancing the clock: loading bytes costs no
+    // virtual time, and the AdvanceTime sweep below must see this
+    // segment already loaded so it does not claim the touch-triggered
+    // load as a background one.
+    Status loaded =
+        instant_->Materialize(s, now, InstantRecovery::LoadTrigger::kTouch);
+    if (!loaded.ok()) return FailInstantRecovery(std::move(loaded));
+    if (wait > 0) {
+      // The sixth stall cause: the transaction waits on this segment's
+      // recovery latch until its backup reload completes.
+      if (tracer_) {
+        tracer_->Record(TraceEventType::kLockWait, now, available);
+      }
+      if (m_admission_wait_) m_admission_wait_->Record(wait);
+      stall_recovery_wait_seconds_ += wait;
+      shard_stall_recovery_wait_[shards_.ShardOfSegment(s)] += wait;
+      if (m_stall_recovery_wait_) m_stall_recovery_wait_->Record(wait);
+      MMDB_RETURN_IF_ERROR(AdvanceTime(wait));
+    }
+    SyncInstant();
+  }
+  return Status::OK();
+}
+
 Status Engine::WaitForAdmission(const std::vector<SegmentId>& segs) {
+  // A restart's on-demand recovery gates admission first: a transaction
+  // may not touch a segment whose post-crash image is not loaded yet.
+  MMDB_RETURN_IF_ERROR(AdmitRecovery(segs));
   // Blocked on a checkpoint-held lock or the COU quiesce barrier: wait,
   // servicing checkpoint events so the blocker actually clears. Loops in
   // case servicing those events takes further locks on our segments.
@@ -338,6 +401,10 @@ StatusOr<Lsn> Engine::Apply(
 
 Status Engine::StartCheckpoint() {
   if (crashed_) return FailedPreconditionError("engine has crashed");
+  // A checkpoint sweeps the whole primary; finish the restart first so it
+  // copies recovered bytes (and so the post-fallback numbering fixup has
+  // landed before NextId is taken).
+  MMDB_RETURN_IF_ERROR(DrainRecovery());
   if (checkpointer_->InProgress()) {
     return FailedPreconditionError("checkpoint already in progress");
   }
@@ -464,6 +531,14 @@ Status Engine::AdvanceTime(double seconds) {
   }
   clock_.AdvanceTo(target);
   TickSampler();
+  // Background reloads whose modeled completion the clock just passed
+  // materialize here, so a segment never sits "recovered on the timeline
+  // but stale in memory" across a time advance.
+  if (instant_ != nullptr) {
+    Status due = instant_->MaterializeDue(clock_.now());
+    if (!due.ok()) return FailInstantRecovery(std::move(due));
+    SyncInstant();
+  }
   return Status::OK();
 }
 
@@ -515,6 +590,10 @@ Status Engine::Crash() {
   checkpointer_->Reset();
   buffers_->Clear();
   backup_disks_.Reset();
+  // A crash mid-drain abandons the on-demand recovery; its audit chain
+  // stays open and the next recovery.begin severs it (legal grammar —
+  // see VerifyAuditStructure).
+  instant_.reset();
   crashed_ = true;
   return Status::OK();
 }
@@ -543,6 +622,49 @@ StatusOr<RecoveryStats> Engine::Recover() {
   RecoveryManager rm(env_, options_.params, &meter_, metrics_, tracer_.get(),
                      threads > 1 ? recovery_pool_.get() : nullptr);
   rm.set_audit(audit_.get());
+  avail_ = Availability{};
+  if (instant_enabled_) {
+    // Instant recovery (DESIGN.md §19): build the plan (streams merged,
+    // frames bucketed per segment, copy sources chosen), advance the
+    // clock by the log-read phase only, and admit transactions — each
+    // segment recovers on first touch or in background access-priority
+    // order. The returned stats are already blocking-equivalent.
+    const double crash_now = clock_.now();
+    MMDB_ASSIGN_OR_RETURN(InstantRecoveryPlan plan,
+                          rm.PlanInstant(backup_.get(), LogPaths(), db_.get(),
+                                         segments_.get(), crash_now));
+    const RecoveryStats stats = plan.result.stats;
+    last_recovery_ = stats;
+    has_last_recovery_ = true;
+    last_lineage_ = plan.result.lineage;  // refined at drain on fallback
+    instant_newest_end_id_ = plan.result.newest_end_id;
+    MMDB_RETURN_IF_ERROR(log_->OpenExisting(plan.result.stream_valid_bytes,
+                                            plan.result.last_lsn + 1));
+    clock_.AdvanceBy(stats.log_read_seconds);
+    TickSampler();
+    crashed_ = false;
+    // Provisional numbering fixup from the planned restore source; re-run
+    // by SyncInstant if an on-demand fallback rewinds the checkpoint id.
+    CheckpointId next = stats.checkpoint_id + 1;
+    while (next <= instant_newest_end_id_) next += 2;
+    scheduler_.Restore(next - 1, clock_.now());
+    instant_fixup_done_ = false;
+    instant_crash_now_ = crash_now;
+    avail_.ran = true;
+    avail_.crash_time = crash_now;
+    avail_.time_to_first_txn = clock_.now() - crash_now;
+    instant_ = std::make_unique<InstantRecovery>(
+        std::move(plan), options_.params, backup_.get(), db_.get(), &meter_,
+        metrics_, tracer_.get(), audit_.get());
+    instant_->StartClock(clock_.now());
+    // A cold start (no checkpoint to reload) is due in full immediately:
+    // materialize and finish now so the audit chain closes like the
+    // blocking path's. A warm start has nothing due yet — no-op.
+    Status due = instant_->MaterializeDue(clock_.now());
+    if (!due.ok()) return FailInstantRecovery(std::move(due));
+    SyncInstant();
+    return stats;
+  }
   MMDB_ASSIGN_OR_RETURN(
       RecoveryResult result,
       rm.Recover(backup_.get(), LogPaths(), db_.get(), segments_.get(),
@@ -567,6 +689,105 @@ StatusOr<RecoveryStats> Engine::Recover() {
   while (next <= result.newest_end_id) next += 2;
   scheduler_.Restore(next - 1, clock_.now());
   return result.stats;
+}
+
+Status Engine::FailInstantRecovery(Status error) {
+  // Same terminal event (and chain closure) the blocking path's wrapper
+  // journals when RecoverImpl fails.
+  if (audit_ != nullptr) {
+    const std::string text = error.ToString();
+    audit_->Record("recovery.error", instant_crash_now_, [&](JsonWriter& w) {
+      w.Key("error");
+      w.String(text);
+    });
+    audit_->Sync();
+  }
+  instant_.reset();
+  crashed_ = true;
+  return error;
+}
+
+void Engine::ForceRecoverRecord(RecordId record) {
+  if (instant_ == nullptr) return;
+  // Diagnostic raw reads move no virtual time and must not fail the
+  // caller: on a materialization error the read simply sees the
+  // unrecovered image, and the next transactional touch of the segment
+  // surfaces the error properly.
+  (void)instant_->Materialize(db_->SegmentOf(record), clock_.now(),
+                              InstantRecovery::LoadTrigger::kForce);
+  SyncInstant();
+}
+
+void Engine::SyncInstant() {
+  if (instant_ == nullptr) return;
+  if (!instant_fixup_done_ && instant_->fell_back()) {
+    // An on-demand fallback rewound the restore source to the previous
+    // checkpoint; redo the numbering fixup from the refined stats (see
+    // the comment in the blocking Recover()). Safe here: no checkpoint
+    // can have begun — StartCheckpoint drains the recovery first.
+    instant_fixup_done_ = true;
+    CheckpointId next = instant_->stats().checkpoint_id + 1;
+    while (next <= instant_newest_end_id_) next += 2;
+    scheduler_.Restore(next - 1, clock_.now());
+  }
+  if (instant_->AllLoaded()) FinalizeInstantRecovery();
+}
+
+void Engine::FinalizeInstantRecovery() {
+  std::unique_ptr<InstantRecovery> ir = std::move(instant_);
+  // The last background reload may land after the last touch-stall the
+  // clock actually waited on; full recovery is its completion time.
+  const double t_end = ir->CompleteSchedule();
+  avail_.time_to_full_recovery = t_end - avail_.crash_time;
+  avail_.touch_loads = ir->touch_loads();
+  avail_.background_loads = ir->background_loads();
+  avail_.force_loads = ir->force_loads();
+  avail_.drained = true;
+  // Fallback refinements land here; stats were provisional since plan.
+  last_recovery_ = ir->stats();
+  has_last_recovery_ = true;
+  last_lineage_ = ir->result().lineage;
+  // Close the audit chain PlanInstant left open, and publish the registry
+  // counters and phase trace events — same shapes, same crash-time
+  // anchor, same values as the blocking path.
+  if (audit_ != nullptr) {
+    const RecoveryResult& r = ir->result();
+    audit_->Record("recovery.lineage", instant_crash_now_,
+                   [&](JsonWriter& w) {
+                     w.Key("lineage");
+                     WriteLineageJson(r.lineage, &w);
+                   });
+    audit_->Record("recovery.end", instant_crash_now_, [&](JsonWriter& w) {
+      w.Key("checkpoint");
+      w.Uint(r.stats.checkpoint_id);
+      w.Key("copy");
+      w.Uint(r.stats.copy);
+      w.Key("fell_back");
+      w.Bool(r.stats.fell_back_to_older_copy);
+      w.Key("last_lsn");
+      w.Uint(r.last_lsn);
+      w.Key("applies");
+      w.Uint(r.stats.updates_applied);
+      w.Key("txns");
+      w.Uint(r.stats.txns_redone);
+    });
+    audit_->Sync();
+  }
+  ir->PublishFinal(instant_crash_now_);
+}
+
+Status Engine::DrainRecovery() {
+  if (instant_ == nullptr) return Status::OK();
+  const double t_end = instant_->CompleteSchedule();
+  if (t_end > clock_.now()) {
+    // The post-advance sweep materializes everything that just completed
+    // and finalizes.
+    return AdvanceTime(t_end - clock_.now());
+  }
+  Status due = instant_->MaterializeDue(clock_.now());
+  if (!due.ok()) return FailInstantRecovery(std::move(due));
+  SyncInstant();
+  return Status::OK();
 }
 
 std::string Engine::DumpMetricsJson() const {
@@ -682,6 +903,12 @@ std::string Engine::DumpMetricsJson() const {
     w.Double(shard_stall_quiesce_[k]);
     w.Key("stall_ckpt_lock_seconds");
     w.Double(shard_stall_ckpt_lock_[k]);
+    // Sixth cause, present only when instant recovery ran so the row
+    // shape is unchanged for every pre-existing baseline.
+    if (avail_.ran) {
+      w.Key("stall_recovery_wait_seconds");
+      w.Double(shard_stall_recovery_wait_[k]);
+    }
     w.Key("ckpt_segments_flushed");
     w.Uint(checkpointer_->shard_segments_flushed()[k]);
     w.EndObject();
@@ -726,6 +953,38 @@ std::string Engine::DumpMetricsJson() const {
   }
   w.EndArray();
   w.EndObject();
+  // Availability of the most recent restart (DESIGN.md §19): present only
+  // when instant recovery actually ran, so instant-off output stays
+  // byte-identical to builds without the feature. time_to_full_recovery
+  // is 0 until the drain finishes (`drained` disambiguates); the load
+  // counters are read live while the drain is still in flight.
+  if (avail_.ran) {
+    w.Key("availability");
+    w.BeginObject();
+    w.Key("crash_time");
+    w.Double(avail_.crash_time);
+    w.Key("time_to_first_txn");
+    w.Double(avail_.time_to_first_txn);
+    w.Key("time_to_full_recovery");
+    w.Double(avail_.time_to_full_recovery);
+    w.Key("drained");
+    w.Bool(avail_.drained);
+    w.Key("pending_segments");
+    w.Uint(pending_recovery_segments());
+    w.Key("stall_recovery_wait_seconds");
+    w.Double(stall_recovery_wait_seconds_);
+    w.Key("loads");
+    w.BeginObject();
+    w.Key("touch");
+    w.Uint(instant_ != nullptr ? instant_->touch_loads() : avail_.touch_loads);
+    w.Key("background");
+    w.Uint(instant_ != nullptr ? instant_->background_loads()
+                               : avail_.background_loads);
+    w.Key("force");
+    w.Uint(instant_ != nullptr ? instant_->force_loads() : avail_.force_loads);
+    w.EndObject();
+    w.EndObject();
+  }
   // Provenance journal state (DESIGN.md §18). Deliberately the LAST member
   // and excluded from every determinism comparison (bench_diff strips it,
   // like "run" and "shards"): lineage stream sets legitimately vary with

@@ -16,6 +16,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
+#include "recovery/instant.h"
 #include "recovery/recovery_manager.h"
 #include "sim/cpu_meter.h"
 #include "sim/disk_model.h"
@@ -109,8 +110,14 @@ class Engine {
       const std::vector<std::pair<RecordId, std::string>>& updates,
       int max_attempts = 100);
 
-  // Non-transactional point read of the current primary copy.
+  // Non-transactional point read of the current primary copy. During an
+  // instant-recovery drain the touched segment is force-materialized
+  // first (diagnostic reads see recovered bytes without moving the
+  // clock).
   std::string_view ReadRecordRaw(RecordId record) const {
+    if (instant_ != nullptr) {
+      const_cast<Engine*>(this)->ForceRecoverRecord(record);
+    }
     return db_->ReadRecord(record);
   }
 
@@ -156,9 +163,43 @@ class Engine {
   // afterwards.
   Status Crash();
   // Rebuilds the primary database from the backup and log; advances the
-  // clock by the modeled recovery time.
+  // clock by the modeled recovery time. With instant recovery enabled
+  // (DESIGN.md §19) this returns as soon as the recovery PLAN is built —
+  // the clock advances only by the log-read phase — and segments recover
+  // on demand while transactions run; the returned stats are already the
+  // blocking-equivalent modeled quantities.
   StatusOr<RecoveryStats> Recover();
   bool crashed() const { return crashed_; }
+
+  // Runs the remaining on-demand recovery to completion: advances the
+  // clock to the last background reload and materializes every pending
+  // segment. No-op when no instant recovery is draining. Called
+  // implicitly by StartCheckpoint (a checkpoint must sweep a fully
+  // recovered primary).
+  Status DrainRecovery();
+  // True while an instant recovery still has unmaterialized segments.
+  bool recovery_pending() const { return instant_ != nullptr; }
+  uint64_t pending_recovery_segments() const {
+    return instant_ != nullptr ? instant_->pending_segments() : 0;
+  }
+  // Effective instant-recovery setting (EngineOptions::instant_recovery
+  // after the MMDB_INSTANT_RECOVERY override).
+  bool instant_recovery_enabled() const { return instant_enabled_; }
+  // The MMDB_INSTANT_RECOVERY environment variable (0 or 1) when set and
+  // parseable, otherwise `configured`.
+  static bool ResolveInstantRecovery(bool configured);
+  // Availability metrics of the most recent restart (zeros when instant
+  // recovery did not run): virtual seconds from the crash instant to
+  // first admission vs to the last segment reload.
+  double time_to_first_txn() const { return avail_.time_to_first_txn; }
+  double time_to_full_recovery() const {
+    return avail_.time_to_full_recovery;
+  }
+  // Stats of the most recent Recover(). Under instant recovery these are
+  // provisional until the drain completes (an on-demand older-copy
+  // fallback refines them); read after DrainRecovery() for the final,
+  // blocking-equivalent values.
+  const RecoveryStats& last_recovery() const { return last_recovery_; }
 
   // --- introspection -------------------------------------------------------
   const EngineOptions& options() const { return options_; }
@@ -192,6 +233,11 @@ class Engine {
   // transaction's latency to its cause.
   double stall_quiesce_seconds() const { return stall_quiesce_seconds_; }
   double stall_ckpt_lock_seconds() const { return stall_ckpt_lock_seconds_; }
+  // Time client calls spent stalled on a per-segment recovery latch (the
+  // sixth latency cause; nonzero only under instant recovery).
+  double stall_recovery_wait_seconds() const {
+    return stall_recovery_wait_seconds_;
+  }
   // One self-describing JSON object: configuration, the metrics registry
   // snapshot (per-phase checkpoint timers, log flush stats, recovery phase
   // split, device accounting), the trace ring, and the retained checkpoint
@@ -232,6 +278,19 @@ class Engine {
 
   // Waits (advances the clock) until a transaction may touch `segments`.
   Status WaitForAdmission(const std::vector<SegmentId>& segments);
+  // Instant-recovery admission gate: stalls on each touched segment's
+  // recovery latch (recovery_wait attribution) and materializes it.
+  Status AdmitRecovery(const std::vector<SegmentId>& segments);
+  // Force-materializes `record`'s segment for a diagnostic raw read.
+  void ForceRecoverRecord(RecordId record);
+  // Post-materialization bookkeeping: the one-time scheduler fixup after
+  // an older-copy fallback, and finalization once every segment loaded.
+  void SyncInstant();
+  void FinalizeInstantRecovery();
+  // A materialization failed fatally (neither backup copy readable, or
+  // the log rotted since planning): journal recovery.error, abandon the
+  // drain and halt the engine — data is unrecoverable.
+  Status FailInstantRecovery(Status error);
   // Samples the time series (if enabled) up to the current clock.
   void TickSampler() {
     if (sampler_ != nullptr) sampler_->SampleUpTo(clock_.now());
@@ -254,14 +313,19 @@ class Engine {
   Timer* m_admission_wait_ = nullptr;
   Timer* m_stall_quiesce_ = nullptr;
   Timer* m_stall_ckpt_lock_ = nullptr;
+  // Created only when instant recovery is enabled, so the registry
+  // snapshot stays byte-identical with the feature off.
+  Timer* m_stall_recovery_wait_ = nullptr;
   double stall_quiesce_seconds_ = 0.0;
   double stall_ckpt_lock_seconds_ = 0.0;
+  double stall_recovery_wait_seconds_ = 0.0;
   // The same stalls attributed to the shard of the stalled access set
   // (plain members, not registry instruments, so the registry snapshot is
   // identical at every shard count; surfaced in DumpMetricsJson's
   // "shards" member).
   std::vector<double> shard_stall_quiesce_;
   std::vector<double> shard_stall_ckpt_lock_;
+  std::vector<double> shard_stall_recovery_wait_;
   // Built at Init when options.timeseries_epoch > 0; ticked whenever the
   // virtual clock advances (AdvanceTime events, checkpoint steps,
   // recovery).
@@ -296,6 +360,35 @@ class Engine {
   // per-segment lineage of the most recent successful recovery.
   std::unique_ptr<AuditJournal> audit_;
   std::vector<SegmentLineage> last_lineage_;
+
+  // --- instant recovery (DESIGN.md §19) ---------------------------------
+  // Effective setting, resolved once at Init (env override included).
+  bool instant_enabled_ = false;
+  // Live on-demand recovery state; non-null only between an instant
+  // Recover() and the drain's completion (or the next Crash()).
+  std::unique_ptr<InstantRecovery> instant_;
+  // One-shot guard for the post-fallback checkpoint-numbering fixup.
+  bool instant_fixup_done_ = false;
+  // Inputs Recover() saved for finalization: the crash instant (trace
+  // events and the audit chain use the blocking path's timeline) and the
+  // newest end-marker id (the scheduler fixup must re-run after a
+  // fallback rewinds stats.checkpoint_id).
+  double instant_crash_now_ = 0.0;
+  CheckpointId instant_newest_end_id_ = 0;
+  // Availability metrics of the most recent restart; `ran` gates the
+  // dump's "availability" member so instant-off output is byte-identical
+  // to pre-instant builds.
+  struct Availability {
+    bool ran = false;
+    bool drained = false;
+    double crash_time = 0.0;
+    double time_to_first_txn = 0.0;
+    double time_to_full_recovery = 0.0;
+    uint64_t touch_loads = 0;
+    uint64_t background_loads = 0;
+    uint64_t force_loads = 0;
+  };
+  Availability avail_;
 
   uint64_t apply_seed_ = 0x6d6d6462;  // backoff jitter for Apply retries
   bool crashed_ = false;

@@ -124,6 +124,22 @@ struct EngineOptions {
   // (ResolveShards) — used by check.sh's shards=4 TSan lane.
   uint32_t shards = 1;
 
+  // Serve transactions during restart (DESIGN.md §19): OpenExisting
+  // returns as soon as the recovery *plan* is built (streams merged,
+  // per-segment REDO buckets indexed, copy sources chosen) and segments
+  // are recovered on demand — a transaction touching a not-yet-recovered
+  // segment stalls on that segment's recovery latch (the sixth latency
+  // cause, recovery_wait) while untouched segments reload in background
+  // access-priority order (observed touch count desc, then segment id).
+  // The final database state, the modeled RecoveryStats, and the
+  // per-segment lineage are bit-identical to blocking recovery — instant
+  // recovery reschedules when recovery work happens, never what it
+  // computes. The MMDB_INSTANT_RECOVERY environment variable, when set
+  // to 0 or 1, overrides this value for every engine
+  // (Engine::ResolveInstantRecovery) — used by check.sh's instant
+  // sanitize lane.
+  bool instant_recovery = false;
+
   // Optional externally owned registry, e.g. shared by every engine of a
   // bench sweep so their counters aggregate. Must outlive the engine.
   // When null (and enable_metrics is set) the engine owns a private one.

@@ -38,7 +38,8 @@ std::string WorkloadResult::ToString() const {
       "overhead/txn=%.1f (sync=%.1f async=%.1f) instr | "
       "ckpt dur=%.3fs interval=%.3fs flushed/ckpt=%.1f cou/ckpt=%.1f | "
       "latency p50=%.2gms p99=%.2gms p999=%.2gms | "
-      "attr quiesce=%.3fs cklock=%.3fs color=%.3fs lock=%.3fs queue=%.3fs",
+      "attr quiesce=%.3fs cklock=%.3fs recwait=%.3fs color=%.3fs "
+      "lock=%.3fs queue=%.3fs",
       static_cast<unsigned long long>(committed),
       static_cast<unsigned long long>(attempts),
       static_cast<unsigned long long>(color_restarts),
@@ -49,8 +50,8 @@ std::string WorkloadResult::ToString() const {
       segments_flushed_per_ckpt, cou_copies_per_ckpt,
       latency.Percentile(50) / 1e3, latency.Percentile(99) / 1e3,
       latency.Percentile(99.9) / 1e3, stall_quiesce_seconds,
-      stall_ckpt_lock_seconds, backoff_color_seconds, backoff_lock_seconds,
-      queue_seconds);
+      stall_ckpt_lock_seconds, stall_recovery_wait_seconds,
+      backoff_color_seconds, backoff_lock_seconds, queue_seconds);
 }
 
 WorkloadDriver::WorkloadDriver(Engine* engine, const WorkloadOptions& options)
@@ -85,6 +86,7 @@ StatusOr<WorkloadResult> WorkloadDriver::Run() {
     // commit these sum to the latency.
     double stall_quiesce = 0.0;
     double stall_lock = 0.0;
+    double stall_recovery = 0.0;
     double backoff_color = 0.0;
     double backoff_lock = 0.0;
     double queue_wait = 0.0;
@@ -129,6 +131,13 @@ StatusOr<WorkloadResult> WorkloadDriver::Run() {
   Timer* m_stall_l =
       reg == nullptr ? nullptr
                      : reg->timer("workload.stall_ckpt_lock_seconds");
+  // Only materialized when the engine restarted in instant-recovery mode:
+  // the timer (and gauge below) would otherwise change the dump byte-for-
+  // byte against pre-instant baselines.
+  Timer* m_stall_r =
+      reg == nullptr || !engine_->instant_recovery_enabled()
+          ? nullptr
+          : reg->timer("workload.stall_recovery_wait_seconds");
   Timer* m_bk_color =
       reg == nullptr ? nullptr : reg->timer("workload.backoff_color_seconds");
   Timer* m_bk_lock =
@@ -219,6 +228,7 @@ StatusOr<WorkloadResult> WorkloadDriver::Run() {
     // inside this window belongs to this attempt.
     const double stall_q0 = engine_->stall_quiesce_seconds();
     const double stall_l0 = engine_->stall_ckpt_lock_seconds();
+    const double stall_r0 = engine_->stall_recovery_wait_seconds();
     Transaction* txn = engine_->Begin();
     txn->attempt = pending.attempt;
     Status st = Status::OK();
@@ -239,6 +249,8 @@ StatusOr<WorkloadResult> WorkloadDriver::Run() {
     }
     pending.stall_quiesce += engine_->stall_quiesce_seconds() - stall_q0;
     pending.stall_lock += engine_->stall_ckpt_lock_seconds() - stall_l0;
+    pending.stall_recovery +=
+        engine_->stall_recovery_wait_seconds() - stall_r0;
     if (st.ok()) {
       if (pending.read_only) {
         ++result.read_txns;
@@ -262,6 +274,7 @@ StatusOr<WorkloadResult> WorkloadDriver::Run() {
       result.latency_total_seconds += lat;
       result.stall_quiesce_seconds += pending.stall_quiesce;
       result.stall_ckpt_lock_seconds += pending.stall_lock;
+      result.stall_recovery_wait_seconds += pending.stall_recovery;
       result.backoff_color_seconds += pending.backoff_color;
       result.backoff_lock_seconds += pending.backoff_lock;
       result.queue_seconds += pending.queue_wait;
@@ -271,6 +284,9 @@ StatusOr<WorkloadResult> WorkloadDriver::Run() {
       }
       if (m_stall_l != nullptr && pending.stall_lock > 0.0) {
         m_stall_l->Record(pending.stall_lock);
+      }
+      if (m_stall_r != nullptr && pending.stall_recovery > 0.0) {
+        m_stall_r->Record(pending.stall_recovery);
       }
       if (m_bk_color != nullptr && pending.backoff_color > 0.0) {
         m_bk_color->Record(pending.backoff_color);
@@ -338,6 +354,10 @@ StatusOr<WorkloadResult> WorkloadDriver::Run() {
         ->Set(result.stall_quiesce_seconds);
     reg->gauge("workload.attr.stall_ckpt_lock_seconds")
         ->Set(result.stall_ckpt_lock_seconds);
+    if (engine_->instant_recovery_enabled()) {
+      reg->gauge("workload.attr.stall_recovery_wait_seconds")
+          ->Set(result.stall_recovery_wait_seconds);
+    }
     reg->gauge("workload.attr.backoff_color_seconds")
         ->Set(result.backoff_color_seconds);
     reg->gauge("workload.attr.backoff_lock_seconds")

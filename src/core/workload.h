@@ -80,7 +80,7 @@ struct WorkloadResult {
   // On the virtual clock a transaction's arrival-to-commit latency is
   // EXACTLY the sum of its admission stalls, its retry waits, and its
   // head-of-line queueing delay — service CPU is modeled as overhead
-  // instructions, never as clock time — so the five components below sum
+  // instructions, never as clock time — so the six components below sum
   // to latency_total_seconds (up to float rounding). Stalls are classified
   // at the blocking point by the checkpointer
   // (Checkpointer::ClassifyStall); retry waits by the abort cause the
@@ -94,8 +94,12 @@ struct WorkloadResult {
   // stalled transaction's stall_* time and amplified here as every queued
   // transaction's queue time — exactly the tail-latency interference the
   // observatory exists to expose.
+  // Under instant recovery a transaction can also stall on the per-segment
+  // recovery latch (its first access to a not-yet-recovered segment); that
+  // sixth cause joins the identity with the same exact-sum property.
   double stall_quiesce_seconds = 0.0;    // COU quiesce admission barrier
   double stall_ckpt_lock_seconds = 0.0;  // checkpoint-held segment locks
+  double stall_recovery_wait_seconds = 0.0;  // on-demand recovery latch
   double backoff_color_seconds = 0.0;    // two-color restart backoff+deferral
   double backoff_lock_seconds = 0.0;     // lock-conflict restart backoff
   double queue_seconds = 0.0;            // head-of-line wait behind stalls

@@ -45,6 +45,9 @@ namespace mmdb {
 //   recovery.plan     {checkpoint, copy, begin_offset, source}
 //   recovery.fallback {from_checkpoint, from_copy, to_checkpoint, to_copy,
 //                      trigger, failed_segments[], full_reload}
+//   recovery.segment_on_demand {segment, trigger, checkpoint, copy, retried,
+//                      frames, order}      (instant recovery, DESIGN.md §19;
+//                      one per segment, in first-materialization order)
 //   recovery.lineage  {lineage:{...}}     (per-segment arrays, see below)
 //   recovery.end      {checkpoint, copy, fell_back, last_lsn, applies, txns}
 //                                                             [synced]

@@ -41,6 +41,8 @@ std::string_view TraceEventTypeName(TraceEventType type) {
       return "recovery.end";
     case TraceEventType::kRecoveryFanout:
       return "recovery.fanout";
+    case TraceEventType::kRecoverySegmentOnDemand:
+      return "recovery.segment_on_demand";
   }
   return "unknown";
 }
@@ -133,6 +135,12 @@ constexpr TraceEventFields kTraceEventFields[kNumTraceEventTypes] = {
      {"threads", TraceFieldCoding::kInt},
      {"segments", TraceFieldCoding::kInt},
      {"buckets", TraceFieldCoding::kInt}},
+    // kRecoverySegmentOnDemand: t2=availability, a=segment, b=trigger,
+    // c=first-materialization ordinal
+    {"available_at", true,
+     {"segment", TraceFieldCoding::kInt},
+     {"trigger", TraceFieldCoding::kInt},
+     {"order", TraceFieldCoding::kInt}},
 };
 
 }  // namespace

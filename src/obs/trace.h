@@ -30,13 +30,18 @@ enum class TraceEventType : uint8_t {
   kRecoveryPhase,           // t2=seconds, a=phase, b/c=phase counts
   kRecoveryEnd,             // t2=total seconds, a=checkpoint id restored
   kRecoveryFanout,          // a=threads, b=segments, c=replay buckets
+  // Instant recovery (DESIGN.md §19): one event per on-demand segment
+  // materialization. time=modeled submission of the backup read,
+  // t2=availability (absolute), a=segment, b=trigger (0 touch,
+  // 1 background, 2 force), c=first-materialization ordinal.
+  kRecoverySegmentOnDemand,
 };
 
 // Number of TraceEventType enumerators, for table-driven iteration (the
 // field tables below, the Perfetto exporter's kind map, and the
 // completeness tests). Keep in sync with the last enumerator.
 inline constexpr size_t kNumTraceEventTypes =
-    static_cast<size_t>(TraceEventType::kRecoveryFanout) + 1;
+    static_cast<size_t>(TraceEventType::kRecoverySegmentOnDemand) + 1;
 
 std::string_view TraceEventTypeName(TraceEventType type);
 

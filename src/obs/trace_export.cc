@@ -22,6 +22,7 @@ enum Track : int {
   kTrackLock = 4,
   kTrackFault = 5,
   kTrackRecovery = 6,
+  kTrackRecoveryOnDemand = 7,
   // Per-shard checkpoint.io tracks (TraceExportOptions::shard_tracks):
   // shard k's segment writes land on tid kTrackShardIoBase + k.
   kTrackShardIoBase = 100,
@@ -34,6 +35,7 @@ constexpr struct {
     {kTrackCheckpoint, "checkpoint"}, {kTrackCheckpointIo, "checkpoint.io"},
     {kTrackLog, "log"},               {kTrackLock, "lock"},
     {kTrackFault, "fault"},           {kTrackRecovery, "recovery"},
+    {kTrackRecoveryOnDemand, "recovery.on_demand"},
 };
 
 // Virtual-clock seconds -> trace_event microseconds.
@@ -131,10 +133,11 @@ void AppendEvent(std::string_view name, std::string_view cat,
 // recovery that restored it, sharing the checkpoint id. The viewer then
 // draws a provenance arrow from the checkpoint to its consumers.
 void AppendFlowEvent(std::string_view ph, uint64_t id, double ts_us, int pid,
-                     int tid, JsonWriter* w) {
+                     int tid, JsonWriter* w,
+                     std::string_view name = "checkpoint_provenance") {
   w->BeginObject();
   w->Key("name");
-  w->String("checkpoint_provenance");
+  w->String(name);
   w->Key("cat");
   w->String("flow");
   w->Key("ph");
@@ -349,6 +352,26 @@ Status AppendChromeTraceEvents(const JsonValue& trace_doc, int pid,
         AppendEvent(kind, cat, "i", ts, -1, pid, kTrackRecovery, true, event,
                     writer);
         break;
+      case TraceEventType::kRecoverySegmentOnDemand: {
+        // One span per on-demand materialization: modeled backup-read
+        // submission to availability. Touch-triggered loads additionally
+        // get a flow arrow from the stalling transaction's slice on the
+        // lock track to the recovery span.
+        AppendEvent(kind, cat, "X", ts, dur, pid, kTrackRecoveryOnDemand,
+                    false, event, writer);
+        int64_t trigger =
+            static_cast<int64_t>(NumberOr(event.Find("trigger"), -1));
+        if (trigger == 0) {
+          uint64_t segment =
+              static_cast<uint64_t>(NumberOr(event.Find("segment"), 0));
+          uint64_t flow_id = 1000000 + segment;
+          AppendFlowEvent("s", flow_id, ts, pid, kTrackLock, writer,
+                          "recovery_on_demand");
+          AppendFlowEvent("f", flow_id, ts + dur, pid, kTrackRecoveryOnDemand,
+                          writer, "recovery_on_demand");
+        }
+        break;
+      }
     }
     ++local.events_exported;
   }

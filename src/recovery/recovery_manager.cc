@@ -93,51 +93,52 @@ uint32_t RecoveryManager::ResolveThreads(uint32_t configured) {
   return hw == 0 ? 1 : static_cast<uint32_t>(hw);
 }
 
-void RecoveryManager::Publish(const RecoveryStats& stats, double now,
+void RecoveryManager::Publish(MetricsRegistry* metrics, Tracer* tracer,
+                              const RecoveryStats& stats, double now,
                               uint64_t replay_buckets) {
-  if (metrics_ != nullptr) {
-    metrics_->counter("recovery.runs")->Increment();
-    metrics_->counter("recovery.segments_loaded")
+  if (metrics != nullptr) {
+    metrics->counter("recovery.runs")->Increment();
+    metrics->counter("recovery.segments_loaded")
         ->Increment(stats.segments_loaded);
-    metrics_->counter("recovery.segments_retried")
+    metrics->counter("recovery.segments_retried")
         ->Increment(stats.segments_retried);
-    metrics_->counter("recovery.log_bytes_read")
+    metrics->counter("recovery.log_bytes_read")
         ->Increment(stats.log_bytes_read);
-    metrics_->counter("recovery.updates_applied")
+    metrics->counter("recovery.updates_applied")
         ->Increment(stats.updates_applied);
-    metrics_->counter("recovery.txns_redone")->Increment(stats.txns_redone);
+    metrics->counter("recovery.txns_redone")->Increment(stats.txns_redone);
     if (stats.fell_back_to_older_copy) {
-      metrics_->counter("recovery.copy_fallbacks")->Increment();
+      metrics->counter("recovery.copy_fallbacks")->Increment();
     }
-    metrics_->timer("recovery.backup_read_seconds")
+    metrics->timer("recovery.backup_read_seconds")
         ->Record(stats.backup_read_seconds);
-    metrics_->timer("recovery.log_read_seconds")
+    metrics->timer("recovery.log_read_seconds")
         ->Record(stats.log_read_seconds);
-    metrics_->timer("recovery.replay_cpu_seconds")
+    metrics->timer("recovery.replay_cpu_seconds")
         ->Record(stats.replay_cpu_seconds);
-    metrics_->timer("recovery.total_seconds")->Record(stats.total_seconds);
+    metrics->timer("recovery.total_seconds")->Record(stats.total_seconds);
   }
-  if (tracer_ != nullptr) {
-    tracer_->Record(
+  if (tracer != nullptr) {
+    tracer->Record(
         TraceEventType::kRecoveryPhase, now, stats.backup_read_seconds,
         static_cast<int64_t>(RecoveryPhase::kBackupLoad),
         static_cast<int64_t>(stats.segments_loaded),
         static_cast<int64_t>(stats.copy));
-    tracer_->Record(TraceEventType::kRecoveryPhase, now,
-                    stats.log_read_seconds,
-                    static_cast<int64_t>(RecoveryPhase::kLogRead),
-                    static_cast<int64_t>(stats.log_bytes_read));
-    tracer_->Record(TraceEventType::kRecoveryPhase, now,
-                    stats.replay_cpu_seconds,
-                    static_cast<int64_t>(RecoveryPhase::kReplay),
-                    static_cast<int64_t>(stats.updates_applied),
-                    static_cast<int64_t>(stats.txns_redone));
-    tracer_->Record(TraceEventType::kRecoveryFanout, now, 0.0,
-                    static_cast<int64_t>(stats.threads_used),
-                    static_cast<int64_t>(stats.segments_loaded),
-                    static_cast<int64_t>(replay_buckets));
-    tracer_->Record(TraceEventType::kRecoveryEnd, now, stats.total_seconds,
-                    static_cast<int64_t>(stats.checkpoint_id));
+    tracer->Record(TraceEventType::kRecoveryPhase, now,
+                   stats.log_read_seconds,
+                   static_cast<int64_t>(RecoveryPhase::kLogRead),
+                   static_cast<int64_t>(stats.log_bytes_read));
+    tracer->Record(TraceEventType::kRecoveryPhase, now,
+                   stats.replay_cpu_seconds,
+                   static_cast<int64_t>(RecoveryPhase::kReplay),
+                   static_cast<int64_t>(stats.updates_applied),
+                   static_cast<int64_t>(stats.txns_redone));
+    tracer->Record(TraceEventType::kRecoveryFanout, now, 0.0,
+                   static_cast<int64_t>(stats.threads_used),
+                   static_cast<int64_t>(stats.segments_loaded),
+                   static_cast<int64_t>(replay_buckets));
+    tracer->Record(TraceEventType::kRecoveryEnd, now, stats.total_seconds,
+                   static_cast<int64_t>(stats.checkpoint_id));
   }
 }
 
@@ -180,20 +181,9 @@ StatusOr<RecoveryResult> RecoveryManager::Recover(
   return result;
 }
 
-StatusOr<RecoveryResult> RecoveryManager::RecoverImpl(
+StatusOr<RecoveryManager::RestorePlan> RecoveryManager::BuildRestorePlan(
     BackupStore* backup, const std::vector<std::string>& log_paths,
-    Database* db, SegmentTable* segments, double now) {
-  RecoveryResult result;
-  RecoveryStats& stats = result.stats;
-  const uint32_t threads =
-      pool_ != nullptr ? static_cast<uint32_t>(pool_->num_threads()) : 1;
-  stats.threads_used = threads;
-  BusyMeter busy(threads);
-
-  // Fresh disk service state: the array restarts with the machine.
-  DiskArrayModel backup_disks(params_.disk);
-  DiskArrayModel log_disks(params_.disk.LogArray());
-
+    Database* db, double now, RecoveryResult* result) {
   // --- Phase 1: decide which checkpoint to restore ----------------------
   // Two sources name the last complete checkpoint: the metadata file
   // (renamed into place after the end marker is durable) and the log's own
@@ -208,8 +198,8 @@ StatusOr<RecoveryResult> RecoveryManager::RecoverImpl(
   db->Clear();
   MMDB_ASSIGN_OR_RETURN(
       LogReader reader,
-      LogReader::OpenStreams(env_, log_paths, &result.stream_valid_bytes));
-  result.log_valid_bytes = reader.valid_bytes();
+      LogReader::OpenStreams(env_, log_paths, &result->stream_valid_bytes));
+  result->log_valid_bytes = reader.valid_bytes();
   if (audit_ != nullptr) {
     // What the stream merge salvaged: the valid prefix per stream, the
     // CRC-clean frames each stream lost past the merge frontier, and
@@ -217,7 +207,7 @@ StatusOr<RecoveryResult> RecoveryManager::RecoverImpl(
     audit_->Record("recovery.streams", now, [&](JsonWriter& w) {
       w.Key("valid_bytes");
       w.BeginArray();
-      for (uint64_t v : result.stream_valid_bytes) w.Uint(v);
+      for (uint64_t v : result->stream_valid_bytes) w.Uint(v);
       w.EndArray();
       w.Key("dropped_frames");
       w.BeginArray();
@@ -284,7 +274,7 @@ StatusOr<RecoveryResult> RecoveryManager::RecoverImpl(
     have_checkpoint = true;
     restore_id = marker->checkpoint_id;
     replay_from_offset = marker->begin_offset;
-    result.newest_end_id = marker->checkpoint_id;
+    result->newest_end_id = marker->checkpoint_id;
     // Fuzzy checkpoints may require scanning back to the earliest
     // transaction active at the marker. Under commit-time logging an
     // active transaction has no log records yet, so the extension is
@@ -316,15 +306,45 @@ StatusOr<RecoveryResult> RecoveryManager::RecoverImpl(
     });
   }
 
-  // Seed every segment's lineage with the plan; Phase 2's fallback and
-  // Phase 3's replay refine individual entries.
-  result.lineage.assign(db->num_segments(), SegmentLineage{});
+  // Seed every segment's lineage with the plan; the fallback protocol and
+  // REDO replay refine individual entries.
+  result->lineage.assign(db->num_segments(), SegmentLineage{});
   if (have_checkpoint) {
-    for (SegmentLineage& l : result.lineage) {
+    for (SegmentLineage& l : result->lineage) {
       l.checkpoint_id = restore_id;
       l.copy = restore_copy;
     }
   }
+
+  RestorePlan plan{std::move(reader)};
+  plan.have_checkpoint = have_checkpoint;
+  plan.restore_id = restore_id;
+  plan.restore_copy = restore_copy;
+  plan.replay_from_offset = replay_from_offset;
+  return plan;
+}
+
+StatusOr<RecoveryResult> RecoveryManager::RecoverImpl(
+    BackupStore* backup, const std::vector<std::string>& log_paths,
+    Database* db, SegmentTable* segments, double now) {
+  RecoveryResult result;
+  RecoveryStats& stats = result.stats;
+  const uint32_t threads =
+      pool_ != nullptr ? static_cast<uint32_t>(pool_->num_threads()) : 1;
+  stats.threads_used = threads;
+  BusyMeter busy(threads);
+
+  // Fresh disk service state: the array restarts with the machine.
+  DiskArrayModel backup_disks(params_.disk);
+  DiskArrayModel log_disks(params_.disk.LogArray());
+
+  MMDB_ASSIGN_OR_RETURN(RestorePlan plan, BuildRestorePlan(backup, log_paths,
+                                                           db, now, &result));
+  LogReader& reader = plan.reader;
+  const bool have_checkpoint = plan.have_checkpoint;
+  CheckpointId restore_id = plan.restore_id;
+  uint32_t restore_copy = plan.restore_copy;
+  uint64_t replay_from_offset = plan.replay_from_offset;
 
   // --- Phase 2: load the chosen backup copy -----------------------------
   // Segments are independent byte ranges of both the copy file and the
@@ -736,8 +756,282 @@ StatusOr<RecoveryResult> RecoveryManager::RecoverImpl(
   segments->MarkAllDirty();
 
   stats.total_seconds = (log_done - now) + stats.replay_cpu_seconds;
-  Publish(stats, now, active_buckets.size());
+  Publish(metrics_, tracer_, stats, now, active_buckets.size());
   return result;
+}
+
+StatusOr<InstantRecoveryPlan> RecoveryManager::PlanInstant(
+    BackupStore* backup, const std::vector<std::string>& log_paths,
+    Database* db, SegmentTable* segments, double now) {
+  StatusOr<InstantRecoveryPlan> plan =
+      PlanInstantImpl(backup, log_paths, db, segments, now);
+  if (!plan.ok() && audit_ != nullptr) {
+    const std::string error = plan.status().ToString();
+    audit_->Record("recovery.error", now, [&](JsonWriter& w) {
+      w.Key("error");
+      w.String(error);
+    });
+    audit_->Sync();
+  }
+  // Success leaves the audit chain OPEN: the engine journals the lineage
+  // and recovery.end once every segment has materialized.
+  return plan;
+}
+
+StatusOr<InstantRecoveryPlan> RecoveryManager::PlanInstantImpl(
+    BackupStore* backup, const std::vector<std::string>& log_paths,
+    Database* db, SegmentTable* segments, double now) {
+  InstantRecoveryPlan out;
+  RecoveryResult& result = out.result;
+  RecoveryStats& stats = result.stats;
+  const uint32_t threads =
+      pool_ != nullptr ? static_cast<uint32_t>(pool_->num_threads()) : 1;
+  stats.threads_used = threads;
+  BusyMeter busy(threads);
+
+  MMDB_ASSIGN_OR_RETURN(RestorePlan plan, BuildRestorePlan(backup, log_paths,
+                                                           db, now, &result));
+  out.have_checkpoint = plan.have_checkpoint;
+  out.restore_id = plan.restore_id;
+  out.restore_copy = plan.restore_copy;
+  out.replay_from_offset = plan.replay_from_offset;
+  LogReader& reader = plan.reader;
+
+  // Modeled phase costs, closed-form. Blocking recovery submits one
+  // backup-array request per segment at the crash instant and then streams
+  // the log suffix in fixed chunks starting where the backup reads
+  // finished. Replaying the SAME submissions at the SAME absolute times
+  // against scratch arrays reproduces the blocking path's
+  // backup_read_seconds / log_read_seconds bit-for-bit — the anchors
+  // matter because float subtraction is not translation-invariant, and
+  // the instant-off/on equivalence gates compare these exactly.
+  double backup_done = now;
+  if (plan.have_checkpoint) {
+    DiskArrayModel backup_disks(params_.disk);
+    for (uint64_t s = 0; s < db->num_segments(); ++s) {
+      backup_disks.Submit(now, params_.db.segment_words);
+    }
+    backup_done = std::max(now, backup_disks.AllIdleTime());
+    stats.backup_read_seconds = backup_done - now;
+    stats.segments_loaded = db->num_segments();
+    stats.checkpoint_id = plan.restore_id;
+    stats.copy = plan.restore_copy;
+  }
+  uint64_t log_bytes = result.log_valid_bytes > plan.replay_from_offset
+                           ? result.log_valid_bytes - plan.replay_from_offset
+                           : 0;
+  stats.log_bytes_read = log_bytes;
+  constexpr uint64_t kChunkWords = 64 * 1024;  // 256 KiB per device request
+  uint64_t log_words = (log_bytes + kWordBytes - 1) / kWordBytes;
+  double log_done_abs = backup_done;
+  {
+    DiskArrayModel log_disks(params_.disk.LogArray());
+    for (uint64_t w = 0; w < log_words; w += kChunkWords) {
+      log_disks.Submit(backup_done, std::min(kChunkWords, log_words - w));
+    }
+    log_done_abs = std::max(log_disks.AllIdleTime(), backup_done);
+    stats.log_read_seconds = log_done_abs - backup_done;
+  }
+
+  // Classification scan — identical to the blocking path's pass 1: the
+  // committed set, the max LSN, and the per-segment frame buckets.
+  WallClock::time_point scan_wall_start = WallClock::now();
+  std::size_t start_frame = 0;
+  if (reader.num_frames() > 0) {
+    MMDB_ASSIGN_OR_RETURN(start_frame,
+                          reader.FrameIndexAt(plan.replay_from_offset));
+  }
+  out.start_frame = start_frame;
+  const std::size_t suffix_frames = reader.num_frames() - start_frame;
+
+  struct ScanChunk {
+    uint64_t records = 0;
+    Lsn max_lsn = kInvalidLsn;
+    std::vector<TxnId> commits;
+    std::vector<std::pair<RecordId, std::size_t>> data;
+  };
+  const std::size_t scan_chunk = ChunkFor(suffix_frames, threads);
+  const std::size_t num_scan_chunks =
+      suffix_frames == 0 ? 0 : (suffix_frames + scan_chunk - 1) / scan_chunk;
+  std::vector<ScanChunk> scan_chunks(num_scan_chunks);
+  MMDB_RETURN_IF_ERROR(ParallelFor(
+      pool_, suffix_frames, scan_chunk,
+      [&](std::size_t begin, std::size_t end) -> Status {
+        WallClock::time_point start = WallClock::now();
+        ScanChunk& chunk = scan_chunks[begin / scan_chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          std::size_t frame = start_frame + i;
+          LogRecordHeader h;
+          MMDB_RETURN_IF_ERROR(reader.HeaderAt(frame, &h));
+          ++chunk.records;
+          if (chunk.max_lsn == kInvalidLsn || h.lsn > chunk.max_lsn) {
+            chunk.max_lsn = h.lsn;
+          }
+          if (h.type == LogRecordType::kCommit) {
+            chunk.commits.push_back(h.txn_id);
+          } else if (h.type == LogRecordType::kUpdate ||
+                     h.type == LogRecordType::kDelta) {
+            chunk.data.emplace_back(h.record_id, frame);
+          }
+        }
+        busy.Charge(start);
+        return Status::OK();
+      }));
+
+  Lsn last_lsn = kInvalidLsn;
+  const std::size_t num_buckets =
+      static_cast<std::size_t>(db->num_segments()) + 1;
+  const std::size_t overflow_bucket = num_buckets - 1;
+  out.buckets.assign(num_buckets, {});
+  const uint64_t records_per_segment = params_.db.records_per_segment();
+  for (const ScanChunk& c : scan_chunks) {
+    stats.records_scanned += c.records;
+    if (c.max_lsn != kInvalidLsn &&
+        (last_lsn == kInvalidLsn || c.max_lsn > last_lsn)) {
+      last_lsn = c.max_lsn;
+    }
+    for (TxnId t : c.commits) out.committed.insert(t);
+    for (const auto& [record_id, frame] : c.data) {
+      std::size_t b = static_cast<std::size_t>(std::min<uint64_t>(
+          record_id / records_per_segment, overflow_bucket));
+      out.buckets[b].push_back(frame);
+    }
+  }
+  MMDB_RETURN_IF_ERROR(
+      reader.ScanBackward([&](const LogRecord& r, uint64_t) {
+        if (last_lsn == kInvalidLsn || r.lsn > last_lsn) last_lsn = r.lsn;
+        return false;  // only the newest record is needed
+      }));
+  result.last_lsn = last_lsn;
+  stats.log_scan_wall_seconds = SecondsSince(scan_wall_start);
+
+  // Eager validation + per-segment replay accounting. This full-decodes
+  // every bucketed frame exactly as the blocking path's partitioned REDO
+  // would — same decode errors, same malformed-record checks on committed
+  // frames, same smallest-frame-wins rule — but applies nothing, so a log
+  // that would have failed blocking recovery fails the plan here instead
+  // of surfacing mid-service. The per-bucket apply tallies double as the
+  // clean-path lineage and the closed-form replay CPU charge.
+  WallClock::time_point replay_wall_start = WallClock::now();
+  std::vector<std::size_t> active_buckets;
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    if (!out.buckets[b].empty()) active_buckets.push_back(b);
+  }
+  out.replay_buckets = active_buckets.size();
+  struct BucketResult {
+    uint64_t full_applies = 0;
+    uint64_t delta_applies = 0;
+    Lsn first_lsn = kInvalidLsn;
+    Lsn last_lsn = kInvalidLsn;
+    std::vector<uint32_t> streams;
+    std::size_t error_frame = SIZE_MAX;
+    Status status;
+  };
+  std::vector<BucketResult> bucket_results(active_buckets.size());
+  MMDB_RETURN_IF_ERROR(ParallelFor(
+      pool_, active_buckets.size(), ChunkFor(active_buckets.size(), threads),
+      [&](std::size_t begin, std::size_t end) -> Status {
+        WallClock::time_point start = WallClock::now();
+        for (std::size_t bi = begin; bi < end; ++bi) {
+          BucketResult& br = bucket_results[bi];
+          for (std::size_t frame : out.buckets[active_buckets[bi]]) {
+            StatusOr<LogRecord> decoded = reader.RecordAtIndex(frame);
+            if (!decoded.ok()) {
+              br.status = decoded.status();
+              br.error_frame = frame;
+              break;
+            }
+            const LogRecord& r = *decoded;
+            if (out.committed.count(r.txn_id) == 0) continue;
+            bool applied = false;
+            if (r.type == LogRecordType::kUpdate) {
+              if (r.record_id >= db->num_records() ||
+                  r.image.size() != db->record_bytes()) {
+                br.status = CorruptionError(StringPrintf(
+                    "update record for txn %llu is malformed",
+                    static_cast<unsigned long long>(r.txn_id)));
+                br.error_frame = frame;
+                break;
+              }
+              ++br.full_applies;
+              applied = true;
+            } else if (r.type == LogRecordType::kDelta) {
+              if (r.record_id >= db->num_records() ||
+                  r.field_offset + 8 > db->record_bytes()) {
+                br.status = CorruptionError(StringPrintf(
+                    "delta record for txn %llu is malformed",
+                    static_cast<unsigned long long>(r.txn_id)));
+                br.error_frame = frame;
+                break;
+              }
+              ++br.delta_applies;
+              applied = true;
+            }
+            if (applied) {
+              if (br.first_lsn == kInvalidLsn) br.first_lsn = r.lsn;
+              br.last_lsn = r.lsn;
+              const uint32_t stream = reader.FrameStream(frame);
+              if (std::find(br.streams.begin(), br.streams.end(), stream) ==
+                  br.streams.end()) {
+                br.streams.push_back(stream);
+              }
+            }
+          }
+        }
+        busy.Charge(start);
+        return Status::OK();
+      }));
+  uint64_t full_applies = 0;
+  uint64_t delta_applies = 0;
+  std::size_t first_error_frame = SIZE_MAX;
+  Status apply_status;
+  for (const BucketResult& br : bucket_results) {
+    full_applies += br.full_applies;
+    delta_applies += br.delta_applies;
+    if (!br.status.ok() && br.error_frame < first_error_frame) {
+      first_error_frame = br.error_frame;
+      apply_status = br.status;
+    }
+  }
+  MMDB_RETURN_IF_ERROR(apply_status);
+  for (std::size_t bi = 0; bi < active_buckets.size(); ++bi) {
+    const std::size_t b = active_buckets[bi];
+    if (b >= result.lineage.size()) continue;  // overflow bucket
+    const BucketResult& br = bucket_results[bi];
+    SegmentLineage& l = result.lineage[b];
+    l.frames = br.full_applies + br.delta_applies;
+    l.first_lsn = br.first_lsn;
+    l.last_lsn = br.last_lsn;
+    l.streams = br.streams;
+  }
+  stats.updates_applied = full_applies + delta_applies;
+  stats.txns_redone = out.committed.size();
+  stats.replay_wall_seconds = SecondsSince(replay_wall_start);
+  stats.thread_busy_seconds = busy.Seconds();
+
+  // The recovery CPU is charged once, here, from the same closed-form
+  // instruction count as the blocking path — materialization later moves
+  // the same bytes but must not re-charge.
+  double replay_instructions =
+      params_.costs.move_per_word *
+          static_cast<double>(params_.db.record_words) *
+          static_cast<double>(full_applies) +
+      (8.0 / kWordBytes) * static_cast<double>(delta_applies);
+  meter_->Charge(CpuCategory::kRecovery, replay_instructions);
+  stats.replay_cpu_seconds =
+      params_.InstructionsToSeconds(replay_instructions);
+
+  // Control state restarts conservatively, exactly as after a blocking
+  // recovery: everything dirty, colors white, no old copies, no LSNs.
+  segments->Reset();
+  segments->MarkAllDirty();
+
+  // Same grouping as the blocking path's `(log_done - now) + replay`:
+  // three-way summation is not associative in float and the off/on
+  // equivalence gates compare total_seconds exactly.
+  stats.total_seconds = (log_done_abs - now) + stats.replay_cpu_seconds;
+  out.reader = std::move(plan.reader);
+  return out;
 }
 
 }  // namespace mmdb

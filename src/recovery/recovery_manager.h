@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "backup/backup_store.h"
@@ -18,6 +19,7 @@
 #include "util/status.h"
 #include "util/statusor.h"
 #include "util/types.h"
+#include "wal/log_reader.h"
 
 namespace mmdb {
 
@@ -94,6 +96,42 @@ struct RecoveryResult {
   std::vector<SegmentLineage> lineage;
 };
 
+// Everything instant recovery (DESIGN.md §19) needs to serve transactions
+// before a single segment byte has been reloaded: the merged immutable log
+// snapshot, the committed set, the per-segment REDO frame buckets, the
+// restore decision, and a RecoveryResult whose modeled stats and lineage
+// already equal what blocking recovery would have produced on the clean
+// path (the closed-form quantities need no segment bytes). Produced by
+// RecoveryManager::PlanInstant and consumed by InstantRecovery, which
+// materializes segments on demand against this plan.
+struct InstantRecoveryPlan {
+  // Fully populated clean-path outputs: modeled stats, last LSN, stream
+  // offsets, newest end id, and per-segment lineage. A mid-service
+  // older-copy fallback later refines stats and the failed segment's
+  // lineage entry (exactly as blocking recovery's fallback would).
+  RecoveryResult result;
+
+  // Placeholder-initialized (an empty log) until PlanInstantImpl moves
+  // the merged stream view in; LogReader has no default constructor.
+  LogReader reader{std::string()};
+  bool have_checkpoint = false;
+  CheckpointId restore_id = 0;
+  uint32_t restore_copy = 0;
+  uint64_t replay_from_offset = 0;
+  // Frame index of replay_from_offset in `reader` (0 when the log is
+  // empty) — the start of the main replay suffix.
+  std::size_t start_frame = 0;
+  // Transactions with a commit record in the replay suffix.
+  std::unordered_set<TxnId> committed;
+  // Per-segment frame indices of the suffix's UPDATE/DELTA records in log
+  // order, plus one overflow bucket (index num_segments) that eager
+  // validation has proven holds only uncommitted frames.
+  std::vector<std::vector<std::size_t>> buckets;
+  // Non-empty bucket count (the blocking path's replay fan-out width),
+  // recorded in the kRecoveryFanout trace event at finalization.
+  uint64_t replay_buckets = 0;
+};
+
 // Rebuilds the primary (memory-resident) database after a system failure
 // (Section 3.3): loads the last complete backup copy named by the
 // checkpoint metadata, then REDO-replays the log forward from that
@@ -145,11 +183,34 @@ class RecoveryManager {
                    now);
   }
 
+  // Instant-recovery entry point (DESIGN.md §19): runs phase 1 (stream
+  // merge, metadata/log reconciliation) plus the classification scan and
+  // an eager validation pass over every bucketed frame, but reads NO
+  // segment bytes and applies NO update. The returned plan's modeled
+  // stats are bit-identical to what Recover() computes on the clean path
+  // — phase costs are closed-form in the cost model — and the recovery
+  // CPU is charged to the meter here, once. `segments` is reset to the
+  // conservative post-recovery control state (all dirty). On failure the
+  // same recovery.error event Recover() would journal is journaled; on
+  // success the audit chain is left OPEN — the engine journals the
+  // lineage and recovery.end when the on-demand drain completes.
+  StatusOr<InstantRecoveryPlan> PlanInstant(
+      BackupStore* backup, const std::vector<std::string>& log_paths,
+      Database* db, SegmentTable* segments, double now);
+
   // Optional provenance journal (DESIGN.md §18). When set, Recover()
   // journals the stream merge outcome, the restore plan, any older-copy
   // fallback, the per-segment lineage, and the final outcome (or error).
   // Journaling never changes modeled stats or the recovered bytes.
   void set_audit(AuditJournal* audit) { audit_ = audit; }
+
+  // Registry counters/timers and trace events for a finished recovery
+  // (blocking: called at the end of Recover; instant: called once by the
+  // engine when the on-demand drain completes, with the crash-time `now`
+  // so the trace timeline matches the blocking path's).
+  static void Publish(MetricsRegistry* metrics, Tracer* tracer,
+                      const RecoveryStats& stats, double now,
+                      uint64_t replay_buckets);
 
   // The worker count recovery should use: the MMDB_RECOVERY_THREADS
   // environment variable (a positive count) when set and parseable,
@@ -158,12 +219,28 @@ class RecoveryManager {
   static uint32_t ResolveThreads(uint32_t configured);
 
  private:
-  void Publish(const RecoveryStats& stats, double now,
-               uint64_t replay_buckets);
+  // Phase-1 outcome shared by the blocking and instant paths: the merged
+  // reader plus the restore decision (which checkpoint/copy, where replay
+  // starts). BuildRestorePlan also clears the primary, journals the
+  // recovery.streams / recovery.plan events, repairs lagging metadata,
+  // and seeds `result`'s lineage.
+  struct RestorePlan {
+    LogReader reader;
+    bool have_checkpoint = false;
+    CheckpointId restore_id = 0;
+    uint32_t restore_copy = 0;
+    uint64_t replay_from_offset = 0;
+  };
+  StatusOr<RestorePlan> BuildRestorePlan(
+      BackupStore* backup, const std::vector<std::string>& log_paths,
+      Database* db, double now, RecoveryResult* result);
   // The three-phase body; Recover() wraps it to journal the outcome
   // (recovery.lineage + recovery.end on success, recovery.error on
   // failure) exactly once per attempt.
   StatusOr<RecoveryResult> RecoverImpl(
+      BackupStore* backup, const std::vector<std::string>& log_paths,
+      Database* db, SegmentTable* segments, double now);
+  StatusOr<InstantRecoveryPlan> PlanInstantImpl(
       BackupStore* backup, const std::vector<std::string>& log_paths,
       Database* db, SegmentTable* segments, double now);
 

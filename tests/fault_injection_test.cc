@@ -426,9 +426,13 @@ TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnCrcMismatch) {
   CorruptSegment(BackupPath(0), 0);
   auto stats = engine_->Recover();
   MMDB_ASSERT_OK(stats);
-  EXPECT_TRUE(stats->fell_back_to_older_copy);
-  EXPECT_EQ(stats->checkpoint_id, 1u);
-  EXPECT_EQ(stats->copy, 1u);
+  // Under the instant lane the corruption is only discovered when the
+  // damaged segment reloads on demand; the drained stats must match the
+  // blocking path's exactly.
+  MMDB_ASSERT_OK(engine_->DrainRecovery());
+  EXPECT_TRUE(engine_->last_recovery().fell_back_to_older_copy);
+  EXPECT_EQ(engine_->last_recovery().checkpoint_id, 1u);
+  EXPECT_EQ(engine_->last_recovery().copy, 1u);
   ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
 
   // The journal must tell the whole fallback story: the plan named the
@@ -477,8 +481,9 @@ TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnCrcMismatch) {
   MMDB_ASSERT_OK(engine_->Crash());
   auto stats2 = engine_->Recover();
   MMDB_ASSERT_OK(stats2);
-  EXPECT_FALSE(stats2->fell_back_to_older_copy);
-  EXPECT_EQ(stats2->checkpoint_id, 4u);
+  MMDB_ASSERT_OK(engine_->DrainRecovery());
+  EXPECT_FALSE(engine_->last_recovery().fell_back_to_older_copy);
+  EXPECT_EQ(engine_->last_recovery().checkpoint_id, 4u);
   ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable2));
   VerifyAuditTrail(engine_.get());
 }
@@ -498,8 +503,12 @@ TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnReadError) {
       {FaultKind::kReadError, "backup_0.db", fenv_.op_count(), 1});
   auto stats = engine_->Recover();
   MMDB_ASSERT_OK(stats);
-  EXPECT_TRUE(stats->fell_back_to_older_copy);
-  EXPECT_EQ(stats->checkpoint_id, 1u);
+  // With instant recovery the armed device error fires at the first
+  // on-demand reload of copy 0, mid-service, and must take the same
+  // fallback path.
+  MMDB_ASSERT_OK(engine_->DrainRecovery());
+  EXPECT_TRUE(engine_->last_recovery().fell_back_to_older_copy);
+  EXPECT_EQ(engine_->last_recovery().checkpoint_id, 1u);
   ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
   // A device read error (as opposed to rotten bytes) takes the same
   // fallback path and must leave the same journal trail.
@@ -516,6 +525,73 @@ TEST_F(RecoveryFallbackTest, FallsBackToOlderCopyOnReadError) {
   VerifyAuditTrail(engine_.get());
 }
 
+TEST_F(RecoveryFallbackTest, InstantOnDemandCrcErrorFallsBackMidService) {
+  // Explicit instant-recovery restart (not the env lane): the corrupted
+  // backup segment is discovered by the FIRST TRANSACTION that touches it
+  // while the engine is already serving — the older-copy fallback must
+  // happen inside that transaction's admission stall, journal itself
+  // immediately, and leave the transaction (and the engine) running.
+  {
+    EngineOptions opt =
+        SweepOptions(Algorithm::kFuzzyCopy, CheckpointMode::kPartial);
+    opt.instant_recovery = true;
+    auto engine_or = Engine::Open(opt, &fenv_);
+    MMDB_ASSERT_OK(engine_or);
+    engine_ = std::move(*engine_or);
+  }
+  ASSERT_TRUE(engine_->instant_recovery_enabled());
+  Commit(1, 1);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());  // id 1 -> copy 1
+  Commit(40, 2);
+  MMDB_ASSERT_OK(engine_->RunCheckpointToCompletion());  // id 2 -> copy 0
+  Commit(80, 3);
+  Settle();
+  MMDB_ASSERT_OK(engine_->Crash());
+
+  CorruptSegment(BackupPath(0), 0);
+  MMDB_ASSERT_OK(engine_->Recover().status());
+  EXPECT_TRUE(engine_->recovery_pending());
+
+  // Record 2 lives in segment 0: its commit stalls on the recovery latch,
+  // hits the CRC mismatch, and rides the fallback — mid-service, with the
+  // restart still draining in the background.
+  Commit(2, 4);
+  EXPECT_FALSE(engine_->crashed());
+  {
+    std::vector<AuditEntry> entries = JournalEntries();
+    const AuditEntry* fallback = nullptr;
+    const AuditEntry* on_demand = nullptr;
+    for (const AuditEntry& e : entries) {
+      if (e.event == "recovery.fallback") fallback = &e;
+      if (e.event == "recovery.segment_on_demand" && on_demand == nullptr) {
+        on_demand = &e;
+      }
+    }
+    ASSERT_NE(fallback, nullptr)
+        << "fallback must be journaled at the triggering touch, not at "
+           "the drain";
+    EXPECT_EQ(Field(*fallback, "from_checkpoint"), 2u);
+    EXPECT_EQ(Field(*fallback, "to_checkpoint"), 1u);
+    // The very first on-demand load is the touched, damaged segment.
+    ASSERT_NE(on_demand, nullptr);
+    EXPECT_EQ(Field(*on_demand, "segment"), 0u);
+    const JsonValue* trigger = on_demand->object.Find("trigger");
+    ASSERT_NE(trigger, nullptr);
+    EXPECT_EQ(trigger->string_value(), "touch");
+  }
+
+  MMDB_ASSERT_OK(engine_->DrainRecovery());
+  EXPECT_TRUE(engine_->last_recovery().fell_back_to_older_copy);
+  EXPECT_EQ(engine_->last_recovery().checkpoint_id, 1u);
+  EXPECT_EQ(engine_->last_recovery().copy, 1u);
+
+  // Durability audit over the whole oracle, including the mid-service
+  // commit once it is durable.
+  Settle();
+  ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, engine_->DurableLsn()));
+  VerifyAuditTrail(engine_.get());
+}
+
 TEST_F(RecoveryFallbackTest, FailsWhenNoOlderCompleteCheckpointExists) {
   OpenEngine();
   Commit(1, 1);
@@ -527,7 +603,17 @@ TEST_F(RecoveryFallbackTest, FailsWhenNoOlderCompleteCheckpointExists) {
   // recovery must fail loudly, not fabricate state.
   CorruptSegment(BackupPath(1), 0);
   auto stats = engine_->Recover();
-  EXPECT_TRUE(stats.status().IsCorruption()) << stats.status();
+  if (engine_->instant_recovery_enabled()) {
+    // The plan builds fine — the rot is only discovered when segment 0
+    // reloads on demand, and with nothing to fall back to the drain halts
+    // the engine.
+    MMDB_ASSERT_OK(stats);
+    Status drained = engine_->DrainRecovery();
+    EXPECT_TRUE(drained.IsCorruption()) << drained;
+    EXPECT_TRUE(engine_->crashed());
+  } else {
+    EXPECT_TRUE(stats.status().IsCorruption()) << stats.status();
+  }
 
   // Even the refusal is journaled: the chain ends in recovery.error, not a
   // dangling recovery.begin.
@@ -568,8 +654,9 @@ TEST_F(RecoveryFallbackTest, TornBackupWriteIsCaughtAtRecovery) {
   MMDB_ASSERT_OK(engine_->Crash());
   auto stats = engine_->Recover();
   MMDB_ASSERT_OK(stats);
-  EXPECT_TRUE(stats->fell_back_to_older_copy);
-  EXPECT_EQ(stats->checkpoint_id, 1u);
+  MMDB_ASSERT_OK(engine_->DrainRecovery());
+  EXPECT_TRUE(engine_->last_recovery().fell_back_to_older_copy);
+  EXPECT_EQ(engine_->last_recovery().checkpoint_id, 1u);
   ASSERT_NO_FATAL_FAILURE(Audit(*engine_, oracle_, durable));
   VerifyAuditTrail(engine_.get());
 }

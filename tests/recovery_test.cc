@@ -171,7 +171,21 @@ TEST_F(RecoveryTest, RecoveryClockAdvancesByModeledTime) {
   double before = engine_->now();
   auto stats = engine_->Recover();
   MMDB_ASSERT_OK(stats);
-  EXPECT_NEAR(engine_->now() - before, stats->total_seconds, 1e-12);
+  if (engine_->instant_recovery_enabled()) {
+    // Instant recovery admits transactions after the log-read phase only;
+    // the backup reloads complete on the virtual timeline during the
+    // drain (replay CPU is absorbed into on-demand materialization).
+    EXPECT_NEAR(engine_->now() - before, stats->log_read_seconds, 1e-12);
+    EXPECT_NEAR(engine_->time_to_first_txn(), stats->log_read_seconds,
+                1e-12);
+    MMDB_ASSERT_OK(engine_->DrainRecovery());
+    EXPECT_NEAR(engine_->now() - before,
+                stats->log_read_seconds + stats->backup_read_seconds, 1e-12);
+    EXPECT_NEAR(engine_->time_to_full_recovery(),
+                stats->log_read_seconds + stats->backup_read_seconds, 1e-12);
+  } else {
+    EXPECT_NEAR(engine_->now() - before, stats->total_seconds, 1e-12);
+  }
   EXPECT_GT(stats->backup_read_seconds, 0.0);
 }
 

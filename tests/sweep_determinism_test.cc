@@ -246,6 +246,109 @@ TEST(SweepDeterminismTest, ShardCountDoesNotChangeModeledResults) {
   }
 }
 
+TEST(SweepDeterminismTest, InstantRecoveryConvergesToBlockingState) {
+  // The tentpole's equivalence contract (DESIGN.md §19): instant recovery
+  // is a pure rescheduling of the same restart work, so after the drain
+  // the engine must be bit-identical to a blocking restart — every record
+  // byte, every modeled RecoveryStats field, every lineage entry — even
+  // when transactions were served mid-restart. The post-crash workload is
+  // checkpoint-free and uniform, so both engines commit the exact same
+  // update history; only WHEN the instant engine's segments came back
+  // differs, which is exactly what must not leak into state.
+  ASSERT_EQ(unsetenv("MMDB_INSTANT_RECOVERY"), 0);
+  struct Outcome {
+    RecoveryStats stats;
+    std::vector<SegmentLineage> lineage;
+    std::vector<std::string> records;
+    WorkloadResult post;
+  };
+  auto run = [](bool instant) -> StatusOr<Outcome> {
+    EngineOptions opt = SmallOptions(Algorithm::kFuzzyCopy, 1);
+    opt.instant_recovery = instant;
+    std::unique_ptr<Env> env = NewMemEnv();
+    MMDB_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                          Engine::Open(opt, env.get()));
+    MMDB_RETURN_IF_ERROR(engine->RunCheckpointToCompletion());
+    WorkloadOptions wopt;
+    wopt.duration = 0.2;
+    wopt.run_checkpoints = false;
+    {
+      WorkloadDriver driver(engine.get(), wopt);
+      MMDB_RETURN_IF_ERROR(driver.Run().status());
+    }
+    MMDB_RETURN_IF_ERROR(engine->FlushLog());
+    MMDB_RETURN_IF_ERROR(engine->AdvanceTime(1.0));
+    MMDB_RETURN_IF_ERROR(engine->Crash());
+    MMDB_RETURN_IF_ERROR(engine->Recover().status());
+    // Blocking: everything is back before this workload starts. Instant:
+    // this exact workload runs against the half-recovered store, stalling
+    // on first touches while untouched segments reload in the background.
+    Outcome out;
+    wopt.seed = 7;
+    WorkloadDriver post_driver(engine.get(), wopt);
+    MMDB_ASSIGN_OR_RETURN(out.post, post_driver.Run());
+    MMDB_RETURN_IF_ERROR(engine->DrainRecovery());
+    out.stats = engine->last_recovery();
+    out.lineage = engine->last_lineage();
+    const uint64_t n = engine->params().db.num_records();
+    out.records.reserve(n);
+    for (uint64_t r = 0; r < n; ++r) {
+      out.records.emplace_back(engine->ReadRecordRaw(r));
+    }
+    return out;
+  };
+  StatusOr<Outcome> blocking = run(false);
+  StatusOr<Outcome> on_demand = run(true);
+  ASSERT_TRUE(blocking.ok()) << blocking.status().ToString();
+  ASSERT_TRUE(on_demand.ok()) << on_demand.status().ToString();
+
+  // Both lanes committed the same history...
+  EXPECT_EQ(blocking->post.committed, on_demand->post.committed);
+  EXPECT_EQ(blocking->post.attempts, on_demand->post.attempts);
+  // ...but only the instant lane ever waited on the recovery latch.
+  EXPECT_EQ(blocking->post.stall_recovery_wait_seconds, 0.0);
+  EXPECT_GT(on_demand->post.stall_recovery_wait_seconds, 0.0);
+
+  // Modeled recovery stats: zero tolerance.
+  const RecoveryStats& a = blocking->stats;
+  const RecoveryStats& b = on_demand->stats;
+  EXPECT_EQ(a.checkpoint_id, b.checkpoint_id);
+  EXPECT_EQ(a.copy, b.copy);
+  EXPECT_EQ(a.backup_read_seconds, b.backup_read_seconds);
+  EXPECT_EQ(a.log_read_seconds, b.log_read_seconds);
+  EXPECT_EQ(a.replay_cpu_seconds, b.replay_cpu_seconds);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.segments_loaded, b.segments_loaded);
+  EXPECT_EQ(a.segments_retried, b.segments_retried);
+  EXPECT_EQ(a.log_bytes_read, b.log_bytes_read);
+  EXPECT_EQ(a.records_scanned, b.records_scanned);
+  EXPECT_EQ(a.updates_applied, b.updates_applied);
+  EXPECT_EQ(a.txns_redone, b.txns_redone);
+  EXPECT_EQ(a.fell_back_to_older_copy, b.fell_back_to_older_copy);
+
+  // Lineage: same provenance per segment regardless of load order.
+  ASSERT_EQ(blocking->lineage.size(), on_demand->lineage.size());
+  for (std::size_t s = 0; s < blocking->lineage.size(); ++s) {
+    const SegmentLineage& la = blocking->lineage[s];
+    const SegmentLineage& lb = on_demand->lineage[s];
+    EXPECT_EQ(la.checkpoint_id, lb.checkpoint_id) << s;
+    EXPECT_EQ(la.copy, lb.copy) << s;
+    EXPECT_EQ(la.retried, lb.retried) << s;
+    EXPECT_EQ(la.frames, lb.frames) << s;
+    EXPECT_EQ(la.first_lsn, lb.first_lsn) << s;
+    EXPECT_EQ(la.last_lsn, lb.last_lsn) << s;
+    EXPECT_EQ(la.streams, lb.streams) << s;
+  }
+
+  // Every record byte.
+  ASSERT_EQ(blocking->records.size(), on_demand->records.size());
+  std::size_t mismatched = 0;
+  for (std::size_t r = 0; r < blocking->records.size(); ++r) {
+    if (blocking->records[r] != on_demand->records[r]) ++mismatched;
+  }
+  EXPECT_EQ(mismatched, 0u);
+}
+
 TEST(SweepDeterminismTest, DeterministicViewStripsOnlyRun) {
   std::string doc =
       R"({"bench":"x","points":[{"label":"a","engine":{"v":1}}],)"

@@ -100,6 +100,10 @@ void Script(Tracer* t) {
                 static_cast<int64_t>(RecoveryPhase::kReplay), 200, 12);
   t->Record(TraceEventType::kRecoveryFanout, 1.5, 0, 4, 128, 12);
   t->Record(TraceEventType::kRecoveryEnd, 1.5, 0.5, 2);
+  // Instant recovery: a touch-triggered on-demand reload (flows from the
+  // stalling transaction on the lock track) and a background one.
+  t->Record(TraceEventType::kRecoverySegmentOnDemand, 2.0, 2.25, 5, 0, 0);
+  t->Record(TraceEventType::kRecoverySegmentOnDemand, 2.0, 2.5, 9, 1, 1);
 }
 
 std::string GoldenPath() {
@@ -159,12 +163,16 @@ TEST(TraceExportTest, OutputIsStructurallyValidTraceEventJson) {
         << phase;
     ASSERT_NE(e.Find("pid"), nullptr);
     if (phase == "s" || phase == "f") {
-      // Provenance flow events: checkpoint id binds start to finish, and
-      // the finish attaches to the enclosing slice's end.
+      // Flow events: checkpoint provenance (checkpoint id binds start to
+      // finish) or an on-demand recovery arrow (1000000 + segment); either
+      // way the finish attaches to the enclosing slice's end.
       ASSERT_NE(e.Find("id"), nullptr);
       EXPECT_GT(e.Find("id")->number_value(), 0.0);
       EXPECT_EQ(e.Find("cat")->string_value(), "flow");
-      EXPECT_EQ(e.Find("name")->string_value(), "checkpoint_provenance");
+      const std::string& flow_name = e.Find("name")->string_value();
+      EXPECT_TRUE(flow_name == "checkpoint_provenance" ||
+                  flow_name == "recovery_on_demand")
+          << flow_name;
       if (phase == "f") {
         ASSERT_NE(e.Find("bp"), nullptr);
         EXPECT_EQ(e.Find("bp")->string_value(), "e");
@@ -206,15 +214,16 @@ TEST(TraceExportTest, OutputIsStructurallyValidTraceEventJson) {
     EXPECT_EQ(cats.count(cat), 1u) << cat;
   }
   for (const char* track : {"checkpoint", "checkpoint.io", "log", "lock",
-                            "fault", "recovery"}) {
+                            "fault", "recovery", "recovery.on_demand"}) {
     EXPECT_EQ(thread_names.count(track), 1u) << track;
   }
   // Slices balance: B/E pairs match (unmatched ends degrade to instants).
   EXPECT_EQ(begins, ends);
-  // Both scripted kCheckpointEnds start a flow; the single kRecoveryEnd
-  // (which restored checkpoint 2) finishes one.
-  EXPECT_EQ(flow_starts, 2);
-  EXPECT_EQ(flow_finishes, 1);
+  // Both scripted kCheckpointEnds start a flow and the single kRecoveryEnd
+  // (which restored checkpoint 2) finishes one; the touch-triggered
+  // on-demand reload starts and finishes its own arrow.
+  EXPECT_EQ(flow_starts, 3);
+  EXPECT_EQ(flow_finishes, 2);
 }
 
 TEST(TraceExportTest, RecoveryPhasesLaidOutSequentially) {

@@ -172,8 +172,8 @@ TEST(WorkloadTest, AttributionIdentityHoldsPerAlgorithm) {
     MMDB_ASSERT_OK(result);
     const double sum =
         result->stall_quiesce_seconds + result->stall_ckpt_lock_seconds +
-        result->backoff_color_seconds + result->backoff_lock_seconds +
-        result->queue_seconds;
+        result->stall_recovery_wait_seconds + result->backoff_color_seconds +
+        result->backoff_lock_seconds + result->queue_seconds;
     EXPECT_NEAR(sum, result->latency_total_seconds,
                 1e-9 * std::max(1.0, result->latency_total_seconds))
         << AlgorithmName(a);
@@ -258,8 +258,8 @@ TEST(WorkloadTest, AdversarialModesKeepAttributionIdentity) {
     EXPECT_LT(result->read_txns, result->committed);
     const double sum =
         result->stall_quiesce_seconds + result->stall_ckpt_lock_seconds +
-        result->backoff_color_seconds + result->backoff_lock_seconds +
-        result->queue_seconds;
+        result->stall_recovery_wait_seconds + result->backoff_color_seconds +
+        result->backoff_lock_seconds + result->queue_seconds;
     EXPECT_NEAR(sum, result->latency_total_seconds,
                 1e-9 * std::max(1.0, result->latency_total_seconds))
         << AlgorithmName(a);
@@ -270,7 +270,7 @@ TEST(WorkloadTest, QueueingAmplifiesCheckpointStalls) {
   // Flush-during-lock algorithms hold segment locks across disk writes; in
   // the serial open-loop driver one such stall delays every arrival queued
   // behind it, so the aggregate queueing time must dwarf the stalls that
-  // caused it — the interference amplification the fifth attribution
+  // caused it — the interference amplification the queueing attribution
   // component exists to expose.
   std::unique_ptr<Env> env;
   auto engine = OpenEngine(env, Algorithm::kTwoColorFlush);

@@ -23,6 +23,12 @@
 # the mmdb_audit binary (DESIGN.md §18), keeping the CLI verifier honest
 # against the in-process one.
 #
+# The sanitize gate also re-runs the crash/recovery suites with
+# MMDB_INSTANT_RECOVERY=1, forcing every restart through the on-demand
+# instant-recovery path (DESIGN.md §19) under ASan+UBSan, and smokes
+# recovery_bench --quick in that lane (its modeled self-gate proves the
+# drained instant state bit-identical to blocking recovery).
+#
 # The bench-smoke gate replays fig4a, fig_modern, fig_interference,
 # fig_shard_scaling --quick, and recovery_bench at --jobs=2 with a
 # shrunken trace ring
@@ -95,6 +101,14 @@ run_sanitize() {
   MMDB_AUDIT_EXPORT_DIR="$PWD/build-sanitize/audit-export" \
       ctest --test-dir build-sanitize --output-on-failure -j "$jobs"
   verify_audit_exports build-sanitize build-sanitize/audit-export
+  echo "check.sh: sanitize instant-recovery lane (MMDB_INSTANT_RECOVERY=1)"
+  MMDB_INSTANT_RECOVERY=1 \
+      ctest --test-dir build-sanitize --output-on-failure -j "$jobs" \
+      -R '^(recovery_test|recovery_parallel_test|restart_test|consistency_test|sweep_determinism_test|fault_injection_test|audit_test|obs_e2e_test)$'
+  echo "check.sh: sanitize bench smoke (recovery_bench --quick --jobs=2, instant lane)"
+  env -u MMDB_RECOVERY_THREADS MMDB_INSTANT_RECOVERY=1 \
+      MMDB_METRICS_SIDECAR=build-sanitize/recovery_instant_asan_smoke.json \
+      ./build-sanitize/bench/recovery_bench --quick --jobs=2 > /dev/null
   echo "check.sh: sanitize bench smoke (fig_modern --quick --jobs=2)"
   MMDB_RECOVERY_THREADS=2 \
       MMDB_METRICS_SIDECAR=build-sanitize/fig_modern_asan_smoke.json \

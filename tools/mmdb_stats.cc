@@ -34,6 +34,7 @@
 #include "obs/sidecar.h"
 #include "util/json.h"
 #include "util/status.h"
+#include "util/string_util.h"
 
 namespace mmdb {
 namespace {
@@ -179,6 +180,55 @@ void PrintRecovery(const JsonValue& engine) {
     }
     std::printf("\n");
   }
+}
+
+// Instant-recovery availability block (the dump's "availability" member,
+// present only after an instant restart): time-to-first-transaction vs
+// time-to-full-recovery, the on-demand/background/forced load split, and —
+// when the run carried a workload — the recovery-wait share of total
+// transaction latency (sixth attribution cause).
+void PrintAvailability(const JsonValue& engine) {
+  const JsonValue* a = engine.Find("availability");
+  if (a == nullptr || !a->is_object() || !Selected("availability")) return;
+  const double t_first = NumberOr(a->Find("time_to_first_txn"), 0);
+  const double t_full = NumberOr(a->Find("time_to_full_recovery"), 0);
+  std::printf("availability: t_first_txn=%.4fs t_full_recovery=%.4fs%s%s\n",
+              t_first, t_full,
+              t_full > 0.0
+                  ? StringPrintf(" (first/full=%.1f%%)",
+                                 100.0 * t_first / t_full)
+                        .c_str()
+                  : "",
+              a->Find("drained") != nullptr &&
+                      a->Find("drained")->bool_value()
+                  ? ""
+                  : " DRAINING");
+  const JsonValue* loads = a->Find("loads");
+  if (loads != nullptr && loads->is_object()) {
+    std::printf("  loads: touch=%.0f background=%.0f force=%.0f pending=%.0f "
+                "recovery_wait=%.4fs\n",
+                NumberOr(loads->Find("touch"), 0),
+                NumberOr(loads->Find("background"), 0),
+                NumberOr(loads->Find("force"), 0),
+                NumberOr(a->Find("pending_segments"), 0),
+                NumberOr(a->Find("stall_recovery_wait_seconds"), 0));
+  }
+  // Per-cause share: only computable when the workload attribution gauges
+  // rode along in the same dump.
+  const JsonValue* gauges = engine.FindPath({"metrics", "gauges"});
+  if (gauges == nullptr || !gauges->is_object()) return;
+  const JsonValue* total_g =
+      gauges->Find("workload.attr.latency_total_seconds");
+  const JsonValue* wait_g =
+      gauges->Find("workload.attr.stall_recovery_wait_seconds");
+  if (total_g == nullptr || wait_g == nullptr || !total_g->is_number() ||
+      !wait_g->is_number() || total_g->number_value() <= 0.0) {
+    return;
+  }
+  std::printf("  attribution: recovery_wait=%.4fs of %.4fs total latency "
+              "(%.1f%%)\n",
+              wait_g->number_value(), total_g->number_value(),
+              100.0 * wait_g->number_value() / total_g->number_value());
 }
 
 // Per-shard breakdown of the partitioned engine (the dump's "shards"
@@ -343,6 +393,7 @@ void PrintEngineDoc(const JsonValue& engine, bool events, bool percentiles) {
   }
   PrintTimeSeries(engine);
   PrintRecovery(engine);
+  PrintAvailability(engine);
   PrintShards(engine);
   PrintCheckpoints(engine);
   PrintAudit(engine);
